@@ -1,0 +1,145 @@
+// In-transit and hybrid processing (an extension beyond the paper's core
+// contribution; see DESIGN.md §7): four simulation ranks and two dedicated
+// staging ranks. In pure in-transit mode each raw time-step crosses the
+// network; in hybrid mode the simulation ranks reduce in-situ and ship only
+// their combination maps (here: one 48-byte moments object instead of a
+// 64 KB time-step). Both modes produce identical global statistics.
+//
+// Run with: go run ./examples/intransit-moments
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/insitu"
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+const (
+	sims    = 4
+	staging = 2
+	steps   = 5
+	elems   = 8192
+)
+
+func main() {
+	inTransit := runMode(false)
+	hybrid := runMode(true)
+
+	fmt.Println("global field statistics over all ranks and time-steps:")
+	fmt.Printf("  %-12s %-14s %-14s\n", "", "in-transit", "hybrid")
+	fmt.Printf("  %-12s %-14d %-14d\n", "samples", inTransit.N, hybrid.N)
+	fmt.Printf("  %-12s %-14.6f %-14.6f\n", "mean", inTransit.Mean, hybrid.Mean)
+	fmt.Printf("  %-12s %-14.6f %-14.6f\n", "variance", inTransit.Variance(), hybrid.Variance())
+	fmt.Printf("  %-12s %-14.6f %-14.6f\n", "skewness", inTransit.Skewness(), hybrid.Skewness())
+	if inTransit.N != hybrid.N || inTransit.Mean != hybrid.Mean {
+		log.Fatal("modes disagree")
+	}
+	fmt.Printf("\nper step and sim rank, in-transit ships %d bytes; hybrid ships ~48\n", elems*8)
+}
+
+// runMode executes the six-rank world in one of the two modes and returns
+// the global moments from staging rank 0.
+func runMode(hybrid bool) *analytics.MomentsObj {
+	world := mpi.NewWorld(sims + staging)
+	assign, err := insitu.AssignStaging(sims, staging)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stagingRanks := []int{sims, sims + 1}
+
+	var result *analytics.MomentsObj
+	var wg sync.WaitGroup
+	for rank := 0; rank < sims+staging; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := world[rank]
+			defer c.Close()
+			app := analytics.NewMoments(0, 0)
+			if rank < sims {
+				em, err := sim.NewEmulator(sim.EmulatorConfig{
+					StepElems: elems, Mean: float64(rank), StdDev: 2, Seed: uint64(rank) + 31,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				target := stagingRanks[rank%staging]
+				if hybrid {
+					sched := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+						NumThreads: 2, ChunkSize: 1, NumIters: 1,
+					})
+					err = insitu.HybridSim(c, target, em, steps, func(data []float64) ([]byte, error) {
+						sched.ResetCombinationMap()
+						if err := sched.Run(data, nil); err != nil {
+							return nil, err
+						}
+						return sched.EncodeCombinationMap()
+					})
+				} else {
+					err = insitu.InTransitSim(c, target, em, steps)
+				}
+				if err != nil {
+					log.Fatalf("sim rank %d: %v", rank, err)
+				}
+				return
+			}
+
+			// Staging rank.
+			sub, err := c.SubComm(stagingRanks, boolBand(hybrid))
+			if err != nil {
+				log.Fatalf("staging subcomm: %v", err)
+			}
+			acc := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+				NumThreads: 2, ChunkSize: 1, NumIters: 1, Comm: sub,
+			})
+			mySims := assign[rank-sims]
+			if hybrid {
+				err = insitu.HybridStaging(c, mySims, steps, func(encoded [][]byte) error {
+					for _, buf := range encoded {
+						if err := acc.MergeEncodedCombinationMap(buf); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			} else {
+				step := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+					NumThreads: 2, ChunkSize: 1, NumIters: 1,
+				})
+				err = insitu.InTransitStaging(c, mySims, steps, func(_ int, data []float64) error {
+					step.ResetCombinationMap()
+					if err := step.Run(data, nil); err != nil {
+						return err
+					}
+					acc.MergeCombinationMap(step.CombinationMap())
+					return nil
+				})
+			}
+			if err != nil {
+				log.Fatalf("staging rank %d: %v", rank, err)
+			}
+			if err := acc.GlobalCombine(nil); err != nil {
+				log.Fatalf("final combine: %v", err)
+			}
+			if rank == sims {
+				result = acc.CombinationMap()[0].(*analytics.MomentsObj)
+			}
+		}()
+	}
+	wg.Wait()
+	return result
+}
+
+func boolBand(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module github.com/scipioneer/smart
+
+go 1.22

@@ -1,0 +1,87 @@
+package analytics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// TestGridAgg3DOn2DDecomposedHeat couples the 2-D-decomposed Heat3D with
+// tiled 3-D grid aggregation: four ranks each simulate a (y, z) tile,
+// aggregate their tile into global bricks, and global combination must
+// reproduce the single-rank result — the full in-situ pipeline across a
+// 2-D process grid.
+func TestGridAgg3DOn2DDecomposedHeat(t *testing.T) {
+	const nx, ny, nz = 6, 8, 8
+	const gx, gy, gz = 3, 4, 4
+	const steps = 3
+
+	// Reference: single rank.
+	single, err := sim.NewHeat3D2D(sim.Heat3D2DConfig{NX: nx, NY: ny, NZ: nz, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		single.Step()
+	}
+	refApp := NewGridAgg3D(nx, ny, nz, gx, gy, gz, 0)
+	bricks := refApp.BricksX() * refApp.BricksY() * ((nz + gz - 1) / gz)
+	refSched := core.MustNewScheduler[float64, float64](refApp, core.SchedArgs{
+		NumThreads: 1, ChunkSize: 1, NumIters: 1,
+	})
+	want := make([]float64, bricks)
+	if err := refSched.Run(single.Data(), want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed: a 2x2 process grid.
+	const py, pz = 2, 2
+	comms := mpi.NewWorld(py * pz)
+	results := make([][]float64, py*pz)
+	var wg sync.WaitGroup
+	for r := 0; r < py*pz; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			h, err := sim.NewHeat3D2D(sim.Heat3D2DConfig{
+				NX: nx, NY: ny, NZ: nz, PY: py, PZ: pz, Comm: comms[r], Seed: 5,
+			})
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			for i := 0; i < steps; i++ {
+				if err := h.Step(); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+			}
+			ys, yc, zs, zc := h.Tile()
+			app := NewGridAgg3DTile(nx, yc, zc, gx, gy, gz, ys, zs, nx, ny)
+			sched := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+				NumThreads: 2, ChunkSize: 1, NumIters: 1, Comm: comms[r],
+			})
+			out := make([]float64, bricks)
+			if err := sched.Run(h.Data(), out); err != nil {
+				t.Errorf("rank %d analytics: %v", r, err)
+				return
+			}
+			results[r] = out
+		}()
+	}
+	wg.Wait()
+
+	for r := range results {
+		for id := range want {
+			if math.Abs(results[r][id]-want[id]) > 1e-9 {
+				t.Fatalf("rank %d brick %d = %v, want %v", r, id, results[r][id], want[id])
+			}
+		}
+	}
+}

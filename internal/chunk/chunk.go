@@ -1,0 +1,128 @@
+// Package chunk provides the data partitioning primitives used by the Smart
+// runtime scheduler: unit chunks, splits, and blocks.
+//
+// A simulation output partition is processed block by block; each block is
+// divided into equal splits (one per thread), and a split is consumed one
+// unit chunk at a time. A unit chunk is the application's processing unit
+// (e.g. one array element for histogram, one feature vector for k-means) and
+// natively preserves array positional information, which is what lets Smart
+// support structural analytics such as grid aggregation and moving average.
+package chunk
+
+import "fmt"
+
+// Chunk identifies one processing unit inside an input array. Start is the
+// index of the chunk's first element in the full (node-local) input array and
+// Length is the number of elements in the unit.
+type Chunk struct {
+	Start  int
+	Length int
+}
+
+// End returns the index one past the last element of the chunk.
+func (c Chunk) End() int { return c.Start + c.Length }
+
+// String implements fmt.Stringer.
+func (c Chunk) String() string { return fmt.Sprintf("chunk[%d,%d)", c.Start, c.End()) }
+
+// Split is a contiguous region of the input assigned to a single thread.
+// Chunks are generated on the fly while iterating a split.
+type Split struct {
+	Start  int // index of the first element of the split
+	Length int // number of elements in the split
+}
+
+// End returns the index one past the last element of the split.
+func (s Split) End() int { return s.Start + s.Length }
+
+// Chunks calls fn for every unit chunk of size chunkSize within the split.
+// The final chunk is truncated if the split length is not a multiple of
+// chunkSize. fn returning false stops the iteration early.
+func (s Split) Chunks(chunkSize int, fn func(Chunk) bool) {
+	if chunkSize <= 0 {
+		panic("chunk: non-positive chunk size")
+	}
+	for start := s.Start; start < s.End(); start += chunkSize {
+		length := chunkSize
+		if start+length > s.End() {
+			length = s.End() - start
+		}
+		if !fn(Chunk{Start: start, Length: length}) {
+			return
+		}
+	}
+}
+
+// NumChunks reports how many unit chunks of size chunkSize the split holds.
+func (s Split) NumChunks(chunkSize int) int {
+	if chunkSize <= 0 {
+		panic("chunk: non-positive chunk size")
+	}
+	return (s.Length + chunkSize - 1) / chunkSize
+}
+
+// Partition divides n elements into parts splits of near-equal length.
+// Splits are aligned to chunkSize boundaries so that no unit chunk straddles
+// two splits (otherwise a feature vector could be torn across threads).
+// The returned slice always has exactly parts entries; trailing splits may be
+// empty when n is small.
+func Partition(n, parts, chunkSize int) []Split {
+	if parts <= 0 {
+		panic("chunk: non-positive part count")
+	}
+	if chunkSize <= 0 {
+		panic("chunk: non-positive chunk size")
+	}
+	if n < 0 {
+		panic("chunk: negative element count")
+	}
+	units := (n + chunkSize - 1) / chunkSize
+	splits := make([]Split, parts)
+	base := units / parts
+	rem := units % parts
+	start := 0
+	for i := range splits {
+		u := base
+		if i < rem {
+			u++
+		}
+		length := u * chunkSize
+		if start+length > n {
+			length = n - start
+		}
+		if length < 0 {
+			length = 0
+		}
+		splits[i] = Split{Start: start, Length: length}
+		start += length
+	}
+	return splits
+}
+
+// Blocks divides n elements into blocks of at most blockSize elements and
+// calls fn for each. Blocks are aligned to chunkSize so units never straddle
+// block boundaries. A blockSize of 0 or less means "single block".
+func Blocks(n, blockSize, chunkSize int, fn func(Split)) {
+	if n < 0 {
+		panic("chunk: negative element count")
+	}
+	if blockSize <= 0 || blockSize >= n {
+		fn(Split{Start: 0, Length: n})
+		return
+	}
+	if chunkSize <= 0 {
+		panic("chunk: non-positive chunk size")
+	}
+	// Round the block size down to a whole number of units (at least one).
+	aligned := blockSize / chunkSize * chunkSize
+	if aligned == 0 {
+		aligned = chunkSize
+	}
+	for start := 0; start < n; start += aligned {
+		length := aligned
+		if start+length > n {
+			length = n - start
+		}
+		fn(Split{Start: start, Length: length})
+	}
+}

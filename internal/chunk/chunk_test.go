@@ -1,0 +1,191 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChunkEnd(t *testing.T) {
+	c := Chunk{Start: 4, Length: 3}
+	if c.End() != 7 {
+		t.Fatalf("End() = %d, want 7", c.End())
+	}
+	if got := c.String(); got != "chunk[4,7)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestSplitChunksExact(t *testing.T) {
+	s := Split{Start: 0, Length: 12}
+	var got []Chunk
+	s.Chunks(4, func(c Chunk) bool { got = append(got, c); return true })
+	want := []Chunk{{0, 4}, {4, 4}, {8, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d chunks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("chunk %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSplitChunksTruncatedTail(t *testing.T) {
+	s := Split{Start: 10, Length: 10}
+	var got []Chunk
+	s.Chunks(4, func(c Chunk) bool { got = append(got, c); return true })
+	want := []Chunk{{10, 4}, {14, 4}, {18, 2}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("chunk %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := s.NumChunks(4); n != 3 {
+		t.Errorf("NumChunks = %d, want 3", n)
+	}
+}
+
+func TestSplitChunksEarlyStop(t *testing.T) {
+	s := Split{Start: 0, Length: 100}
+	count := 0
+	s.Chunks(1, func(c Chunk) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d chunks, want 5", count)
+	}
+}
+
+func TestPartitionCoversInput(t *testing.T) {
+	for _, tc := range []struct{ n, parts, chunk int }{
+		{100, 4, 1}, {100, 4, 3}, {7, 4, 2}, {0, 3, 1}, {5, 8, 1}, {64, 8, 64},
+	} {
+		splits := Partition(tc.n, tc.parts, tc.chunk)
+		if len(splits) != tc.parts {
+			t.Fatalf("Partition(%v): %d splits, want %d", tc, len(splits), tc.parts)
+		}
+		pos, total := 0, 0
+		for _, s := range splits {
+			if s.Start != pos {
+				t.Fatalf("Partition(%v): split starts at %d, want %d", tc, s.Start, pos)
+			}
+			pos = s.End()
+			total += s.Length
+		}
+		if total != tc.n {
+			t.Fatalf("Partition(%v): covers %d elements, want %d", tc, total, tc.n)
+		}
+	}
+}
+
+func TestPartitionChunkAlignment(t *testing.T) {
+	// No unit chunk may straddle a split boundary: every split except
+	// possibly the one containing the array tail starts at a multiple of
+	// chunkSize.
+	splits := Partition(103, 4, 5)
+	for _, s := range splits {
+		if s.Length > 0 && s.Start%5 != 0 {
+			t.Errorf("split start %d not aligned to chunk size 5", s.Start)
+		}
+	}
+}
+
+func TestPartitionProperties(t *testing.T) {
+	f := func(n uint16, parts, chunk uint8) bool {
+		p := int(parts%16) + 1
+		c := int(chunk%8) + 1
+		nn := int(n % 4096)
+		splits := Partition(nn, p, c)
+		pos, total := 0, 0
+		for _, s := range splits {
+			if s.Length < 0 || s.Start != pos {
+				return false
+			}
+			// Empty trailing splits start at n, which needn't be aligned.
+			if s.Length > 0 && s.Start%c != 0 {
+				return false
+			}
+			pos = s.End()
+			total += s.Length
+		}
+		return total == nn && len(splits) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	var lens []int
+	Blocks(100, 32, 4, func(s Split) { lens = append(lens, s.Length) })
+	want := []int{32, 32, 32, 4}
+	if len(lens) != len(want) {
+		t.Fatalf("got %d blocks (%v), want %d", len(lens), lens, len(want))
+	}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Errorf("block %d length %d, want %d", i, lens[i], want[i])
+		}
+	}
+}
+
+func TestBlocksSingle(t *testing.T) {
+	n := 0
+	Blocks(10, 0, 1, func(s Split) {
+		n++
+		if s.Length != 10 {
+			t.Errorf("single block length %d, want 10", s.Length)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("got %d blocks, want 1", n)
+	}
+}
+
+func TestBlocksAlignment(t *testing.T) {
+	// Block size 10 with chunk size 4 must round down to 8 so that no
+	// 4-element unit straddles a block boundary.
+	var starts []int
+	Blocks(20, 10, 4, func(s Split) { starts = append(starts, s.Start) })
+	for _, st := range starts {
+		if st%4 != 0 {
+			t.Errorf("block start %d not aligned to chunk size 4", st)
+		}
+	}
+}
+
+func TestBlocksPropertyCoverage(t *testing.T) {
+	f := func(n uint16, block, chunk uint8) bool {
+		nn := int(n % 2048)
+		b := int(block)
+		c := int(chunk%16) + 1
+		total, pos := 0, 0
+		ok := true
+		Blocks(nn, b, c, func(s Split) {
+			if s.Start != pos {
+				ok = false
+			}
+			pos = s.End()
+			total += s.Length
+		})
+		return ok && total == nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("Partition parts", func() { Partition(10, 0, 1) })
+	assertPanic("Partition chunk", func() { Partition(10, 1, 0) })
+	assertPanic("Partition n", func() { Partition(-1, 1, 1) })
+	assertPanic("Chunks size", func() { (Split{0, 4}).Chunks(0, func(Chunk) bool { return true }) })
+	assertPanic("NumChunks size", func() { (Split{0, 4}).NumChunks(0) })
+	assertPanic("Blocks n", func() { Blocks(-1, 1, 1, func(Split) {}) })
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"os"
+)
+
+// checkpointMagic guards against restoring a file that is not a Smart
+// checkpoint.
+var checkpointMagic = []byte("SMARTCK1")
+
+// WriteCheckpoint persists the combination map to a file. For iterative
+// analytics whose state lives entirely in the combination map (k-means
+// centroids, regression weights), this checkpoints the job: a restored
+// scheduler continues exactly where the saved one stopped.
+func (s *Scheduler[In, Out]) WriteCheckpoint(path string) error {
+	payload, err := encodeMap(s.comMap)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint encode: %w", err)
+	}
+	buf := make([]byte, 0, len(checkpointMagic)+len(payload))
+	buf = append(buf, checkpointMagic...)
+	buf = append(buf, payload...)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	// Atomic publish: a crash mid-write never leaves a torn checkpoint.
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: checkpoint publish: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint replaces the combination map with a previously saved one.
+func (s *Scheduler[In, Out]) ReadCheckpoint(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint read: %w", err)
+	}
+	if len(buf) < len(checkpointMagic) || string(buf[:len(checkpointMagic)]) != string(checkpointMagic) {
+		return fmt.Errorf("core: %s is not a Smart checkpoint", path)
+	}
+	m, err := decodeMap(buf[len(checkpointMagic):], s.app.NewRedObj)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint decode: %w", err)
+	}
+	s.comMap = m
+	return nil
+}

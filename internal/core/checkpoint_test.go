@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCheckpointRestoreResumesTraining(t *testing.T) {
+	var in []float64
+	for i := 0; i < 200; i++ {
+		in = append(in, float64(i%10), 100+float64(i%10)/10)
+	}
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "kmeans.ck")
+
+	// Run 5 iterations, checkpoint, then resume in a fresh scheduler for 5
+	// more; must equal an uninterrupted 10-iteration run.
+	first := MustNewScheduler[float64, float64](kmeans1D{k: 2}, SchedArgs{
+		NumThreads: 1, ChunkSize: 1, NumIters: 5, Extra: []float64{10, 60},
+	})
+	if err := first.Run(in, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.WriteCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := MustNewScheduler[float64, float64](kmeans1D{k: 2}, SchedArgs{
+		NumThreads: 1, ChunkSize: 1, NumIters: 5, Extra: []float64{10, 60},
+	})
+	if err := resumed.ReadCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 2)
+	if err := resumed.Run(in, got); err != nil {
+		t.Fatal(err)
+	}
+
+	reference := MustNewScheduler[float64, float64](kmeans1D{k: 2}, SchedArgs{
+		NumThreads: 1, ChunkSize: 1, NumIters: 10, Extra: []float64{10, 60},
+	})
+	want := make([]float64, 2)
+	if err := reference.Run(in, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("centroid %d: resumed %v, uninterrupted %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	if err := s.ReadCheckpoint(path); err == nil {
+		t.Fatal("foreign file accepted")
+	}
+	if err := s.ReadCheckpoint(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCheckpointNoTornFiles(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "state.ck")
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	if err := s.Run(histInput(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint(ck); err != nil {
+		t.Fatal(err)
+	}
+	// The temporary staging file must not survive a successful publish.
+	if _, err := os.Stat(ck + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("staging file left behind: %v", err)
+	}
+}
+
+func TestOnPhaseHook(t *testing.T) {
+	events := map[string]int{}
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+		NumThreads: 2, ChunkSize: 1, NumIters: 3,
+		OnPhase: func(phase string, d time.Duration) {
+			if d < 0 {
+				t.Errorf("negative duration for %s", phase)
+			}
+			events[phase]++
+		},
+	})
+	if err := s.Run(histInput(500), make([]int64, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if events["reduction"] != 3 || events["local combine"] != 3 {
+		t.Fatalf("per-iteration phases: %v", events)
+	}
+	if events["convert"] != 1 {
+		t.Fatalf("convert events: %v", events)
+	}
+	if events["global combine"] != 0 {
+		t.Fatalf("global combine without a communicator: %v", events)
+	}
+}

@@ -1,0 +1,306 @@
+// Package core implements Smart, the in-situ MapReduce-like runtime of the
+// paper. Unlike conventional MapReduce, Smart never emits intermediate
+// key-value pairs: the user declares a reduction object (RedObj) and the
+// runtime accumulates every unit chunk in place inside per-thread reduction
+// maps, merges those into a per-node combination map (local combination), and
+// merges node maps across the communicator (global combination). This keeps
+// the analytics' memory footprint near the size of the final result — the
+// property that makes co-location with a memory-bound simulation viable.
+//
+// The package offers the paper's two in-situ modes. In time sharing mode the
+// caller passes the simulation's own output buffer to Run/Run2 — the runtime
+// only ever reads through that pointer, so no extra copy of the time-step is
+// made. In space sharing mode the caller Feeds time-steps (which are copied
+// into a bounded circular buffer) while a concurrent analytics task drains
+// them with RunShared/RunShared2.
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/scipioneer/smart/internal/chunk"
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/ringbuf"
+)
+
+// RedObj is the reduction object: the mutable value that accumulates all
+// elements sharing one key (paper Section 3.1). Implementations must support
+// deep copying and a binary wire format, which the runtime uses when
+// distributing the combination map to reduction maps and when serializing
+// maps for global combination.
+type RedObj interface {
+	// Clone returns a deep copy of the object.
+	Clone() RedObj
+	// MarshalBinary encodes the object for global combination.
+	MarshalBinary() ([]byte, error)
+	// UnmarshalBinary decodes into the receiver.
+	UnmarshalBinary(data []byte) error
+}
+
+// Triggered is implemented by reduction objects that support the early
+// emission optimization of Section 4: when Trigger reports true right after
+// an accumulate, the runtime converts the object to output immediately and
+// erases it from the reduction map, bounding the live map by the window size
+// instead of the input size.
+type Triggered interface {
+	Trigger() bool
+}
+
+// Sized is optionally implemented by reduction objects to report their
+// approximate in-memory footprint for virtual memory accounting.
+type Sized interface {
+	SizeBytes() int
+}
+
+// CombMap is a combination (or reduction) map: reduction objects keyed by
+// the integer keys the application generates.
+type CombMap = map[int]RedObj
+
+// Analytics is the application-facing API (the paper's "functions
+// implemented by the user", Table 1). The same implementation runs unchanged
+// in time sharing, space sharing, and offline modes.
+type Analytics[In, Out any] interface {
+	// NewRedObj returns a fresh zero-valued reduction object. The runtime
+	// uses it both to lazily create objects for unseen keys and to decode
+	// serialized maps during global combination.
+	NewRedObj() RedObj
+	// GenKey generates the single key for a unit chunk (gen_key).
+	GenKey(c chunk.Chunk, data []In, com CombMap) int
+	// Accumulate folds the unit chunk into the reduction object (accumulate).
+	Accumulate(c chunk.Chunk, data []In, obj RedObj)
+	// Merge folds src into dst, the combination object (merge).
+	Merge(src, dst RedObj)
+}
+
+// MultiKeyer is implemented by applications whose unit chunks map to
+// multiple keys (gen_keys; the flatmap-like path used by run2 for
+// window-based analytics). GenKeys appends to keys and returns the extended
+// slice so the runtime can reuse one buffer across chunks.
+type MultiKeyer[In any] interface {
+	GenKeys(c chunk.Chunk, data []In, com CombMap, keys []int) []int
+}
+
+// PositionalAccumulator is an optional refinement of Accumulate for
+// applications whose accumulation depends on the key itself — e.g. the
+// position-weighted window convolutions (Savitzky–Golay, Gaussian kernel
+// smoothing), where the weight of a contribution is a function of the
+// element's offset from the window center (the key). When implemented, the
+// runtime calls AccumulateKeyed instead of Accumulate. This is a minimal
+// extension over the paper's API, which would otherwise require reduction
+// objects to rediscover their own key.
+type PositionalAccumulator[In any] interface {
+	AccumulateKeyed(key int, c chunk.Chunk, data []In, obj RedObj)
+}
+
+// ExtraDataProcessor is implemented by applications that initialize the
+// combination map from extra input (process_extra_data), e.g. the initial
+// centroids of k-means.
+type ExtraDataProcessor interface {
+	ProcessExtraData(extra any, com CombMap)
+}
+
+// PostCombiner is implemented by iterative applications that update the
+// combination map after each combination phase (post_combine), e.g.
+// recomputing centroids from sums and counts. Implementations that seed
+// per-iteration state through the combination map must reset their
+// accumulator fields here, exactly as the paper's k-means update() does.
+type PostCombiner interface {
+	PostCombine(com CombMap)
+}
+
+// Converter is implemented by applications that transform reduction objects
+// into final output values (convert). The integer key selects the output
+// slot: out[key-OutBase].
+type Converter[Out any] interface {
+	Convert(obj RedObj, out *Out)
+}
+
+// SchedArgs configures a Scheduler (the paper's SchedArgs).
+type SchedArgs struct {
+	// NumThreads is the number of analytics threads per process. It should
+	// equal the simulation's thread count in time sharing mode.
+	NumThreads int
+	// ChunkSize is the unit chunk length in elements (e.g. the feature
+	// vector length).
+	ChunkSize int
+	// Extra is the extra analytics input (e.g. initial centroids); it is
+	// handed to ProcessExtraData at the start of every Run.
+	Extra any
+	// NumIters is the number of iterations per Run (>= 1).
+	NumIters int
+	// BlockSize caps how many elements one block holds; a block is split
+	// across threads. Zero means the whole partition is a single block.
+	BlockSize int
+	// Comm connects the processes of the analytics job. Nil means
+	// single-process execution (no global combination traffic).
+	Comm *mpi.Comm
+	// Mem, when non-nil, charges the runtime's data structures (circular
+	// buffer cells, reduction maps) against a virtual memory node and makes
+	// Run fail with an OOM error when they exceed its capacity.
+	Mem *memmodel.Node
+	// OutBase is subtracted from a key to obtain the output slot, letting a
+	// node own a window of a globally-indexed output array. Keys mapping
+	// outside [0, len(out)) are skipped during conversion.
+	OutBase int
+	// Sequential forces splits to be processed one after another on the
+	// calling goroutine while still recording per-split times. The replay
+	// cluster simulator uses this to measure per-thread work on a machine
+	// with fewer physical cores than simulated threads.
+	Sequential bool
+	// BufferCells is the circular buffer capacity for space sharing mode
+	// (default 4).
+	BufferCells int
+	// RedObjBytes estimates the footprint of one reduction object for
+	// virtual memory accounting when the object does not implement Sized
+	// (default 64).
+	RedObjBytes int
+	// FlatGlobalCombine switches global combination from the default
+	// binomial-tree reduction to a flat gather-at-root followed by a
+	// sequential merge. The tree is asymptotically better (log P merge
+	// depth); the flag exists for the ablation benchmarks.
+	FlatGlobalCombine bool
+	// PinThreads dedicates an OS thread to every reduction worker for the
+	// duration of its split (runtime.LockOSThread), the Go analogue of the
+	// paper's per-core thread binding; the OS scheduler then keeps each
+	// thread on its core. Core-numbered affinity masks would need
+	// platform-specific syscalls, which this stdlib-only build avoids.
+	PinThreads bool
+	// OnPhase, when non-nil, receives one event per completed runtime phase
+	// per iteration ("reduction", "local combine", "global combine",
+	// "convert") with its duration — lightweight observability for the
+	// in-situ time budget. It is called from the scheduler's coordinating
+	// goroutine, never concurrently.
+	OnPhase func(phase string, d time.Duration)
+}
+
+func (a *SchedArgs) validate() error {
+	if a.NumThreads <= 0 {
+		return errors.New("core: NumThreads must be positive")
+	}
+	if a.ChunkSize <= 0 {
+		return errors.New("core: ChunkSize must be positive")
+	}
+	if a.NumIters <= 0 {
+		return errors.New("core: NumIters must be positive")
+	}
+	return nil
+}
+
+func (a *SchedArgs) withDefaults() SchedArgs {
+	out := *a
+	if out.NumIters == 0 {
+		out.NumIters = 1
+	}
+	if out.BufferCells == 0 {
+		out.BufferCells = 4
+	}
+	if out.RedObjBytes == 0 {
+		out.RedObjBytes = 64
+	}
+	return out
+}
+
+// feedItem is one buffered time-step in space sharing mode.
+type feedItem[In any] struct {
+	data []In
+	mem  *memmodel.Allocation
+}
+
+// Scheduler is the Smart runtime scheduler (the paper's Scheduler class).
+// Construct one per analytics job with NewScheduler. A Scheduler is not safe
+// for concurrent Run calls; space sharing's single producer (Feed) and
+// single consumer (RunShared) pair is the supported concurrency.
+type Scheduler[In, Out any] struct {
+	app        Analytics[In, Out]
+	args       SchedArgs
+	comMap     CombMap
+	globalComb bool
+	buf        *ringbuf.Buffer[feedItem[In]]
+	stats      Stats
+
+	// cached optional capabilities of app
+	multi     MultiKeyer[In]
+	extraProc ExtraDataProcessor
+	postComb  PostCombiner
+	converter Converter[Out]
+	posAcc    PositionalAccumulator[In]
+	// hasTrigger caches whether the app's reduction objects implement
+	// Triggered, keeping the type assertion out of the per-chunk hot loop
+	// for the applications that never emit early.
+	hasTrigger bool
+}
+
+// NewScheduler creates a scheduler for the given application and arguments.
+func NewScheduler[In, Out any](app Analytics[In, Out], args SchedArgs) (*Scheduler[In, Out], error) {
+	a := args.withDefaults()
+	if a.NumIters == 0 {
+		a.NumIters = 1
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler[In, Out]{
+		app:        app,
+		args:       a,
+		comMap:     make(CombMap),
+		globalComb: true,
+		buf:        ringbuf.New[feedItem[In]](a.BufferCells),
+	}
+	var anyApp any = app
+	if m, ok := anyApp.(MultiKeyer[In]); ok {
+		s.multi = m
+	}
+	if e, ok := anyApp.(ExtraDataProcessor); ok {
+		s.extraProc = e
+	}
+	if p, ok := anyApp.(PostCombiner); ok {
+		s.postComb = p
+	}
+	if c, ok := anyApp.(Converter[Out]); ok {
+		s.converter = c
+	}
+	if p, ok := anyApp.(PositionalAccumulator[In]); ok {
+		s.posAcc = p
+	}
+	_, s.hasTrigger = app.NewRedObj().(Triggered)
+	return s, nil
+}
+
+// MustNewScheduler is NewScheduler that panics on invalid arguments, for
+// examples and tests.
+func MustNewScheduler[In, Out any](app Analytics[In, Out], args SchedArgs) *Scheduler[In, Out] {
+	s, err := NewScheduler[In, Out](app, args)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SetGlobalCombination enables or disables the global combination phase
+// (enabled by default). With it disabled, each process retrieves its local
+// result in the parallel code region — the building block for MapReduce
+// pipelines of Smart jobs.
+func (s *Scheduler[In, Out]) SetGlobalCombination(on bool) { s.globalComb = on }
+
+// CombinationMap exposes the combination map (the paper's
+// get_combination_map). After a Run with global combination it holds the
+// global result on every process.
+func (s *Scheduler[In, Out]) CombinationMap() CombMap { return s.comMap }
+
+// ResetCombinationMap clears accumulated state so the scheduler can be
+// reused for an unrelated time-step, mirroring Listing 1's fresh scheduler
+// per time-step without reallocating the runtime.
+func (s *Scheduler[In, Out]) ResetCombinationMap() { s.comMap = make(CombMap) }
+
+// Stats returns counters describing the most recent Run.
+func (s *Scheduler[In, Out]) Stats() *Stats { return &s.stats }
+
+// sizeOfRedObj returns the accounted footprint of one reduction object.
+func (s *Scheduler[In, Out]) sizeOfRedObj(obj RedObj) int {
+	if sz, ok := obj.(Sized); ok {
+		return sz.SizeBytes()
+	}
+	return s.args.RedObjBytes
+}

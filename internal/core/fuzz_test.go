@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzDecodeMap hardens the global-combination wire decoder: arbitrary
+// bytes must produce either a valid map or an error — never a panic, a
+// hang, or an absurd allocation (the entry-count bound).
+func FuzzDecodeMap(f *testing.F) {
+	// Seed with valid encodings and their mutations.
+	m := CombMap{1: &countObj{n: 7}, -3: &countObj{n: 0}, 1 << 20: &countObj{n: 42}}
+	valid, err := encodeMap(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255})
+	f.Add(valid[:len(valid)-3])
+	f.Add(append(append([]byte{}, valid...), 9))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := decodeMap(data, func() RedObj { return &countObj{} })
+		if err != nil {
+			return
+		}
+		// Valid decodes must re-encode to a decodable payload of the same
+		// content.
+		re, err := encodeMap(decoded)
+		if err != nil {
+			t.Fatalf("re-encode of valid decode failed: %v", err)
+		}
+		back, err := decodeMap(re, func() RedObj { return &countObj{} })
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back) != len(decoded) {
+			t.Fatalf("roundtrip changed size: %d vs %d", len(back), len(decoded))
+		}
+	})
+}
+
+// FuzzCheckpointMagic ensures the checkpoint reader never mistakes
+// arbitrary content for a checkpoint (and never panics on one that has the
+// magic but garbage after it).
+func FuzzCheckpointMagic(f *testing.F) {
+	f.Add([]byte("SMARTCK1"))
+	f.Add([]byte("SMARTCK1junk"))
+	f.Add([]byte("not a checkpoint"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := dir + "/f"
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		s := MustNewScheduler[int, int64](bucketApp{width: 10},
+			SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+		if err := s.ReadCheckpoint(path); err == nil {
+			// Acceptable only if the payload after the magic is a valid map.
+			if !bytes.HasPrefix(data, checkpointMagic) {
+				t.Fatal("accepted a file without the magic")
+			}
+		}
+	})
+}

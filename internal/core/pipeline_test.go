@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+func TestMergeCombinationMap(t *testing.T) {
+	app := bucketApp{width: 10}
+	a := MustNewScheduler[int, int64](app, SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	b := MustNewScheduler[int, int64](app, SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	if err := a.Run(histInput(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(histInput(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	a.MergeCombinationMap(b.CombinationMap())
+	var total int64
+	for _, obj := range a.CombinationMap() {
+		total += obj.(*countObj).n
+	}
+	if total != 200 {
+		t.Fatalf("merged total %d, want 200", total)
+	}
+}
+
+func TestMergeEncodedCombinationMap(t *testing.T) {
+	app := bucketApp{width: 10}
+	a := MustNewScheduler[int, int64](app, SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	b := MustNewScheduler[int, int64](app, SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	a.Run(histInput(50), nil)
+	b.Run(histInput(50), nil)
+	buf, err := b.EncodeCombinationMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeEncodedCombinationMap(buf); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, obj := range a.CombinationMap() {
+		total += obj.(*countObj).n
+	}
+	if total != 100 {
+		t.Fatalf("merged total %d, want 100", total)
+	}
+	if err := a.MergeEncodedCombinationMap([]byte("junk")); err == nil {
+		t.Error("junk payload accepted")
+	}
+}
+
+func TestGlobalCombineStandalone(t *testing.T) {
+	// Accumulate per-rank state with global combination off, then one
+	// GlobalCombine produces the cluster-wide result everywhere.
+	const ranks = 3
+	comms := mpi.NewWorld(ranks)
+	full := histInput(300)
+	per := len(full) / ranks
+	results := make([][]int64, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			// Accumulator pattern: a throwaway scheduler reduces each local
+			// partition; the accumulator merges the per-partition maps and
+			// performs the one global combination at the end.
+			step := MustNewScheduler[int, int64](bucketApp{width: 10},
+				SchedArgs{NumThreads: 2, ChunkSize: 1, NumIters: 1})
+			acc := MustNewScheduler[int, int64](bucketApp{width: 10},
+				SchedArgs{NumThreads: 2, ChunkSize: 1, NumIters: 1, Comm: comms[r]})
+			half := per / 2
+			for _, part := range [][]int{full[r*per : r*per+half], full[r*per+half : (r+1)*per]} {
+				step.ResetCombinationMap()
+				if err := step.Run(part, nil); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+				acc.MergeCombinationMap(step.CombinationMap())
+			}
+			out := make([]int64, 10)
+			if err := acc.GlobalCombine(out); err != nil {
+				t.Errorf("rank %d combine: %v", r, err)
+				return
+			}
+			results[r] = out
+		}()
+	}
+	wg.Wait()
+	want := make([]int64, 10)
+	for _, v := range full {
+		want[v/10]++
+	}
+	for r := range results {
+		for b := range want {
+			if results[r][b] != want[b] {
+				t.Fatalf("rank %d bucket %d = %d, want %d", r, b, results[r][b], want[b])
+			}
+		}
+	}
+}
+
+func TestGlobalCombineSingleProcess(t *testing.T) {
+	// Without a communicator, GlobalCombine is PostCombine + convert.
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	if err := s.Run(histInput(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, 10)
+	if err := s.GlobalCombine(out); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, v := range out {
+		total += v
+	}
+	if total != 100 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestFlatGlobalCombineMatchesTree(t *testing.T) {
+	const ranks = 5
+	full := histInput(500)
+	per := len(full) / ranks
+
+	run := func(flat bool) [][]int64 {
+		comms := mpi.NewWorld(ranks)
+		results := make([][]int64, ranks)
+		var wg sync.WaitGroup
+		for r := 0; r < ranks; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer comms[r].Close()
+				s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+					NumThreads: 2, ChunkSize: 1, NumIters: 1, Comm: comms[r],
+					FlatGlobalCombine: flat,
+				})
+				out := make([]int64, 10)
+				if err := s.Run(full[r*per:(r+1)*per], out); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+				results[r] = out
+			}()
+		}
+		wg.Wait()
+		return results
+	}
+
+	tree := run(false)
+	flat := run(true)
+	for r := 0; r < ranks; r++ {
+		for b := range tree[r] {
+			if tree[r][b] != flat[r][b] {
+				t.Fatalf("rank %d bucket %d: tree %d flat %d", r, b, tree[r][b], flat[r][b])
+			}
+		}
+	}
+}
+
+func TestIterativeFlatCombine(t *testing.T) {
+	// The flat path must behave across iterations too (k-means).
+	var in []float64
+	for i := 0; i < 200; i++ {
+		in = append(in, float64(i%10), 100+float64(i%10)/10)
+	}
+	const ranks = 4
+	comms := mpi.NewWorld(ranks)
+	per := len(in) / ranks
+	results := make([][]float64, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			s := MustNewScheduler[float64, float64](kmeans1D{k: 2}, SchedArgs{
+				NumThreads: 1, ChunkSize: 1, NumIters: 8, Extra: []float64{10, 60},
+				Comm: comms[r], FlatGlobalCombine: true,
+			})
+			out := make([]float64, 2)
+			if err := s.Run(in[r*per:(r+1)*per], out); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			results[r] = out
+		}()
+	}
+	wg.Wait()
+
+	single := MustNewScheduler[float64, float64](kmeans1D{k: 2}, SchedArgs{
+		NumThreads: 1, ChunkSize: 1, NumIters: 8, Extra: []float64{10, 60},
+	})
+	want := make([]float64, 2)
+	if err := single.Run(in, want); err != nil {
+		t.Fatal(err)
+	}
+	for r := range results {
+		for i := range want {
+			// The flat merge applies Merge in a different order than the
+			// tree, so results agree only up to floating-point rounding.
+			if math.Abs(results[r][i]-want[i]) > 1e-9 {
+				t.Fatalf("rank %d centroid %d: %v vs %v", r, i, results[r][i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,517 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scipioneer/smart/internal/chunk"
+	"github.com/scipioneer/smart/internal/memmodel"
+)
+
+// Run executes the analytics over one partition in time sharing mode using
+// gen_key (one key per unit chunk). in is read through directly — typically
+// the simulation's own output buffer — and is never copied or mutated. The
+// final result is converted into out (which may be nil to skip conversion).
+// This is Algorithm 1 of the paper.
+func (s *Scheduler[In, Out]) Run(in []In, out []Out) error {
+	return s.run(in, out, false)
+}
+
+// Run2 is Run using gen_keys (multiple keys per unit chunk), the path used
+// by window-based analytics.
+func (s *Scheduler[In, Out]) Run2(in []In, out []Out) error {
+	return s.run(in, out, true)
+}
+
+func (s *Scheduler[In, Out]) run(in []In, out []Out, multi bool) error {
+	if multi && s.multi == nil {
+		return errors.New("core: Run2 requires the application to implement MultiKeyer")
+	}
+	nt := s.args.NumThreads
+	s.stats.reset(nt)
+
+	tracker, err := newMemTracker(s.args.Mem)
+	if err != nil {
+		return err
+	}
+	defer tracker.release()
+
+	// process_extra_data: initialize the combination map if needed.
+	if s.extraProc != nil {
+		s.extraProc.ProcessExtraData(s.args.Extra, s.comMap)
+	}
+
+	live := &liveCounter{}
+	redMaps := make([]CombMap, nt)
+
+	for iter := 0; iter < s.args.NumIters; iter++ {
+		// Distribute the (local or, after the first iteration's global
+		// combination, global) combination map to each reduction map.
+		for t := range redMaps {
+			redMaps[t] = make(CombMap, len(s.comMap))
+			for k, obj := range s.comMap {
+				c := obj.Clone()
+				redMaps[t][k] = c
+				live.add(1)
+				tracker.add(int64(s.sizeOfRedObj(c)))
+			}
+		}
+		if err := tracker.sync(); err != nil {
+			return err
+		}
+
+		// Reduction phase, block by block.
+		redStart := time.Now()
+		var redErr error
+		chunk.Blocks(len(in), s.args.BlockSize, s.args.ChunkSize, func(block chunk.Split) {
+			if redErr != nil {
+				return
+			}
+			redErr = s.reduceBlock(block, in, out, redMaps, multi, live, tracker)
+		})
+		if redErr != nil {
+			return redErr
+		}
+		s.phaseEvent("reduction", redStart)
+
+		// Local combination: merge every thread's reduction map into the
+		// combination map. Objects for unseen keys are moved; objects for
+		// existing keys are merged and die.
+		start := time.Now()
+		for t := range redMaps {
+			for k, obj := range redMaps[t] {
+				if com, ok := s.comMap[k]; ok {
+					s.app.Merge(obj, com)
+					tracker.add(-int64(s.sizeOfRedObj(obj)))
+				} else {
+					s.comMap[k] = obj
+				}
+				live.add(-1)
+			}
+			redMaps[t] = nil
+		}
+		s.stats.LocalCombineTime += time.Since(start)
+		s.phaseEvent("local combine", start)
+		if err := tracker.sync(); err != nil {
+			return err
+		}
+
+		// Global combination: merge node combination maps across the
+		// communicator; every process ends up with the global map, which
+		// doubles as the "distribute global map" step of the next iteration.
+		if s.globalComb && s.args.Comm != nil && s.args.Comm.Size() > 1 {
+			gcStart := time.Now()
+			if err := s.globalCombine(); err != nil {
+				return err
+			}
+			s.phaseEvent("global combine", gcStart)
+		}
+
+		if s.postComb != nil {
+			s.postComb.PostCombine(s.comMap)
+		}
+	}
+
+	s.stats.MaxLiveRedObjs = live.peak.Load()
+	convStart := time.Now()
+	err = s.convert(out)
+	s.phaseEvent("convert", convStart)
+	return err
+}
+
+// phaseEvent reports a completed phase to the OnPhase hook, if any.
+func (s *Scheduler[In, Out]) phaseEvent(name string, start time.Time) {
+	if s.args.OnPhase != nil {
+		s.args.OnPhase(name, time.Since(start))
+	}
+}
+
+// reduceBlock partitions one block into per-thread splits and processes them
+// in parallel (or sequentially under SchedArgs.Sequential, timing each split
+// for the replay simulator).
+func (s *Scheduler[In, Out]) reduceBlock(block chunk.Split, in []In, out []Out,
+	redMaps []CombMap, multi bool, live *liveCounter, tracker *memTracker) error {
+
+	nt := s.args.NumThreads
+	splits := chunk.Partition(block.Length, nt, s.args.ChunkSize)
+	for i := range splits {
+		splits[i].Start += block.Start
+	}
+
+	if s.args.Sequential || nt == 1 {
+		for t, sp := range splits {
+			start := time.Now()
+			err := s.processSplit(sp, in, out, redMaps[t], multi, live, tracker)
+			d := time.Since(start)
+			s.stats.SplitTimes[t] += d
+			s.stats.ReductionTime += d
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nt)
+	for t := 0; t < nt; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.args.PinThreads {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			start := time.Now()
+			errs[t] = s.processSplit(splits[t], in, out, redMaps[t], multi, live, tracker)
+			d := time.Since(start)
+			s.stats.SplitTimes[t] += d
+			atomic.AddInt64((*int64)(&s.stats.ReductionTime), int64(d))
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// processSplit consumes one split chunk by chunk: generate key(s), locate or
+// create the reduction object, accumulate, and — when the object's trigger
+// fires — emit it early (Algorithm 2).
+func (s *Scheduler[In, Out]) processSplit(sp chunk.Split, in []In, out []Out,
+	redMap CombMap, multi bool, live *liveCounter, tracker *memTracker) error {
+
+	var keys []int
+	var chunks int64
+	chunkSize := s.args.ChunkSize
+	end := sp.End()
+	// cache short-circuits the reduction-map lookup for consecutive chunks
+	// sharing one key — the common case for single-key applications
+	// (logistic regression) and value-clustered data.
+	var cache chunkCache
+	cache.key = -1 << 62
+	// The chunk loop is written out inline: this is the framework's hot
+	// path and a per-chunk closure dispatch is measurable against the
+	// hand-coded baselines of Section 5.3.
+	for start := sp.Start; start < end; start += chunkSize {
+		length := chunkSize
+		if start+length > end {
+			length = end - start
+		}
+		c := chunk.Chunk{Start: start, Length: length}
+		chunks++
+		if multi {
+			keys = s.multi.GenKeys(c, in, s.comMap, keys[:0])
+			for _, k := range keys {
+				s.consumeChunk(k, c, in, out, redMap, live, tracker, &cache)
+			}
+		} else {
+			k := s.app.GenKey(c, in, s.comMap)
+			s.consumeChunk(k, c, in, out, redMap, live, tracker, &cache)
+		}
+		if tracker != nil && chunks%4096 == 0 {
+			if err := tracker.maybeSync(); err != nil {
+				return err
+			}
+		}
+	}
+	atomic.AddInt64(&s.stats.ChunksProcessed, chunks)
+	return tracker.maybeSync()
+}
+
+// chunkCache remembers the last (key, object) pair touched by a split.
+type chunkCache struct {
+	key int
+	obj RedObj
+}
+
+// consumeChunk accumulates one (key, chunk) pair into the reduction map,
+// creating the reduction object on first touch and emitting it early when
+// its trigger fires (Algorithm 2).
+func (s *Scheduler[In, Out]) consumeChunk(k int, c chunk.Chunk, in []In, out []Out,
+	redMap CombMap, live *liveCounter, tracker *memTracker, cache *chunkCache) {
+
+	obj := cache.obj
+	if cache.key != k || obj == nil {
+		var ok bool
+		obj, ok = redMap[k]
+		if !ok {
+			obj = s.app.NewRedObj()
+			redMap[k] = obj
+			live.add(1)
+			tracker.add(int64(s.sizeOfRedObj(obj)))
+		}
+		cache.key, cache.obj = k, obj
+	}
+	if tracker == nil {
+		if s.posAcc != nil {
+			s.posAcc.AccumulateKeyed(k, c, in, obj)
+		} else {
+			s.app.Accumulate(c, in, obj)
+		}
+	} else {
+		// Variable-size reduction objects (e.g. the holistic moving-median
+		// object) grow as they accumulate; charge the growth.
+		before := s.sizeOfRedObj(obj)
+		if s.posAcc != nil {
+			s.posAcc.AccumulateKeyed(k, c, in, obj)
+		} else {
+			s.app.Accumulate(c, in, obj)
+		}
+		tracker.add(int64(s.sizeOfRedObj(obj) - before))
+	}
+	if s.hasTrigger && obj.(Triggered).Trigger() {
+		// Early emission: convert and erase immediately, so the reduction
+		// map never holds more than the window's worth of unfinished
+		// objects.
+		s.emit(k, obj, out)
+		delete(redMap, k)
+		live.add(-1)
+		tracker.add(-int64(s.sizeOfRedObj(obj)))
+		atomic.AddInt64(&s.stats.EmittedEarly, 1)
+		cache.obj = nil
+	}
+}
+
+// emit converts a finalized reduction object into its output slot if the key
+// falls inside this process's output window.
+func (s *Scheduler[In, Out]) emit(key int, obj RedObj, out []Out) {
+	if s.converter == nil || out == nil {
+		return
+	}
+	idx := key - s.args.OutBase
+	if idx >= 0 && idx < len(out) {
+		s.converter.Convert(obj, &out[idx])
+	}
+}
+
+// convert materializes the combination map into the output array.
+func (s *Scheduler[In, Out]) convert(out []Out) error {
+	if out == nil || s.converter == nil {
+		return nil
+	}
+	for k, obj := range s.comMap {
+		s.emit(k, obj, out)
+	}
+	return nil
+}
+
+// EncodeCombinationMap serializes the combination map in the wire format
+// global combination uses. Besides checkpointing, it lets the experiment
+// harness measure the serialization cost Smart pays over a contiguous-buffer
+// Allreduce (Section 5.3) without running a live communicator.
+func (s *Scheduler[In, Out]) EncodeCombinationMap() ([]byte, error) {
+	return encodeMap(s.comMap)
+}
+
+// DecodeCombinationMap replaces the combination map with one decoded from
+// EncodeCombinationMap's format.
+func (s *Scheduler[In, Out]) DecodeCombinationMap(buf []byte) error {
+	m, err := decodeMap(buf, s.app.NewRedObj)
+	if err != nil {
+		return err
+	}
+	s.comMap = m
+	return nil
+}
+
+// MergeCombinationMap folds another combination map into this scheduler's
+// map with the application's Merge — the building block for hybrid
+// processing, where staging processes merge maps shipped from simulation
+// processes. Objects for unseen keys are adopted directly (the caller must
+// not reuse them afterwards).
+func (s *Scheduler[In, Out]) MergeCombinationMap(m CombMap) {
+	for k, obj := range m {
+		if dst, ok := s.comMap[k]; ok {
+			s.app.Merge(obj, dst)
+		} else {
+			s.comMap[k] = obj
+		}
+	}
+}
+
+// MergeEncodedCombinationMap decodes a map serialized with
+// EncodeCombinationMap and folds it in.
+func (s *Scheduler[In, Out]) MergeEncodedCombinationMap(buf []byte) error {
+	m, err := decodeMap(buf, s.app.NewRedObj)
+	if err != nil {
+		return err
+	}
+	s.MergeCombinationMap(m)
+	return nil
+}
+
+// GlobalCombine runs only the global combination phase over the current
+// combination map (honoring SetGlobalCombination), applies PostCombine, and
+// converts into out. It is the final step of the accumulator pattern: a
+// throwaway scheduler reduces each partition with a fresh map, an
+// accumulator folds the per-partition maps in with MergeCombinationMap, and
+// GlobalCombine performs the one cluster-wide merge at the end. (Running
+// the partitions through one scheduler without resets would replicate
+// accumulated state through the per-iteration distribution step.)
+func (s *Scheduler[In, Out]) GlobalCombine(out []Out) error {
+	if s.globalComb && s.args.Comm != nil && s.args.Comm.Size() > 1 {
+		if err := s.globalCombine(); err != nil {
+			return err
+		}
+	}
+	if s.postComb != nil {
+		s.postComb.PostCombine(s.comMap)
+	}
+	return s.convert(out)
+}
+
+// globalCombine merges the per-process combination maps into one global map
+// on every process. The merge runs along the communicator's binomial
+// reduction tree using the application's own Merge, then the result is
+// broadcast — the same structure as the paper's global combination followed
+// by the distribution of the global map at the next iteration.
+func (s *Scheduler[In, Out]) globalCombine() error {
+	start := time.Now()
+	payload, err := encodeMap(s.comMap)
+	if err != nil {
+		return fmt.Errorf("core: global combination encode: %w", err)
+	}
+	atomic.AddInt64(&s.stats.SerializedBytes, int64(len(payload)))
+
+	comm := s.args.Comm
+	var merged []byte
+	if s.args.FlatGlobalCombine {
+		merged, err = s.flatCombine(payload)
+	} else {
+		merged, err = comm.Reduce(0, payload, func(a, b []byte) ([]byte, error) {
+			am, err := s.mergeEncoded(a, b)
+			if err != nil {
+				return nil, err
+			}
+			return encodeMap(am)
+		})
+	}
+	if err != nil {
+		return fmt.Errorf("core: global combination reduce: %w", err)
+	}
+	global, err := comm.Bcast(0, merged)
+	if err != nil {
+		return fmt.Errorf("core: global combination bcast: %w", err)
+	}
+	s.comMap, err = decodeMap(global, s.app.NewRedObj)
+	if err != nil {
+		return fmt.Errorf("core: global combination decode: %w", err)
+	}
+	s.stats.GlobalCombineTime += time.Since(start)
+	return nil
+}
+
+// mergeEncoded decodes two serialized maps and merges the second into the
+// first with the application's Merge.
+func (s *Scheduler[In, Out]) mergeEncoded(a, b []byte) (CombMap, error) {
+	am, err := decodeMap(a, s.app.NewRedObj)
+	if err != nil {
+		return nil, err
+	}
+	bm, err := decodeMap(b, s.app.NewRedObj)
+	if err != nil {
+		return nil, err
+	}
+	for k, obj := range bm {
+		if dst, ok := am[k]; ok {
+			s.app.Merge(obj, dst)
+		} else {
+			am[k] = obj
+		}
+	}
+	return am, nil
+}
+
+// flatCombine is the ablation path: gather every rank's serialized map at
+// rank 0 and merge them there sequentially (P-1 merges at the root instead
+// of log P along the tree).
+func (s *Scheduler[In, Out]) flatCombine(payload []byte) ([]byte, error) {
+	parts, err := s.args.Comm.Gather(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	if s.args.Comm.Rank() != 0 {
+		return nil, nil
+	}
+	acc := parts[0]
+	for _, part := range parts[1:] {
+		m, err := s.mergeEncoded(acc, part)
+		if err != nil {
+			return nil, err
+		}
+		if acc, err = encodeMap(m); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// memTracker charges the runtime's transient data structures against a
+// virtual memory node, so experiments can observe pressure and OOM.
+type memTracker struct {
+	alloc  *memmodel.Allocation
+	bytes  atomic.Int64
+	synced atomic.Int64
+	mu     sync.Mutex
+}
+
+// memSyncSlack is how far accounted bytes may drift from the virtual
+// allocation before a resync.
+const memSyncSlack = 64 << 10
+
+func newMemTracker(node *memmodel.Node) (*memTracker, error) {
+	if node == nil {
+		return nil, nil
+	}
+	alloc, err := node.Alloc("smart reduction maps", 0)
+	if err != nil {
+		return nil, err
+	}
+	return &memTracker{alloc: alloc}, nil
+}
+
+func (m *memTracker) add(delta int64) {
+	if m == nil {
+		return
+	}
+	m.bytes.Add(delta)
+}
+
+func (m *memTracker) maybeSync() error {
+	if m == nil {
+		return nil
+	}
+	drift := m.bytes.Load() - m.synced.Load()
+	if drift < -memSyncSlack || drift > memSyncSlack {
+		return m.sync()
+	}
+	return nil
+}
+
+func (m *memTracker) sync() error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.bytes.Load()
+	if b < 0 {
+		b = 0
+	}
+	if err := m.alloc.Resize(b); err != nil {
+		return err
+	}
+	m.synced.Store(b)
+	return nil
+}
+
+func (m *memTracker) release() {
+	if m == nil {
+		return
+	}
+	m.alloc.Free()
+}

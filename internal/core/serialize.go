@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// encodeMap serializes a combination map as
+// count | (key, len, payload)* with little-endian fixed-width framing.
+// This is the serialization the paper charges to global combination — the
+// price of keeping reduction objects in a flexible map rather than the
+// contiguous arrays of a hand-written MPI_Allreduce (Section 5.3).
+func encodeMap(m CombMap) ([]byte, error) {
+	buf := make([]byte, 0, 16+32*len(m))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
+	for k, obj := range m {
+		payload, err := obj.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("core: marshal reduction object for key %d: %w", k, err)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(k)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+	}
+	return buf, nil
+}
+
+// decodeMap reverses encodeMap, materializing objects with the factory.
+func decodeMap(buf []byte, factory func() RedObj) (CombMap, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("core: truncated map header")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	// Every entry needs at least its 12-byte header; a count beyond that is
+	// a corrupt frame, and sizing the map from it would blow the heap.
+	if n < 0 || n > len(buf)/12 {
+		return nil, fmt.Errorf("core: implausible map entry count %d for %d bytes", n, len(buf))
+	}
+	m := make(CombMap, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 12 {
+			return nil, fmt.Errorf("core: truncated entry header %d", i)
+		}
+		k := int(int64(binary.LittleEndian.Uint64(buf)))
+		l := int(binary.LittleEndian.Uint32(buf[8:]))
+		buf = buf[12:]
+		if len(buf) < l {
+			return nil, fmt.Errorf("core: truncated entry payload %d", i)
+		}
+		obj := factory()
+		if err := obj.UnmarshalBinary(buf[:l:l]); err != nil {
+			return nil, fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
+		}
+		m[k] = obj
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after map", len(buf))
+	}
+	return m, nil
+}

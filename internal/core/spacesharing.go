@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+)
+
+// Feed hands one time-step's output partition to the analytics task in
+// space sharing mode (the paper's feed). The partition is copied into a cell
+// of the internal circular buffer — the one-copy cost that distinguishes
+// space sharing from time sharing — and Feed blocks while the buffer is
+// full, back-pressuring the simulation exactly as Section 3.2 describes.
+func (s *Scheduler[In, Out]) Feed(in []In) error {
+	cell := make([]In, len(in))
+	copy(cell, in)
+	var alloc *memmodel.Allocation
+	if s.args.Mem != nil {
+		var err error
+		alloc, err = s.args.Mem.Alloc("circular buffer cell", int64(len(in))*int64(elemSize[In]()))
+		if err != nil {
+			return err
+		}
+	}
+	if err := s.buf.Put(feedItem[In]{data: cell, mem: alloc}); err != nil {
+		alloc.Free()
+		return err
+	}
+	return nil
+}
+
+// CloseFeed signals that no further time-steps will be fed. Pending
+// RunShared calls drain the buffer and then return ErrFeedClosed.
+func (s *Scheduler[In, Out]) CloseFeed() {
+	if s.buf != nil {
+		s.buf.Close()
+	}
+}
+
+// ErrFeedClosed is returned by RunShared once the feed is closed and the
+// circular buffer drained.
+var ErrFeedClosed = errors.New("core: feed closed")
+
+// RunShared consumes the oldest buffered time-step and runs the analytics
+// over it using gen_key — the space sharing counterpart of Run.
+func (s *Scheduler[In, Out]) RunShared(out []Out) error {
+	return s.runShared(out, false)
+}
+
+// RunShared2 is RunShared using gen_keys.
+func (s *Scheduler[In, Out]) RunShared2(out []Out) error {
+	return s.runShared(out, true)
+}
+
+func (s *Scheduler[In, Out]) runShared(out []Out, multi bool) error {
+	item, err := s.buf.Get()
+	if err != nil {
+		return ErrFeedClosed
+	}
+	defer item.mem.Free()
+	return s.run(item.data, out, multi)
+}
+
+// BufferStats exposes the circular buffer's produced/consumed counters and
+// how often the producer blocked (zero values before the first Feed).
+func (s *Scheduler[In, Out]) BufferStats() (produced, consumed, producerWaits int) {
+	if s.buf == nil {
+		return 0, 0, 0
+	}
+	return s.buf.Stats()
+}
+
+// elemSize conservatively estimates the in-memory size of one element of
+// type T for virtual memory accounting.
+func elemSize[T any]() int {
+	var v T
+	switch any(v).(type) {
+	case float64, int64, uint64, int, uint, complex64:
+		return 8
+	case float32, int32, uint32:
+		return 4
+	case int16, uint16:
+		return 2
+	case int8, uint8, bool:
+		return 1
+	default:
+		return 16
+	}
+}

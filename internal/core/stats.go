@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats reports counters from the most recent Run. The replay cluster
+// simulator consumes SplitTimes to compose modeled parallel times; the
+// experiments use the memory counters to reproduce the paper's footprint
+// comparisons.
+type Stats struct {
+	// SplitTimes holds the measured processing duration of each thread's
+	// split for the last block of the last iteration, indexed by thread.
+	SplitTimes []time.Duration
+	// ReductionTime is the total time spent in the reduction phase, summed
+	// over splits (CPU time, not wall time).
+	ReductionTime time.Duration
+	// LocalCombineTime is the time spent merging reduction maps into the
+	// local combination map.
+	LocalCombineTime time.Duration
+	// GlobalCombineTime is the time spent in the global combination phase,
+	// including serialization.
+	GlobalCombineTime time.Duration
+	// SerializedBytes counts the bytes this process contributed to global
+	// combination wire traffic.
+	SerializedBytes int64
+	// ChunksProcessed counts unit chunks consumed by the reduction phase.
+	ChunksProcessed int64
+	// MaxLiveRedObjs is the peak number of reduction objects alive across
+	// all threads' reduction maps at once — the quantity the early emission
+	// optimization bounds.
+	MaxLiveRedObjs int64
+	// EmittedEarly counts reduction objects converted and erased by the
+	// trigger mechanism during reduction.
+	EmittedEarly int64
+}
+
+// reset clears per-Run counters.
+func (s *Stats) reset(threads int) {
+	if cap(s.SplitTimes) < threads {
+		s.SplitTimes = make([]time.Duration, threads)
+	}
+	s.SplitTimes = s.SplitTimes[:threads]
+	for i := range s.SplitTimes {
+		s.SplitTimes[i] = 0
+	}
+	s.ReductionTime = 0
+	s.LocalCombineTime = 0
+	s.GlobalCombineTime = 0
+	s.SerializedBytes = 0
+	s.ChunksProcessed = 0
+	s.MaxLiveRedObjs = 0
+	s.EmittedEarly = 0
+}
+
+// liveCounter tracks the number of live reduction objects across threads and
+// remembers the peak.
+type liveCounter struct {
+	live atomic.Int64
+	peak atomic.Int64
+}
+
+func (c *liveCounter) add(n int64) int64 {
+	v := c.live.Add(n)
+	for {
+		p := c.peak.Load()
+		if v <= p || c.peak.CompareAndSwap(p, v) {
+			return v
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV renders the result as a CSV table: one row per x value, one
+// column per series, crashed configurations as "CRASH". This is the
+// machine-readable path for replotting the figures.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{r.XLabel}, seriesNames(r)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range xAxis(r) {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range r.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.Crashed {
+						cell = "CRASH"
+					} else {
+						cell = strconv.FormatFloat(p.Y, 'g', -1, 64)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVName derives a filesystem-friendly name for the figure.
+func (r *Result) CSVName() string {
+	name := strings.ToLower(r.Figure)
+	name = strings.ReplaceAll(name, " ", "")
+	return fmt.Sprintf("%s.csv", name)
+}
+
+func seriesNames(r *Result) []string {
+	names := make([]string, len(r.Series))
+	for i, s := range r.Series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func xAxis(r *Result) []float64 {
+	set := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			set[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}

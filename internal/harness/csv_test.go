@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	r := &Result{Figure: "Fig 9b", XLabel: "edge"}
+	r.AddPoint("zero-copy", 40, 0.01)
+	r.AddPoint("copy", 40, 0.012)
+	r.AddPoint("zero-copy", 80, 0.02)
+	r.AddCrash("copy", 80)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(rows))
+	}
+	if rows[0][0] != "edge" || rows[0][1] != "zero-copy" || rows[0][2] != "copy" {
+		t.Fatalf("header %v", rows[0])
+	}
+	if rows[1][0] != "40" || rows[1][2] != "0.012" {
+		t.Fatalf("row 1: %v", rows[1])
+	}
+	if rows[2][2] != "CRASH" {
+		t.Fatalf("crash cell: %v", rows[2])
+	}
+	if name := r.CSVName(); name != "fig9b.csv" {
+		t.Fatalf("csv name %q", name)
+	}
+}
+
+func TestWriteCSVEmptyCells(t *testing.T) {
+	r := &Result{Figure: "Fig X", XLabel: "x"}
+	r.AddPoint("a", 1, 2)
+	r.AddPoint("b", 3, 4) // no x=1 point for b, no x=3 for a
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1,2,\n") || !strings.Contains(out, "3,,4\n") {
+		t.Fatalf("sparse cells wrong:\n%s", out)
+	}
+}

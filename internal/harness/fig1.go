@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"time"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/insitu"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// fig1DiskBytesPerSec is the modeled per-node share of parallel filesystem
+// bandwidth for the offline pipeline — deliberately modest, as on a busy
+// HPC machine, so the store-first-analyze-after I/O cost is visible at
+// laptop scale (see EXPERIMENTS.md for the calibration).
+const fig1DiskBytesPerSec = 56 << 20
+
+// Fig1 reproduces the Figure 1 case study: total processing time of in-situ
+// versus offline k-means clustering on Heat3D output, varying the k-means
+// iteration count to vary the amount of analytics computation. The offline
+// pipeline pays the write-out and read-back of every time-step.
+func Fig1(scale Scale) (*Result, error) {
+	res := &Result{
+		Figure: "Fig 1",
+		Title:  "In-situ vs offline k-means on Heat3D",
+		XLabel: "k-means iterations",
+		YLabel: "seconds",
+	}
+	steps := scale.pick(3, 10)
+	nx := scale.pick(16, 48)
+	ny := scale.pick(16, 48)
+	nz := scale.pick(16, 32)
+	const k, dims = 8, 4
+	init := kmeansInit(k, dims, 0, 115)
+
+	var bestSpeedup float64
+	for _, iters := range []int{1, 3, 5, 7, 9} {
+		runAnalytics := func() (insitu.AnalyzeFn, func()) {
+			app := analytics.NewKMeans(k, dims)
+			s := core.MustNewScheduler[float64, []float64](app, core.SchedArgs{
+				NumThreads: 1, ChunkSize: dims, NumIters: iters, Extra: init,
+			})
+			return func(data []float64) error { return s.Run(data, nil) }, func() {}
+		}
+
+		// In-situ (time sharing, zero copy).
+		heat, err := sim.NewHeat3D(sim.Heat3DConfig{NX: nx, NY: ny, NZ: nz, Seed: 11})
+		if err != nil {
+			return nil, err
+		}
+		analyze, done := runAnalytics()
+		timings, err := insitu.TimeSharing(heat, analyze, insitu.TimeSharingConfig{Steps: steps})
+		if err != nil {
+			return nil, err
+		}
+		done()
+		var insituTotal time.Duration
+		for _, t := range timings {
+			insituTotal += t.Sim + t.Analytics
+		}
+
+		// Offline (store first, analyze after).
+		heat2, err := sim.NewHeat3D(sim.Heat3DConfig{NX: nx, NY: ny, NZ: nz, Seed: 11})
+		if err != nil {
+			return nil, err
+		}
+		analyze2, done2 := runAnalytics()
+		off, err := insitu.Offline(heat2, analyze2, steps, insitu.DiskModel{BytesPerSec: fig1DiskBytesPerSec})
+		if err != nil {
+			return nil, err
+		}
+		done2()
+
+		x := float64(iters)
+		res.AddPoint("in-situ total", x, seconds(insituTotal))
+		res.AddPoint("offline total", x, seconds(off.Total()))
+		res.AddPoint("offline I/O", x, seconds(off.Write+off.Read))
+		if sp := off.Total().Seconds() / insituTotal.Seconds(); sp > bestSpeedup {
+			bestSpeedup = sp
+		}
+	}
+	res.Note("max in-situ speedup over offline: %.1fx (paper: up to 10.4x)", bestSpeedup)
+	return res, nil
+}
+
+// kmeansInit builds a deterministic flat centroid matrix spread across
+// [lo, hi] on every dimension.
+func kmeansInit(k, dims int, lo, hi float64) []float64 {
+	init := make([]float64, k*dims)
+	for c := 0; c < k; c++ {
+		v := lo + (hi-lo)*float64(c)/float64(k)
+		for d := 0; d < dims; d++ {
+			init[c*dims+d] = v
+		}
+	}
+	return init
+}

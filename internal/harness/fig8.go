@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"time"
+
+	"github.com/scipioneer/smart/internal/perfmodel"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// Fig8 reproduces Figure 8: total in-situ processing time of all nine
+// applications on Lulesh output across 64 modeled nodes, as the per-node
+// thread count grows from 1 to 8. The paper's two efficiency bands emerge
+// from the cost structure: the cheap first five applications are dominated
+// by the simulation's imperfect thread scaling and the serial combination
+// tail, while the compute-heavy window applications amortize both.
+func Fig8(scale Scale) (*Result, error) {
+	res := &Result{
+		Figure: "Fig 8",
+		Title:  "In-situ processing times vs threads on Lulesh (64 nodes)",
+		XLabel: "threads per node",
+		YLabel: "seconds per time-step (modeled cluster time)",
+	}
+	const nodes = 64
+	edge := scale.pick(12, 56)
+	threadCounts := []int{1, 2, 4, 8}
+	comm := perfmodel.DefaultComm
+	simAmdahl := perfmodel.Amdahl{SerialFraction: 0.08}
+
+	lul, err := sim.NewLulesh(sim.LuleshConfig{Edge: edge, Seed: 22})
+	if err != nil {
+		return nil, err
+	}
+	simSeq, err := bestOf(2, func() (time.Duration, error) {
+		start := time.Now()
+		err := lul.Step()
+		return time.Since(start), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := lul.Data()
+	lo, hi := dataRange(data)
+
+	times := make(map[string]map[int]time.Duration)
+	isWindow := make(map[string]bool)
+	for _, t := range threadCounts {
+		simTime := simAmdahl.Time(simSeq, t)
+		for _, app := range nineApps(len(data), lo, hi) {
+			app := app
+			total, err := bestOf(2, func() (time.Duration, error) {
+				m, err := app.run(data, t)
+				if err != nil {
+					return 0, err
+				}
+				compute, serial, bytes, err := m.modeled(app.iters)
+				if err != nil {
+					return 0, err
+				}
+				node := perfmodel.NodeStep{
+					ThreadTimes: []time.Duration{simTime + compute},
+					SerialTime:  serial,
+					CommBytes:   bytes,
+				}
+				steps := make([]perfmodel.NodeStep, nodes)
+				for j := range steps {
+					steps[j] = node
+				}
+				total := perfmodel.StepTime(steps, comm)
+				if app.iters > 1 {
+					total += time.Duration(app.iters-1) * comm.Collective(nodes, bytes)
+				}
+				return total, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			if times[app.name] == nil {
+				times[app.name] = make(map[int]time.Duration)
+			}
+			times[app.name][t] = total
+			isWindow[app.name] = app.window
+			res.AddPoint(app.name, float64(t), seconds(total))
+		}
+	}
+
+	// Thread-scaling parallel efficiency 1 -> 8 threads, averaged over the
+	// first five applications and over the window applications.
+	base, top := threadCounts[0], threadCounts[len(threadCounts)-1]
+	var firstFive, window float64
+	var nFirst, nWin int
+	for name, ts := range times {
+		eff := perfmodel.Efficiency(base, ts[base], top, ts[top])
+		if isWindow[name] {
+			window += eff
+			nWin++
+		} else {
+			firstFive += eff
+			nFirst++
+		}
+	}
+	res.Note("average parallel efficiency 1->8 threads: first five apps %.0f%%, window apps %.0f%% (paper: 59%% and 79%%)",
+		100*firstFive/float64(nFirst), 100*window/float64(nWin))
+	return res, nil
+}
+
+// dataRange returns the min and max of a data slice, padded slightly so
+// histogram edges are safe.
+func dataRange(data []float64) (lo, hi float64) {
+	if len(data) == 0 {
+		return 0, 1
+	}
+	lo, hi = data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	return lo - 0.001*span, hi + 0.001*span
+}

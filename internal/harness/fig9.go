@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"errors"
+	"time"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/insitu"
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// fig9Run executes one time sharing configuration functionally and returns
+// the pressure-adjusted total: Σ_steps (sim + analytics) × slowdown. An OOM
+// is reported as (0, true, nil) — the paper's "crash" configurations.
+func fig9Run(s sim.Simulation, analyze insitu.AnalyzeFn, steps int, copyData bool,
+	mem *memmodel.Node) (time.Duration, bool, error) {
+
+	timings, err := insitu.TimeSharing(s, analyze, insitu.TimeSharingConfig{
+		Steps: steps, CopyData: copyData, Mem: mem,
+	})
+	var oom *memmodel.OOMError
+	if errors.As(err, &oom) {
+		return 0, true, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	var total time.Duration
+	for _, t := range timings {
+		total += time.Duration(float64(t.Sim+t.Analytics) * t.MemSlowdown)
+	}
+	return total, false, nil
+}
+
+// Fig9a reproduces Figure 9a: time sharing with and without the extra data
+// copy, logistic regression on Heat3D, sweeping the time-step size toward
+// the node's memory capacity. The copy variant degrades near the bound and
+// crashes past it.
+func Fig9a(scale Scale) (*Result, error) {
+	res := &Result{
+		Figure: "Fig 9a",
+		Title:  "Zero-copy vs extra-copy time sharing: logistic regression on Heat3D",
+		XLabel: "time-step size (MB)",
+		YLabel: "pressure-adjusted seconds",
+	}
+	steps := scale.pick(2, 4)
+	nx := scale.pick(12, 32)
+	ny := scale.pick(12, 32)
+	nzs := []int{48, 64, 80, 96, 112}
+	if scale == Small {
+		nzs = []int{16, 24, 32}
+	}
+
+	// Capacity: the largest configuration's simulation working set plus
+	// 60% of its step — the zero-copy variant always fits, the copy
+	// variant thrashes near the top and crashes at it. The gentle ramp
+	// matches the paper's ≤11% gains before the crash point.
+	probe, err := sim.NewHeat3D(sim.Heat3DConfig{NX: nx, NY: ny, NZ: nzs[len(nzs)-1], Seed: 31})
+	if err != nil {
+		return nil, err
+	}
+	capacity := probe.MemoryBytes() + probe.StepBytes()*6/10
+
+	var maxGain float64
+	for _, nz := range nzs {
+		for _, copyData := range []bool{false, true} {
+			heat, err := sim.NewHeat3D(sim.Heat3DConfig{NX: nx, NY: ny, NZ: nz, Seed: 31})
+			if err != nil {
+				return nil, err
+			}
+			mem := memmodel.NewNode(capacity)
+			mem.SetPressureModel(memmodel.DefaultHighWater, 1.12)
+
+			const dims = 15
+			app := analytics.NewLogReg(dims, 0.1)
+			sched := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+				NumThreads: 1, ChunkSize: dims + 1, NumIters: 3,
+			})
+			analyze := func(data []float64) error {
+				return sched.Run(labelize(data, dims+1, 0, 115), nil)
+			}
+
+			var crashed bool
+			total, err := bestOf(2, func() (time.Duration, error) {
+				t, c, err := fig9Run(heat, analyze, steps, copyData, mem)
+				crashed = c
+				return t, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			name := "zero-copy (Smart)"
+			if copyData {
+				name = "extra copy"
+			}
+			x := float64(heat.StepBytes()) / (1 << 20)
+			if crashed {
+				res.AddCrash(name, x)
+			} else {
+				res.AddPoint(name, x, seconds(total))
+			}
+		}
+	}
+	maxGain = seriesGain(res, "extra copy", "zero-copy (Smart)")
+	res.Note("max zero-copy gain before the copy variant crashes: %.0f%% (paper: up to 11%%, then crash at 2 GB)", 100*maxGain)
+	return res, nil
+}
+
+// Fig9b reproduces Figure 9b: the same comparison with mutual information
+// on Lulesh, where memory grows cubically in the edge size — small gains
+// until the copy variant approaches capacity, then a multiple-x gap and a
+// crash (paper: 5x gain at edge 233).
+func Fig9b(scale Scale) (*Result, error) {
+	res := &Result{
+		Figure: "Fig 9b",
+		Title:  "Zero-copy vs extra-copy time sharing: mutual information on Lulesh",
+		XLabel: "cube edge size",
+		YLabel: "pressure-adjusted seconds",
+	}
+	steps := scale.pick(2, 4)
+	edges := []int{40, 56, 68, 76, 79, 80}
+	if scale == Small {
+		edges = []int{12, 16, 20}
+	}
+
+	// Capacity: the zero-copy variant stays below the high-water mark even
+	// at the largest edge; the copy variant thrashes on the penultimate
+	// edges and crashes at the top one.
+	probe, err := sim.NewLulesh(sim.LuleshConfig{Edge: edges[len(edges)-1], Seed: 32})
+	if err != nil {
+		return nil, err
+	}
+	capacity := int64(float64(probe.MemoryBytes()+probe.StepBytes()) * 0.995)
+
+	for _, edge := range edges {
+		for _, copyData := range []bool{false, true} {
+			lul, err := sim.NewLulesh(sim.LuleshConfig{Edge: edge, Seed: 32})
+			if err != nil {
+				return nil, err
+			}
+			mem := memmodel.NewNode(capacity)
+
+			app := analytics.NewMutualInfo(0, 2, 100, 0, 2, 100)
+			sched := core.MustNewScheduler[float64, int64](app, core.SchedArgs{
+				NumThreads: 1, ChunkSize: 2, NumIters: 1,
+			})
+			analyze := func(data []float64) error {
+				sched.ResetCombinationMap()
+				return sched.Run(data[:len(data)/2*2], nil)
+			}
+
+			var crashed bool
+			total, err := bestOf(2, func() (time.Duration, error) {
+				t, c, err := fig9Run(lul, analyze, steps, copyData, mem)
+				crashed = c
+				return t, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			name := "zero-copy (Smart)"
+			if copyData {
+				name = "extra copy"
+			}
+			if crashed {
+				res.AddCrash(name, float64(edge))
+			} else {
+				res.AddPoint(name, float64(edge), seconds(total))
+			}
+		}
+	}
+	gain := seriesGain(res, "extra copy", "zero-copy (Smart)")
+	res.Note("max zero-copy speedup before the copy variant crashes: %.1fx (paper: up to 5x at edge 233, then crash)", 1+gain)
+	return res, nil
+}
+
+// seriesGain returns the maximum relative gain of the faster series over
+// the slower one across shared x values: max((slow - fast) / fast).
+func seriesGain(res *Result, slowName, fastName string) float64 {
+	slow := res.SeriesByName(slowName)
+	fast := res.SeriesByName(fastName)
+	if slow == nil || fast == nil {
+		return 0
+	}
+	var best float64
+	for _, p := range slow.Points {
+		if p.Crashed {
+			continue
+		}
+		f, ok := fast.YAt(p.X)
+		if !ok || f <= 0 {
+			continue
+		}
+		if g := (p.Y - f) / f; g > best {
+			best = g
+		}
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"time"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/perfmodel"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// FigExt1 is an extension experiment beyond the paper (its Section 6 places
+// Smart on in-transit and hybrid platforms without evaluating them): the
+// per-step cost of the three placements for histogram analytics as the
+// time-step size grows, on a node pair (one simulation, one staging).
+//
+//   - in-situ (time sharing): the simulation stalls for the analytics but
+//     nothing crosses the network.
+//   - in-transit: the raw time-step ships to the staging node, which
+//     overlaps its analytics with the next simulation step — the simulation
+//     never stalls, but the full step crosses the interconnect.
+//   - hybrid: reduction and local combination run in-situ; only the
+//     combination map ships (a few hundred bytes), and the staging node
+//     merely merges.
+//
+// All compute terms are measured; the transfer is charged by the α–β model,
+// and the producer pays the injection cost of what it ships — which is what
+// turns scarce interconnect bandwidth against the in-transit placement.
+func FigExt1(scale Scale) (*Result, error) {
+	res := &Result{
+		Figure: "Ext 1",
+		Title:  "In-situ vs in-transit vs hybrid: histogram per-step cost vs interconnect bandwidth",
+		XLabel: "interconnect bandwidth (MB/s)",
+		YLabel: "modeled seconds per step",
+	}
+	elems := scale.pick(1<<14, 1<<19)
+	bandwidths := []float64{8192, 2048, 512, 128, 32}
+
+	em, err := sim.NewEmulator(sim.EmulatorConfig{StepElems: elems, Seed: 81})
+	if err != nil {
+		return nil, err
+	}
+	simTime, err := bestOf(3, func() (time.Duration, error) {
+		start := time.Now()
+		err := em.Step()
+		return time.Since(start), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	data := em.Data()
+
+	app := analytics.NewHistogram(-4, 4, 1200)
+	var anaTime time.Duration
+	var encoded []byte
+	if _, err := bestOf(3, func() (time.Duration, error) {
+		s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{
+			NumThreads: 1, ChunkSize: 1, NumIters: 1,
+		})
+		start := time.Now()
+		if err := s.Run(data, nil); err != nil {
+			return 0, err
+		}
+		anaTime = time.Since(start)
+		encoded, err = s.EncodeCombinationMap()
+		return anaTime, err
+	}); err != nil {
+		return nil, err
+	}
+	// Merging one shipped map is one decode plus local combination of its
+	// entries; measure it directly.
+	mergeTime, err := bestOf(3, func() (time.Duration, error) {
+		acc := core.MustNewScheduler[float64, int64](app, core.SchedArgs{
+			NumThreads: 1, ChunkSize: 1, NumIters: 1,
+		})
+		start := time.Now()
+		err := acc.MergeEncodedCombinationMap(encoded)
+		return time.Since(start), err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	bytesRaw := int64(len(data)) * 8
+	bytesMap := int64(len(encoded))
+	var crossover float64
+	for _, mbps := range bandwidths {
+		comm := perfmodel.CommModel{Latency: 25 * time.Microsecond, BytesPerSec: mbps * (1 << 20)}
+		xferRaw := comm.Collective(2, bytesRaw)
+		xferMap := comm.Collective(2, bytesMap)
+
+		insitu := simTime + anaTime
+		// In-transit: the producer stalls for the injection; staging
+		// overlaps its analytics with the next simulation step, so the
+		// steady-state step cost is the slower side of the pipeline.
+		intransit := max(simTime+xferRaw, xferRaw+anaTime)
+		// Hybrid: analytics stays in-situ; only the map ships and merges.
+		hybrid := simTime + anaTime + xferMap + mergeTime
+
+		res.AddPoint("in-situ", mbps, seconds(insitu))
+		res.AddPoint("in-transit", mbps, seconds(intransit))
+		res.AddPoint("hybrid", mbps, seconds(hybrid))
+		if intransit > insitu && crossover == 0 {
+			crossover = mbps
+		}
+	}
+	res.Note("shipped per step: in-transit %d bytes, hybrid %d bytes (%.0fx less)",
+		bytesRaw, bytesMap, float64(bytesRaw)/float64(bytesMap))
+	if crossover > 0 {
+		res.Note("in-transit loses to in-situ below ~%.0f MB/s; hybrid stays within the map-merge cost of in-situ at every bandwidth", crossover)
+	}
+	return res, nil
+}

@@ -1,0 +1,237 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Section 5). Each Fig* function runs the experiment at a chosen
+// scale and returns a Result whose series carry the same rows the paper
+// plots; cmd/smartbench prints them and bench_test.go wraps them as
+// benchmarks. Parameters are scaled to laptop size — EXPERIMENTS.md records
+// the mapping and the paper-vs-measured shape for every figure.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Available scales. Small keeps every experiment under a second or two for
+// tests; Full is what cmd/smartbench and EXPERIMENTS.md use.
+const (
+	Small Scale = iota
+	Full
+)
+
+// ParseScale maps a CLI string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return Small, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("harness: unknown scale %q (want small or full)", s)
+}
+
+// pick returns small at Small scale and full otherwise.
+func (s Scale) pick(small, full int) int {
+	if s == Small {
+		return small
+	}
+	return full
+}
+
+// Point is one x/y sample of a series.
+type Point struct {
+	X float64
+	Y float64
+	// Crashed marks configurations the paper reports as out-of-memory
+	// crashes rather than data points.
+	Crashed bool
+}
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Result is one regenerated figure or table.
+type Result struct {
+	Figure string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carries derived headline numbers ("max speedup 5.4x", ...).
+	Notes []string
+}
+
+// AddPoint appends a sample to the named series, creating it on first use.
+func (r *Result) AddPoint(series string, x, y float64) { r.add(series, Point{X: x, Y: y}) }
+
+// AddCrash records an out-of-memory configuration.
+func (r *Result) AddCrash(series string, x float64) {
+	r.add(series, Point{X: x, Crashed: true})
+}
+
+func (r *Result) add(series string, p Point) {
+	for i := range r.Series {
+		if r.Series[i].Name == series {
+			r.Series[i].Points = append(r.Series[i].Points, p)
+			return
+		}
+	}
+	r.Series = append(r.Series, Series{Name: series, Points: []Point{p}})
+}
+
+// Note appends a formatted headline note.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// SeriesByName returns the named series, or nil.
+func (r *Result) SeriesByName(name string) *Series {
+	for i := range r.Series {
+		if r.Series[i].Name == name {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// YAt returns the series' value at x (NaN-free lookup; ok reports presence
+// of a non-crashed point).
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x && !p.Crashed {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Print renders the result as an aligned table, one row per x value and one
+// column per series — the same rows the paper's figures plot.
+func (r *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.Figure, r.Title)
+
+	// Collect the x axis.
+	xsSet := map[float64]bool{}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	// Header.
+	cols := make([]string, 0, len(r.Series)+1)
+	cols = append(cols, r.XLabel)
+	for _, s := range r.Series {
+		cols = append(cols, s.Name)
+	}
+	widths := make([]int, len(cols))
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range r.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.Crashed {
+						cell = "CRASH"
+					} else {
+						cell = trimFloat(p.Y)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(row []string) {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(cols)
+	for _, row := range rows {
+		printRow(row)
+	}
+	if r.YLabel != "" {
+		fmt.Fprintf(w, "  (values: %s)\n", r.YLabel)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// trimFloat formats a float compactly.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// seconds converts a duration to float seconds for plotting.
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// bestOf runs a measurement n times and keeps the minimum — the standard
+// defense against scheduler noise on a shared single-core host.
+func bestOf(n int, f func() (time.Duration, error)) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < n; i++ {
+		d, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// sumDurations adds a slice of durations.
+func sumDurations(ds []time.Duration) time.Duration {
+	var t time.Duration
+	for _, d := range ds {
+		t += d
+	}
+	return t
+}
+
+// maxDuration returns the largest duration.
+func maxDuration(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

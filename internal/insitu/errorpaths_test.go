@@ -1,0 +1,135 @@
+package insitu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+// flakySim fails Step after a configurable number of successes.
+type flakySim struct {
+	data     []float64
+	failAt   int
+	stepsRun int
+}
+
+var errSim = errors.New("injected simulation failure")
+
+func (f *flakySim) Step() error {
+	if f.stepsRun == f.failAt {
+		return errSim
+	}
+	f.stepsRun++
+	return nil
+}
+func (f *flakySim) Data() []float64    { return f.data }
+func (f *flakySim) StepBytes() int64   { return int64(len(f.data)) * 8 }
+func (f *flakySim) MemoryBytes() int64 { return f.StepBytes() * 2 }
+
+func TestTimeSharingSimError(t *testing.T) {
+	s := &flakySim{data: make([]float64, 16), failAt: 2}
+	timings, err := TimeSharing(s, func([]float64) error { return nil }, TimeSharingConfig{Steps: 5})
+	if !errors.Is(err, errSim) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if len(timings) != 2 {
+		t.Fatalf("partial timings %d, want 2", len(timings))
+	}
+}
+
+func TestSpaceSharingSimError(t *testing.T) {
+	s := &flakySim{data: make([]float64, 16), failAt: 1}
+	fed := 0
+	_, err := SpaceSharing(s,
+		func([]float64) error { fed++; return nil },
+		func() error { return nil },
+		func() {},
+		SpaceSharingConfig{Steps: 4})
+	if !errors.Is(err, errSim) {
+		t.Fatalf("sim error not propagated: %v", err)
+	}
+	if fed != 1 {
+		t.Fatalf("fed %d steps before failure, want 1", fed)
+	}
+}
+
+func TestSpaceSharingFeedError(t *testing.T) {
+	boom := errors.New("feed boom")
+	s := &flakySim{data: make([]float64, 16), failAt: 99}
+	_, err := SpaceSharing(s,
+		func([]float64) error { return boom },
+		func() error { return nil },
+		func() {},
+		SpaceSharingConfig{Steps: 3})
+	if !errors.Is(err, boom) {
+		t.Fatalf("feed error not propagated: %v", err)
+	}
+}
+
+func TestSpaceSharingConsumeError(t *testing.T) {
+	boom := errors.New("consume boom")
+	s := &flakySim{data: make([]float64, 16), failAt: 99}
+	_, err := SpaceSharing(s,
+		func([]float64) error { return nil },
+		func() error { return boom },
+		func() {},
+		SpaceSharingConfig{Steps: 3})
+	if !errors.Is(err, boom) {
+		t.Fatalf("consume error not propagated: %v", err)
+	}
+}
+
+func TestHybridSimErrors(t *testing.T) {
+	world := mpi.NewWorld(2)
+	defer world[0].Close()
+	defer world[1].Close()
+
+	// Simulation failure.
+	s := &flakySim{data: make([]float64, 8), failAt: 0}
+	err := HybridSim(world[0], 1, s, 2, func([]float64) ([]byte, error) { return nil, nil })
+	if !errors.Is(err, errSim) {
+		t.Fatalf("sim error not propagated: %v", err)
+	}
+
+	// Local reduction failure.
+	boom := errors.New("reduce boom")
+	s2 := &flakySim{data: make([]float64, 8), failAt: 99}
+	err = HybridSim(world[0], 1, s2, 2, func([]float64) ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "local reduction") {
+		t.Fatalf("reduce error not propagated with context: %v", err)
+	}
+}
+
+func TestInTransitSimError(t *testing.T) {
+	world := mpi.NewWorld(2)
+	defer world[0].Close()
+	defer world[1].Close()
+	s := &flakySim{data: make([]float64, 8), failAt: 1}
+	err := InTransitSim(world[0], 1, s, 3)
+	if !errors.Is(err, errSim) {
+		t.Fatalf("sim error not propagated: %v", err)
+	}
+}
+
+func TestHybridStagingMergeError(t *testing.T) {
+	world := mpi.NewWorld(2)
+	defer world[0].Close()
+	defer world[1].Close()
+	done := make(chan error, 1)
+	go func() {
+		s := &flakySim{data: make([]float64, 8), failAt: 99}
+		done <- HybridSim(world[0], 1, s, 1, func([]float64) ([]byte, error) {
+			return []byte("map"), nil
+		})
+	}()
+	boom := errors.New("merge boom")
+	err := HybridStaging(world[1], []int{0}, 1, func([][]byte) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("merge error not propagated: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("sim side: %v", err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package insitu provides the execution drivers that couple a simulation to
+// Smart analytics in the paper's three arrangements:
+//
+//   - TimeSharing: simulation and analytics alternate on the same cores;
+//     the analytics reads the simulation's output buffer in place (zero
+//     copy), or through an extra copy for the Figure 9 baseline.
+//   - SpaceSharing: simulation and analytics run concurrently as producer
+//     and consumer of the scheduler's circular buffer (Section 3.2).
+//   - Offline: the store-first-analyze-after pipeline of Figure 1 — every
+//     time-step is written to disk and read back before analysis, through a
+//     bandwidth model that reproduces HPC I/O costs at laptop scale.
+package insitu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// AnalyzeFn consumes one time-step's output partition.
+type AnalyzeFn func(data []float64) error
+
+// StepTiming records the measured durations of one time-step.
+type StepTiming struct {
+	// Sim is the simulation compute time.
+	Sim time.Duration
+	// Analytics is the analytics compute time (including any copy).
+	Analytics time.Duration
+	// MemSlowdown is the virtual memory pressure factor sampled during the
+	// step (1.0 without a memory model).
+	MemSlowdown float64
+}
+
+// TimeSharingConfig configures a time sharing run.
+type TimeSharingConfig struct {
+	// Steps is the number of time-steps to run.
+	Steps int
+	// CopyData, when true, routes each step's output through an extra
+	// buffer before analysis — the baseline Figure 9 compares against.
+	CopyData bool
+	// Mem, when non-nil, charges the simulation working set (and the copy
+	// buffer, if any) and samples the pressure factor every step.
+	Mem *memmodel.Node
+}
+
+// TimeSharing alternates simulation steps and analytics on the same
+// resources, returning per-step timings. In the zero-copy arrangement the
+// analytics receives the simulation's live buffer — Smart's read pointer.
+func TimeSharing(s sim.Simulation, analyze AnalyzeFn, cfg TimeSharingConfig) ([]StepTiming, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("insitu: steps must be positive")
+	}
+	var simAlloc, copyAlloc *memmodel.Allocation
+	if cfg.Mem != nil {
+		var err error
+		simAlloc, err = cfg.Mem.Alloc("simulation", s.MemoryBytes())
+		if err != nil {
+			return nil, err
+		}
+		defer simAlloc.Free()
+		if cfg.CopyData {
+			copyAlloc, err = cfg.Mem.Alloc("analytics copy", s.StepBytes())
+			if err != nil {
+				return nil, err
+			}
+			defer copyAlloc.Free()
+		}
+	}
+	var copyBuf []float64
+	if cfg.CopyData {
+		copyBuf = make([]float64, len(s.Data()))
+	}
+
+	timings := make([]StepTiming, 0, cfg.Steps)
+	for i := 0; i < cfg.Steps; i++ {
+		t := StepTiming{MemSlowdown: 1}
+		start := time.Now()
+		if err := s.Step(); err != nil {
+			return timings, fmt.Errorf("insitu: simulation step %d: %w", i, err)
+		}
+		t.Sim = time.Since(start)
+
+		start = time.Now()
+		data := s.Data()
+		if cfg.CopyData {
+			copy(copyBuf, data)
+			data = copyBuf
+		}
+		if err := analyze(data); err != nil {
+			return timings, fmt.Errorf("insitu: analytics at step %d: %w", i, err)
+		}
+		t.Analytics = time.Since(start)
+		if cfg.Mem != nil {
+			t.MemSlowdown = cfg.Mem.SlowdownFactor()
+		}
+		timings = append(timings, t)
+	}
+	return timings, nil
+}
+
+// SpaceSharingConfig configures a space sharing run.
+type SpaceSharingConfig struct {
+	// Steps is the number of time-steps.
+	Steps int
+	// Mem charges the simulation working set when non-nil. (The circular
+	// buffer cells are charged by the scheduler's Feed.)
+	Mem *memmodel.Node
+}
+
+// SpaceSharingResult reports a space sharing run's measured behaviour.
+type SpaceSharingResult struct {
+	// Wall is the end-to-end duration with both tasks concurrent.
+	Wall time.Duration
+	// SimBusy and AnalyticsBusy are the per-task busy times.
+	SimBusy, AnalyticsBusy time.Duration
+}
+
+// SpaceSharing runs the simulation task (stepping and feeding) concurrently
+// with the analytics task (consuming), exactly the two-task structure of
+// paper Listing 2. feed must copy into the scheduler's circular buffer
+// (Scheduler.Feed does); consume must drain one buffered step per call
+// (Scheduler.RunShared does).
+func SpaceSharing(s sim.Simulation, feed func([]float64) error, consume func() error,
+	closeFeed func(), cfg SpaceSharingConfig) (SpaceSharingResult, error) {
+
+	var res SpaceSharingResult
+	if cfg.Steps <= 0 {
+		return res, fmt.Errorf("insitu: steps must be positive")
+	}
+	if cfg.Mem != nil {
+		alloc, err := cfg.Mem.Alloc("simulation", s.MemoryBytes())
+		if err != nil {
+			return res, err
+		}
+		defer alloc.Free()
+	}
+
+	start := time.Now()
+	simErr := make(chan error, 1)
+	go func() {
+		busyStart := time.Now()
+		// finish must record the busy time before signalling completion:
+		// the main goroutine reads res.SimBusy right after the receive.
+		finish := func(err error) {
+			res.SimBusy = time.Since(busyStart)
+			simErr <- err
+		}
+		for i := 0; i < cfg.Steps; i++ {
+			if err := s.Step(); err != nil {
+				closeFeed()
+				finish(fmt.Errorf("insitu: simulation step %d: %w", i, err))
+				return
+			}
+			if err := feed(s.Data()); err != nil {
+				finish(fmt.Errorf("insitu: feed at step %d: %w", i, err))
+				return
+			}
+		}
+		closeFeed()
+		finish(nil)
+	}()
+
+	busyStart := time.Now()
+	var consumeErr error
+	for i := 0; i < cfg.Steps; i++ {
+		if err := consume(); err != nil {
+			consumeErr = fmt.Errorf("insitu: analytics at step %d: %w", i, err)
+			break
+		}
+	}
+	res.AnalyticsBusy = time.Since(busyStart)
+	if err := <-simErr; err != nil {
+		return res, err
+	}
+	res.Wall = time.Since(start)
+	return res, consumeErr
+}
+
+// DiskModel reproduces the I/O cost structure of the offline pipeline: data
+// really moves through files (exercising the serialization path), and the
+// charged time is the larger of the measured time and the modeled
+// bytes/bandwidth time, so a fast laptop SSD still exhibits HPC-scale I/O
+// ratios.
+type DiskModel struct {
+	// Dir is the spool directory.
+	Dir string
+	// BytesPerSec is the modeled storage bandwidth; zero disables the model
+	// (measured time only).
+	BytesPerSec float64
+}
+
+// OfflineResult reports the offline pipeline's cost breakdown.
+type OfflineResult struct {
+	// Sim is the total simulation time.
+	Sim time.Duration
+	// Write and Read are the charged I/O times (max of measured, modeled).
+	Write, Read time.Duration
+	// Analytics is the total analysis time.
+	Analytics time.Duration
+	// Bytes is the total volume spooled.
+	Bytes int64
+}
+
+// Total is the end-to-end offline cost.
+func (r OfflineResult) Total() time.Duration { return r.Sim + r.Write + r.Read + r.Analytics }
+
+// Offline runs the store-first-analyze-after pipeline: simulate all steps,
+// spooling each output to disk, then read every step back and analyze it.
+func Offline(s sim.Simulation, analyze AnalyzeFn, steps int, disk DiskModel) (OfflineResult, error) {
+	var res OfflineResult
+	if steps <= 0 {
+		return res, fmt.Errorf("insitu: steps must be positive")
+	}
+	dir := disk.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "smart-offline-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	charge := func(measured time.Duration, bytes int64) time.Duration {
+		if disk.BytesPerSec <= 0 {
+			return measured
+		}
+		modeled := time.Duration(float64(bytes) / disk.BytesPerSec * float64(time.Second))
+		return time.Duration(math.Max(float64(measured), float64(modeled)))
+	}
+
+	// Phase 1: simulate and spool.
+	for i := 0; i < steps; i++ {
+		start := time.Now()
+		if err := s.Step(); err != nil {
+			return res, fmt.Errorf("insitu: simulation step %d: %w", i, err)
+		}
+		res.Sim += time.Since(start)
+
+		start = time.Now()
+		n, err := writeStep(stepPath(dir, i), s.Data())
+		if err != nil {
+			return res, err
+		}
+		res.Write += charge(time.Since(start), n)
+		res.Bytes += n
+	}
+
+	// Phase 2: load and analyze.
+	for i := 0; i < steps; i++ {
+		start := time.Now()
+		data, n, err := readStep(stepPath(dir, i))
+		if err != nil {
+			return res, err
+		}
+		res.Read += charge(time.Since(start), n)
+
+		start = time.Now()
+		if err := analyze(data); err != nil {
+			return res, fmt.Errorf("insitu: analytics at step %d: %w", i, err)
+		}
+		res.Analytics += time.Since(start)
+	}
+	return res, nil
+}
+
+func stepPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("step-%06d.bin", i))
+}
+
+// writeStep spools one partition as little-endian float64s.
+func writeStep(path string, data []float64) (int64, error) {
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return 0, fmt.Errorf("insitu: spool write: %w", err)
+	}
+	return int64(len(buf)), nil
+}
+
+// readStep loads one spooled partition.
+func readStep(path string) ([]float64, int64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("insitu: spool read: %w", err)
+	}
+	if len(buf)%8 != 0 {
+		return nil, 0, fmt.Errorf("insitu: corrupt spool file %s", path)
+	}
+	data := make([]float64, len(buf)/8)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return data, int64(len(buf)), nil
+}

@@ -1,0 +1,273 @@
+package insitu
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+func newHeat(t *testing.T) *sim.Heat3D {
+	t.Helper()
+	h, err := sim.NewHeat3D(sim.Heat3DConfig{NX: 8, NY: 8, NZ: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestTimeSharingRunsAllSteps(t *testing.T) {
+	h := newHeat(t)
+	app := analytics.NewHistogram(0, 120, 10)
+	s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{NumThreads: 2, ChunkSize: 1, NumIters: 1})
+	steps := 0
+	analyze := func(data []float64) error {
+		steps++
+		s.ResetCombinationMap()
+		return s.Run(data, nil)
+	}
+	timings, err := TimeSharing(h, analyze, TimeSharingConfig{Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 || len(timings) != 5 {
+		t.Fatalf("steps %d timings %d", steps, len(timings))
+	}
+	for i, tm := range timings {
+		if tm.Sim <= 0 || tm.Analytics <= 0 || tm.MemSlowdown != 1 {
+			t.Fatalf("step %d timing %+v", i, tm)
+		}
+	}
+}
+
+func TestTimeSharingZeroCopySeesLiveBuffer(t *testing.T) {
+	h := newHeat(t)
+	var seen []float64
+	analyze := func(data []float64) error { seen = data; return nil }
+	if _, err := TimeSharing(h, analyze, TimeSharingConfig{Steps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if &seen[0] != &h.Data()[0] {
+		t.Fatal("zero-copy mode did not hand the live simulation buffer to analytics")
+	}
+}
+
+func TestTimeSharingCopyIsolatesBuffer(t *testing.T) {
+	h := newHeat(t)
+	var seen []float64
+	analyze := func(data []float64) error { seen = data; return nil }
+	if _, err := TimeSharing(h, analyze, TimeSharingConfig{Steps: 1, CopyData: true}); err != nil {
+		t.Fatal(err)
+	}
+	if &seen[0] == &h.Data()[0] {
+		t.Fatal("copy mode handed the live buffer to analytics")
+	}
+	for i := range seen {
+		if seen[i] != h.Data()[i] {
+			t.Fatal("copy differs from simulation output")
+		}
+	}
+}
+
+func TestTimeSharingMemAccounting(t *testing.T) {
+	h := newHeat(t)
+	// Capacity fits the simulation but not simulation + copy.
+	node := memmodel.NewNode(h.MemoryBytes() + h.StepBytes()/2)
+	analyze := func([]float64) error { return nil }
+	if _, err := TimeSharing(h, analyze, TimeSharingConfig{Steps: 1, Mem: node}); err != nil {
+		t.Fatalf("zero-copy under memory bound failed: %v", err)
+	}
+	var oom *memmodel.OOMError
+	_, err := TimeSharing(h, analyze, TimeSharingConfig{Steps: 1, CopyData: true, Mem: node})
+	if !errors.As(err, &oom) {
+		t.Fatalf("copy mode under memory bound: %v, want OOM", err)
+	}
+	if node.Used() != 0 {
+		t.Fatalf("leaked %d bytes", node.Used())
+	}
+}
+
+func TestTimeSharingPressureSampled(t *testing.T) {
+	h := newHeat(t)
+	node := memmodel.NewNode(h.MemoryBytes() + h.StepBytes() + 1)
+	node.SetPressureModel(0.5, 4)
+	timings, err := TimeSharing(h, func([]float64) error { return nil },
+		TimeSharingConfig{Steps: 2, CopyData: true, Mem: node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timings[0].MemSlowdown <= 1 {
+		t.Fatalf("pressure factor %v, want > 1 near capacity", timings[0].MemSlowdown)
+	}
+}
+
+func TestTimeSharingAnalyticsError(t *testing.T) {
+	h := newHeat(t)
+	boom := errors.New("boom")
+	_, err := TimeSharing(h, func([]float64) error { return boom }, TimeSharingConfig{Steps: 3})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestSpaceSharingEquivalentToTimeSharing(t *testing.T) {
+	const steps = 6
+	hist := func() ([]int64, error) {
+		h := newHeat(t)
+		app := analytics.NewHistogram(0, 120, 8)
+		s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+		acc := make([]int64, 8)
+		analyze := func(data []float64) error {
+			s.ResetCombinationMap()
+			out := make([]int64, 8)
+			if err := s.Run(data, out); err != nil {
+				return err
+			}
+			for i := range acc {
+				acc[i] += out[i]
+			}
+			return nil
+		}
+		_, err := TimeSharing(h, analyze, TimeSharingConfig{Steps: steps})
+		return acc, err
+	}
+	want, err := hist()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := newHeat(t)
+	app := analytics.NewHistogram(0, 120, 8)
+	s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{
+		NumThreads: 1, ChunkSize: 1, NumIters: 1, BufferCells: 3,
+	})
+	acc := make([]int64, 8)
+	consume := func() error {
+		s.ResetCombinationMap()
+		out := make([]int64, 8)
+		if err := s.RunShared(out); err != nil {
+			return err
+		}
+		for i := range acc {
+			acc[i] += out[i]
+		}
+		return nil
+	}
+	res, err := SpaceSharing(h, s.Feed, consume, s.CloseFeed, SpaceSharingConfig{Steps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall <= 0 || res.SimBusy <= 0 || res.AnalyticsBusy <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Fatalf("bucket %d: space %d time %d", i, acc[i], want[i])
+		}
+	}
+}
+
+func TestSpaceSharingBackpressure(t *testing.T) {
+	// A single-cell buffer with a slow consumer forces the producer to
+	// block — the Section 3.2 behaviour.
+	h := newHeat(t)
+	s := core.MustNewScheduler[float64, int64](analytics.NewHistogram(0, 120, 4),
+		core.SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1, BufferCells: 1})
+	consume := func() error {
+		s.ResetCombinationMap()
+		return s.RunShared(nil)
+	}
+	if _, err := SpaceSharing(h, s.Feed, consume, s.CloseFeed, SpaceSharingConfig{Steps: 8}); err != nil {
+		t.Fatal(err)
+	}
+	produced, consumed, _ := s.BufferStats()
+	if produced != 8 || consumed != 8 {
+		t.Fatalf("buffer stats %d/%d", produced, consumed)
+	}
+}
+
+func TestOfflineMatchesInSitu(t *testing.T) {
+	const steps = 4
+	runInsitu := func() []int64 {
+		h := newHeat(t)
+		app := analytics.NewHistogram(0, 120, 8)
+		s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+		acc := make([]int64, 8)
+		TimeSharing(h, func(data []float64) error {
+			s.ResetCombinationMap()
+			out := make([]int64, 8)
+			if err := s.Run(data, out); err != nil {
+				return err
+			}
+			for i := range acc {
+				acc[i] += out[i]
+			}
+			return nil
+		}, TimeSharingConfig{Steps: steps})
+		return acc
+	}
+	want := runInsitu()
+
+	h := newHeat(t)
+	app := analytics.NewHistogram(0, 120, 8)
+	s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1})
+	acc := make([]int64, 8)
+	res, err := Offline(h, func(data []float64) error {
+		s.ResetCombinationMap()
+		out := make([]int64, 8)
+		if err := s.Run(data, out); err != nil {
+			return err
+		}
+		for i := range acc {
+			acc[i] += out[i]
+		}
+		return nil
+	}, steps, DiskModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Fatalf("bucket %d: offline %d in-situ %d", i, acc[i], want[i])
+		}
+	}
+	if res.Bytes != int64(steps)*h.StepBytes() {
+		t.Fatalf("spooled %d bytes, want %d", res.Bytes, int64(steps)*h.StepBytes())
+	}
+	if res.Write <= 0 || res.Read <= 0 {
+		t.Fatalf("io times %+v", res)
+	}
+}
+
+func TestOfflineBandwidthModelDominates(t *testing.T) {
+	h := newHeat(t)
+	// 1 KB/s modeled bandwidth makes the charged I/O time enormous
+	// relative to measured SSD time.
+	res, err := Offline(h, func([]float64) error { return nil }, 2, DiskModel{BytesPerSec: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIO := float64(res.Bytes) / 1024
+	if res.Write.Seconds() < wantIO*0.99 {
+		t.Fatalf("modeled write %v for %d bytes at 1KB/s", res.Write, res.Bytes)
+	}
+	if res.Total() < res.Write {
+		t.Fatal("total smaller than a component")
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	h := newHeat(t)
+	if _, err := TimeSharing(h, func([]float64) error { return nil }, TimeSharingConfig{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := Offline(h, func([]float64) error { return nil }, 0, DiskModel{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if _, err := SpaceSharing(h, nil, nil, nil, SpaceSharingConfig{}); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

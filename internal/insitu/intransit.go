@@ -1,0 +1,140 @@
+package insitu
+
+import (
+	"fmt"
+
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// In-transit processing (an extension beyond the paper's core contribution;
+// its Section 6 positions Smart as deployable on in-transit and hybrid
+// platforms such as PreDatA and GLEAN): analytics runs on dedicated staging
+// ranks instead of the simulation's ranks.
+//
+//   - In-transit: simulation ranks ship each raw time-step partition to
+//     their staging rank; staging ranks run the unchanged Smart analytics.
+//   - Hybrid: simulation ranks run the reduction and local combination
+//     in-situ (global combination off) and ship only the small combination
+//     map; staging ranks merge the maps — in-situ compute, in-transit
+//     synchronization.
+
+// Message tags of the in-transit protocol.
+const (
+	tagTimeStep = 201
+	tagComMap   = 202
+)
+
+// InTransitSim drives one simulation rank: advance the simulation and ship
+// every time-step's raw partition to the staging rank.
+func InTransitSim(comm *mpi.Comm, staging int, s sim.Simulation, steps int) error {
+	if steps <= 0 {
+		return fmt.Errorf("insitu: steps must be positive")
+	}
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			return fmt.Errorf("insitu: simulation step %d: %w", i, err)
+		}
+		if err := comm.SendFloat64s(staging, tagTimeStep, s.Data()); err != nil {
+			return fmt.Errorf("insitu: ship step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// InTransitStaging drives one staging rank: per step, receive each assigned
+// simulation rank's partition and analyze it. The analyze function receives
+// the world rank of the producing simulation alongside its data, so
+// position-dependent analytics can set their output base.
+func InTransitStaging(comm *mpi.Comm, simRanks []int, steps int,
+	analyze func(simRank int, data []float64) error) error {
+
+	if steps <= 0 {
+		return fmt.Errorf("insitu: steps must be positive")
+	}
+	if len(simRanks) == 0 {
+		return fmt.Errorf("insitu: staging rank with no assigned simulations")
+	}
+	for i := 0; i < steps; i++ {
+		for _, r := range simRanks {
+			data, err := comm.RecvFloat64s(r, tagTimeStep)
+			if err != nil {
+				return fmt.Errorf("insitu: receive step %d from %d: %w", i, r, err)
+			}
+			if err := analyze(r, data); err != nil {
+				return fmt.Errorf("insitu: analytics for step %d from %d: %w", i, r, err)
+			}
+		}
+	}
+	return nil
+}
+
+// HybridSim drives one simulation rank in hybrid mode: per step, run the
+// in-situ part (reduction + local combination; the caller's reduceLocal
+// typically runs a Scheduler with global combination disabled and returns
+// its encoded combination map) and ship only the map.
+func HybridSim(comm *mpi.Comm, staging int, s sim.Simulation, steps int,
+	reduceLocal func(data []float64) ([]byte, error)) error {
+
+	if steps <= 0 {
+		return fmt.Errorf("insitu: steps must be positive")
+	}
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			return fmt.Errorf("insitu: simulation step %d: %w", i, err)
+		}
+		encoded, err := reduceLocal(s.Data())
+		if err != nil {
+			return fmt.Errorf("insitu: local reduction at step %d: %w", i, err)
+		}
+		if err := comm.Send(staging, tagComMap, encoded); err != nil {
+			return fmt.Errorf("insitu: ship map at step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// HybridStaging drives one staging rank in hybrid mode: per step, collect
+// every assigned simulation rank's encoded combination map and hand the
+// batch to merge (which typically decodes and merges them into a global
+// map, then combines across staging ranks).
+func HybridStaging(comm *mpi.Comm, simRanks []int, steps int,
+	merge func(encoded [][]byte) error) error {
+
+	if steps <= 0 {
+		return fmt.Errorf("insitu: steps must be positive")
+	}
+	if len(simRanks) == 0 {
+		return fmt.Errorf("insitu: staging rank with no assigned simulations")
+	}
+	for i := 0; i < steps; i++ {
+		batch := make([][]byte, 0, len(simRanks))
+		for _, r := range simRanks {
+			buf, err := comm.Recv(r, tagComMap)
+			if err != nil {
+				return fmt.Errorf("insitu: receive map at step %d from %d: %w", i, r, err)
+			}
+			batch = append(batch, buf)
+		}
+		if err := merge(batch); err != nil {
+			return fmt.Errorf("insitu: merge at step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// AssignStaging maps simulation ranks onto staging ranks round-robin and
+// returns, for each staging rank index, the list of simulation world ranks
+// it serves. Simulation ranks are 0..simCount-1 and staging ranks are
+// simCount..simCount+stagingCount-1 in the combined world.
+func AssignStaging(simCount, stagingCount int) ([][]int, error) {
+	if simCount <= 0 || stagingCount <= 0 {
+		return nil, fmt.Errorf("insitu: need at least one simulation and one staging rank")
+	}
+	out := make([][]int, stagingCount)
+	for r := 0; r < simCount; r++ {
+		s := r % stagingCount
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}

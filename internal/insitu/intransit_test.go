@@ -1,0 +1,251 @@
+package insitu
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+const (
+	itSims    = 4
+	itStaging = 2
+	itSteps   = 3
+	itBuckets = 10
+)
+
+// directHistogram computes the expected accumulated histogram by running
+// the same simulations in-process.
+func directHistogram(t *testing.T) []int64 {
+	t.Helper()
+	want := make([]int64, itBuckets)
+	for r := 0; r < itSims; r++ {
+		em := newEmu(t, r)
+		for i := 0; i < itSteps; i++ {
+			em.Step()
+			for _, v := range em.Data() {
+				k := int(v / 10)
+				if k < 0 {
+					k = 0
+				}
+				if k >= itBuckets {
+					k = itBuckets - 1
+				}
+				want[k]++
+			}
+		}
+	}
+	return want
+}
+
+func newEmu(t *testing.T, rank int) *sim.Emulator {
+	t.Helper()
+	em, err := sim.NewEmulator(sim.EmulatorConfig{StepElems: 5000, Mean: 50, StdDev: 20, Seed: uint64(rank + 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return em
+}
+
+func histArgs(comm *mpi.Comm) core.SchedArgs {
+	return core.SchedArgs{NumThreads: 2, ChunkSize: 1, NumIters: 1, Comm: comm}
+}
+
+func TestInTransitHistogramMatchesDirect(t *testing.T) {
+	want := directHistogram(t)
+
+	world := mpi.NewWorld(itSims + itStaging)
+	assign, err := AssignStaging(itSims, itStaging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stagingRanks := []int{itSims, itSims + 1}
+
+	results := make([][]int64, itStaging)
+	var wg sync.WaitGroup
+	for rank := 0; rank < itSims+itStaging; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := world[rank]
+			defer c.Close()
+			if rank < itSims {
+				staging := stagingRanks[rank%itStaging]
+				if err := InTransitSim(c, staging, newEmu(t, rank), itSteps); err != nil {
+					t.Errorf("sim rank %d: %v", rank, err)
+				}
+				return
+			}
+			// Staging rank: a per-partition scheduler reduces each shipped
+			// step; an accumulator (whose communicator is the staging
+			// sub-communicator) merges the per-step maps and performs the
+			// final cross-staging combination.
+			sub, err := c.SubComm(stagingRanks, 0)
+			if err != nil {
+				t.Errorf("staging %d subcomm: %v", rank, err)
+				return
+			}
+			app := analytics.NewHistogram(0, 100, itBuckets)
+			step := core.MustNewScheduler[float64, int64](app, histArgs(nil))
+			acc := core.MustNewScheduler[float64, int64](app, histArgs(sub))
+
+			mySims := assign[rank-itSims]
+			err = InTransitStaging(c, mySims, itSteps, func(_ int, data []float64) error {
+				step.ResetCombinationMap()
+				if err := step.Run(data, nil); err != nil {
+					return err
+				}
+				acc.MergeCombinationMap(step.CombinationMap())
+				return nil
+			})
+			if err != nil {
+				t.Errorf("staging %d: %v", rank, err)
+				return
+			}
+			out := make([]int64, itBuckets)
+			if err := acc.GlobalCombine(out); err != nil {
+				t.Errorf("staging %d final combine: %v", rank, err)
+				return
+			}
+			results[rank-itSims] = out
+		}()
+	}
+	wg.Wait()
+
+	for s, out := range results {
+		for b := range want {
+			if out[b] != want[b] {
+				t.Fatalf("staging %d bucket %d = %d, want %d", s, b, out[b], want[b])
+			}
+		}
+	}
+}
+
+func TestHybridHistogramMatchesDirect(t *testing.T) {
+	want := directHistogram(t)
+
+	world := mpi.NewWorld(itSims + itStaging)
+	assign, err := AssignStaging(itSims, itStaging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stagingRanks := []int{itSims, itSims + 1}
+
+	results := make([][]int64, itStaging)
+	shipped := make([]int64, itSims) // bytes shipped per sim rank
+	var wg sync.WaitGroup
+	for rank := 0; rank < itSims+itStaging; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := world[rank]
+			defer c.Close()
+			app := analytics.NewHistogram(0, 100, itBuckets)
+			if rank < itSims {
+				// Simulation rank: in-situ reduction + local combination,
+				// ship only the encoded combination map.
+				sched := core.MustNewScheduler[float64, int64](app, histArgs(nil))
+				staging := stagingRanks[rank%itStaging]
+				err := HybridSim(c, staging, newEmu(t, rank), itSteps, func(data []float64) ([]byte, error) {
+					sched.ResetCombinationMap()
+					if err := sched.Run(data, nil); err != nil {
+						return nil, err
+					}
+					buf, err := sched.EncodeCombinationMap()
+					if err == nil {
+						shipped[rank] += int64(len(buf))
+					}
+					return buf, err
+				})
+				if err != nil {
+					t.Errorf("hybrid sim %d: %v", rank, err)
+				}
+				return
+			}
+			// Staging rank: merge shipped maps, then combine across the
+			// staging sub-communicator.
+			sub, err := c.SubComm(stagingRanks, 1)
+			if err != nil {
+				t.Errorf("staging subcomm: %v", err)
+				return
+			}
+			acc := core.MustNewScheduler[float64, int64](app, histArgs(sub))
+			mySims := assign[rank-itSims]
+			err = HybridStaging(c, mySims, itSteps, func(encoded [][]byte) error {
+				for _, buf := range encoded {
+					if err := acc.MergeEncodedCombinationMap(buf); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("hybrid staging %d: %v", rank, err)
+				return
+			}
+			out := make([]int64, itBuckets)
+			if err := acc.GlobalCombine(out); err != nil {
+				t.Errorf("final combine: %v", err)
+				return
+			}
+			results[rank-itSims] = out
+		}()
+	}
+	wg.Wait()
+
+	for s, out := range results {
+		for b := range want {
+			if out[b] != want[b] {
+				t.Fatalf("staging %d bucket %d = %d, want %d", s, b, out[b], want[b])
+			}
+		}
+	}
+	// The hybrid mode's selling point: shipped data is a map of bucket
+	// counts, a small fraction of the raw time-steps.
+	rawBytes := int64(5000 * 8 * itSteps)
+	for r, b := range shipped {
+		if b == 0 || b > rawBytes/10 {
+			t.Errorf("sim %d shipped %d bytes; want small fraction of raw %d", r, b, rawBytes)
+		}
+	}
+}
+
+func TestAssignStaging(t *testing.T) {
+	assign, err := AssignStaging(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 2 || len(assign[0]) != 3 || len(assign[1]) != 2 {
+		t.Fatalf("assignment %v", assign)
+	}
+	if _, err := AssignStaging(0, 1); err == nil {
+		t.Error("zero sims accepted")
+	}
+	if _, err := AssignStaging(1, 0); err == nil {
+		t.Error("zero staging accepted")
+	}
+}
+
+func TestInTransitValidation(t *testing.T) {
+	world := mpi.NewWorld(2)
+	defer world[0].Close()
+	defer world[1].Close()
+	em, _ := sim.NewEmulator(sim.EmulatorConfig{StepElems: 8})
+	if err := InTransitSim(world[0], 1, em, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if err := InTransitStaging(world[1], nil, 1, nil); err == nil {
+		t.Error("empty sim list accepted")
+	}
+	if err := HybridSim(world[0], 1, em, 0, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+	if err := HybridStaging(world[1], []int{0}, 0, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package lowlevel provides the hand-written MPI/OpenMP-style analytics the
+// paper compares Smart against in Section 5.3: k-means and logistic
+// regression implemented directly on contiguous arrays, with thread-private
+// accumulators combined locally and one Allreduce over a flat buffer per
+// iteration. These are the implementations whose parallelization boilerplate
+// Smart eliminates — and whose contiguous-buffer synchronization is slightly
+// cheaper than Smart's serialized reduction-map combination.
+package lowlevel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+// threadAccumulate partitions records [0, n) across threads, gives each
+// thread a private accumulator of accLen float64s, and sums the thread
+// accumulators into one flat buffer — the OpenMP reduction idiom.
+func threadAccumulate(n, threads, accLen int, body func(rec int, acc []float64)) []float64 {
+	if threads <= 1 {
+		acc := make([]float64, accLen)
+		for r := 0; r < n; r++ {
+			body(r, acc)
+		}
+		return acc
+	}
+	accs := make([][]float64, threads)
+	var wg sync.WaitGroup
+	per, rem := n/threads, n%threads
+	start := 0
+	for t := 0; t < threads; t++ {
+		count := per
+		if t < rem {
+			count++
+		}
+		from, to := start, start+count
+		start = to
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			acc := make([]float64, accLen)
+			for r := from; r < to; r++ {
+				body(r, acc)
+			}
+			accs[t] = acc
+		}()
+	}
+	wg.Wait()
+	total := make([]float64, accLen)
+	for _, acc := range accs {
+		for i, v := range acc {
+			total[i] += v
+		}
+	}
+	return total
+}
+
+// allreduce sums buf across the communicator (identity when comm is nil).
+func allreduce(comm *mpi.Comm, buf []float64) ([]float64, error) {
+	if comm == nil || comm.Size() == 1 {
+		return buf, nil
+	}
+	return comm.AllreduceFloat64s(buf, mpi.OpSum)
+}
+
+// KMeans clusters dims-dimensional points with the hand-rolled data layout:
+// per-iteration accumulators are a flat [k*(dims+1)] buffer (sums then
+// count per cluster) synchronized with a single Allreduce.
+func KMeans(comm *mpi.Comm, data []float64, init []float64, k, dims, iters, threads int) ([]float64, error) {
+	if k <= 0 || dims <= 0 || len(init) != k*dims {
+		return nil, fmt.Errorf("lowlevel: bad k-means parameters k=%d dims=%d init=%d", k, dims, len(init))
+	}
+	centroids := append([]float64(nil), init...)
+	n := len(data) / dims
+	stride := dims + 1
+	for it := 0; it < iters; it++ {
+		acc := threadAccumulate(n, threads, k*stride, func(r int, acc []float64) {
+			p := data[r*dims : (r+1)*dims]
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				row := centroids[c*dims : (c+1)*dims]
+				d := 0.0
+				for j, v := range p {
+					diff := v - row[j]
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			for j := 0; j < dims; j++ {
+				acc[best*stride+j] += p[j]
+			}
+			acc[best*stride+dims]++
+		})
+		global, err := allreduce(comm, acc)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < k; c++ {
+			count := global[c*stride+dims]
+			if count == 0 {
+				continue
+			}
+			for j := 0; j < dims; j++ {
+				centroids[c*dims+j] = global[c*stride+j] / count
+			}
+		}
+	}
+	return centroids, nil
+}
+
+// LogReg trains logistic regression over (dims features + label) records:
+// the per-iteration accumulator is a flat [dims+1] buffer (gradient then
+// count) synchronized with a single Allreduce.
+func LogReg(comm *mpi.Comm, data []float64, dims, iters, threads int, learningRate float64) ([]float64, error) {
+	if dims <= 0 || learningRate <= 0 {
+		return nil, fmt.Errorf("lowlevel: bad logistic regression parameters")
+	}
+	rec := dims + 1
+	n := len(data) / rec
+	w := make([]float64, dims)
+	for it := 0; it < iters; it++ {
+		acc := threadAccumulate(n, threads, dims+1, func(r int, acc []float64) {
+			x := data[r*rec : r*rec+dims]
+			y := data[r*rec+dims]
+			z := 0.0
+			for j := range w {
+				z += w[j] * x[j]
+			}
+			e := 1/(1+math.Exp(-z)) - y
+			for j := 0; j < dims; j++ {
+				acc[j] += e * x[j]
+			}
+			acc[dims]++
+		})
+		global, err := allreduce(comm, acc)
+		if err != nil {
+			return nil, err
+		}
+		if count := global[dims]; count > 0 {
+			for j := range w {
+				w[j] -= learningRate / count * global[j]
+			}
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,140 @@
+package lowlevel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+func blob2D(n int) []float64 {
+	var data []float64
+	for i := 0; i < n; i++ {
+		data = append(data, 1+0.2*math.Sin(float64(i)), 2+0.2*math.Cos(float64(i)))
+		data = append(data, 8+0.2*math.Sin(float64(i)), 9+0.2*math.Cos(float64(i)))
+	}
+	return data
+}
+
+func TestKMeansMatchesSmart(t *testing.T) {
+	data := blob2D(200)
+	init := []float64{0, 0, 10, 10}
+	got, err := KMeans(nil, data, init, 2, 2, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := analytics.NewKMeans(2, 2)
+	s := core.MustNewScheduler[float64, []float64](app, core.SchedArgs{
+		NumThreads: 2, ChunkSize: 2, NumIters: 10, Extra: init,
+	})
+	if err := s.Run(data, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := app.Centroids(s.CombinationMap())
+	for c := 0; c < 2; c++ {
+		for d := 0; d < 2; d++ {
+			if math.Abs(got[c*2+d]-want[c][d]) > 1e-9 {
+				t.Fatalf("centroid %d dim %d: lowlevel %v smart %v", c, d, got[c*2+d], want[c][d])
+			}
+		}
+	}
+}
+
+func TestLogRegMatchesSmart(t *testing.T) {
+	const dims, iters = 3, 8
+	const lr = 0.3
+	rec := dims + 1
+	n := 300
+	data := make([]float64, n*rec)
+	for i := 0; i < n; i++ {
+		z := 0.0
+		for j := 0; j < dims; j++ {
+			v := math.Sin(float64(i*29 + j*11))
+			data[i*rec+j] = v
+			z += (float64(j) - 1) * v
+		}
+		if z > 0 {
+			data[i*rec+dims] = 1
+		}
+	}
+	got, err := LogReg(nil, data, dims, iters, 3, lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := analytics.NewLogReg(dims, lr)
+	s := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: 3, ChunkSize: rec, NumIters: iters,
+	})
+	if err := s.Run(data, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := app.Weights(s.CombinationMap())
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-9 {
+			t.Fatalf("weight %d: lowlevel %v smart %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestDistributedKMeans(t *testing.T) {
+	data := blob2D(200)
+	init := []float64{0, 0, 10, 10}
+	want, err := KMeans(nil, data, init, 2, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const ranks = 4
+	per := len(data) / ranks / 2 * 2
+	comms := mpi.NewWorld(ranks)
+	results := make([][]float64, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			got, err := KMeans(comms[r], data[r*per:(r+1)*per], init, 2, 2, 6, 2)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			results[r] = got
+		}()
+	}
+	wg.Wait()
+	for r := range results {
+		for i := range want {
+			if math.Abs(results[r][i]-want[i]) > 1e-9 {
+				t.Fatalf("rank %d coord %d: %v vs %v", r, i, results[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestThreadInvariance(t *testing.T) {
+	data := blob2D(150)
+	init := []float64{0, 0, 10, 10}
+	want, _ := KMeans(nil, data, init, 2, 2, 5, 1)
+	for _, threads := range []int{2, 4, 7} {
+		got, _ := KMeans(nil, data, init, 2, 2, 5, threads)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("threads=%d coord %d: %v vs %v", threads, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := KMeans(nil, nil, []float64{1}, 2, 2, 1, 1); err == nil {
+		t.Error("bad init accepted")
+	}
+	if _, err := LogReg(nil, nil, 0, 1, 1, 0.1); err == nil {
+		t.Error("bad dims accepted")
+	}
+}

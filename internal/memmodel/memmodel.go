@@ -1,0 +1,208 @@
+// Package memmodel provides virtual per-node memory accounting for the
+// reproduction. The paper's Figures 9 and 11 hinge on memory behaviour the
+// host machine cannot exhibit at paper scale (12 GB nodes, OOM crashes at
+// 2 GB time-steps): an extra copy of the simulation output, or a reduction
+// map holding one object per input element, pushes a node past its physical
+// capacity. This package models that: experiments register their
+// allocations against a virtual capacity, observe a thrashing slowdown
+// factor near the capacity, and receive an OOM error above it.
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Default pressure-model parameters. Above HighWater×capacity the node is
+// considered to be paging and compute slows down linearly up to
+// ThrashFactor× at 100% utilization — a deliberately simple stand-in for the
+// "processing time increases substantially" behaviour in Section 5.5.
+const (
+	DefaultHighWater    = 0.85
+	DefaultThrashFactor = 6.0
+)
+
+// OOMError reports a virtual allocation failure.
+type OOMError struct {
+	Label    string
+	Want     int64
+	Used     int64
+	Capacity int64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("memmodel: out of memory allocating %d bytes for %q (%d/%d used)",
+		e.Want, e.Label, e.Used, e.Capacity)
+}
+
+// Node models one compute node's memory.
+type Node struct {
+	mu           sync.Mutex
+	capacity     int64
+	highWater    float64
+	thrashFactor float64
+	used         int64
+	peak         int64
+	byLabel      map[string]int64
+}
+
+// NewNode creates a node with the given virtual capacity in bytes and the
+// default pressure parameters.
+func NewNode(capacity int64) *Node {
+	if capacity <= 0 {
+		panic("memmodel: capacity must be positive")
+	}
+	return &Node{
+		capacity:     capacity,
+		highWater:    DefaultHighWater,
+		thrashFactor: DefaultThrashFactor,
+		byLabel:      make(map[string]int64),
+	}
+}
+
+// SetPressureModel overrides the high-water fraction (0 < hw <= 1) and the
+// thrash factor (>= 1) of the linear slowdown ramp.
+func (n *Node) SetPressureModel(highWater, thrashFactor float64) {
+	if highWater <= 0 || highWater > 1 || thrashFactor < 1 {
+		panic("memmodel: invalid pressure model")
+	}
+	n.mu.Lock()
+	n.highWater = highWater
+	n.thrashFactor = thrashFactor
+	n.mu.Unlock()
+}
+
+// Allocation is a live virtual allocation; Free returns it to the node.
+type Allocation struct {
+	node  *Node
+	label string
+	bytes int64
+	freed bool
+}
+
+// Alloc reserves bytes against the node's capacity under a human-readable
+// label ("simulation", "analytics copy", "reduction map", ...). It fails
+// with *OOMError when the reservation would exceed capacity.
+func (n *Node) Alloc(label string, bytes int64) (*Allocation, error) {
+	if bytes < 0 {
+		panic("memmodel: negative allocation")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.used+bytes > n.capacity {
+		return nil, &OOMError{Label: label, Want: bytes, Used: n.used, Capacity: n.capacity}
+	}
+	n.used += bytes
+	n.byLabel[label] += bytes
+	if n.used > n.peak {
+		n.peak = n.used
+	}
+	return &Allocation{node: n, label: label, bytes: bytes}, nil
+}
+
+// Free releases the allocation. Freeing twice is a no-op.
+func (a *Allocation) Free() {
+	if a == nil || a.freed {
+		return
+	}
+	a.freed = true
+	n := a.node
+	n.mu.Lock()
+	n.used -= a.bytes
+	n.byLabel[a.label] -= a.bytes
+	if n.byLabel[a.label] == 0 {
+		delete(n.byLabel, a.label)
+	}
+	n.mu.Unlock()
+}
+
+// Resize grows or shrinks the allocation in place, failing with *OOMError if
+// growth would exceed capacity (the allocation is then left unchanged).
+func (a *Allocation) Resize(bytes int64) error {
+	if bytes < 0 {
+		panic("memmodel: negative allocation")
+	}
+	if a.freed {
+		panic("memmodel: resize after free")
+	}
+	n := a.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delta := bytes - a.bytes
+	if n.used+delta > n.capacity {
+		return &OOMError{Label: a.label, Want: delta, Used: n.used, Capacity: n.capacity}
+	}
+	n.used += delta
+	n.byLabel[a.label] += delta
+	if n.used > n.peak {
+		n.peak = n.used
+	}
+	a.bytes = bytes
+	return nil
+}
+
+// Bytes returns the allocation's current size.
+func (a *Allocation) Bytes() int64 { return a.bytes }
+
+// Used returns the bytes currently reserved on the node.
+func (n *Node) Used() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.used
+}
+
+// Peak returns the high-water mark of reserved bytes.
+func (n *Node) Peak() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peak
+}
+
+// Capacity returns the node's virtual capacity.
+func (n *Node) Capacity() int64 { return n.capacity }
+
+// SlowdownFactor returns the multiplicative compute slowdown implied by the
+// current memory pressure: 1.0 up to the high-water mark, ramping linearly
+// to the thrash factor at full capacity.
+func (n *Node) SlowdownFactor() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.slowdownAt(n.used)
+}
+
+// slowdownAt computes the pressure factor for a hypothetical usage level.
+func (n *Node) slowdownAt(used int64) float64 {
+	util := float64(used) / float64(n.capacity)
+	if util <= n.highWater {
+		return 1.0
+	}
+	frac := (util - n.highWater) / (1 - n.highWater)
+	return 1.0 + frac*(n.thrashFactor-1.0)
+}
+
+// PeakSlowdown returns the pressure factor at the node's peak usage — the
+// factor the replay simulator charges a phase whose transient allocations
+// have already been released by the time it samples.
+func (n *Node) PeakSlowdown() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.slowdownAt(n.peak)
+}
+
+// LabelReport returns "label=bytes" lines sorted by label, for experiment
+// logs and the memory-efficiency comparison in Section 5.2.
+func (n *Node) LabelReport() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	labels := make([]string, 0, len(n.byLabel))
+	for l := range n.byLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = fmt.Sprintf("%s=%d", l, n.byLabel[l])
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package memmodel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocFree(t *testing.T) {
+	n := NewNode(1000)
+	a, err := n.Alloc("sim", 400)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	if n.Used() != 400 {
+		t.Fatalf("used %d, want 400", n.Used())
+	}
+	b, err := n.Alloc("analytics", 600)
+	if err != nil {
+		t.Fatalf("alloc 2: %v", err)
+	}
+	if n.Used() != 1000 || n.Peak() != 1000 {
+		t.Fatalf("used %d peak %d", n.Used(), n.Peak())
+	}
+	a.Free()
+	b.Free()
+	if n.Used() != 0 {
+		t.Fatalf("used after free %d", n.Used())
+	}
+	if n.Peak() != 1000 {
+		t.Fatalf("peak lost: %d", n.Peak())
+	}
+}
+
+func TestOOM(t *testing.T) {
+	n := NewNode(100)
+	if _, err := n.Alloc("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	_, err := n.Alloc("b", 50)
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("want OOMError, got %v", err)
+	}
+	if oom.Want != 50 || oom.Used != 60 || oom.Capacity != 100 {
+		t.Fatalf("oom fields: %+v", oom)
+	}
+	if oom.Error() == "" {
+		t.Error("empty error string")
+	}
+	// A failed allocation must not change accounting.
+	if n.Used() != 60 {
+		t.Fatalf("used changed on failed alloc: %d", n.Used())
+	}
+}
+
+func TestDoubleFreeNoop(t *testing.T) {
+	n := NewNode(100)
+	a, _ := n.Alloc("x", 40)
+	a.Free()
+	a.Free()
+	if n.Used() != 0 {
+		t.Fatalf("double free corrupted accounting: %d", n.Used())
+	}
+	var nilAlloc *Allocation
+	nilAlloc.Free() // must not panic
+}
+
+func TestResize(t *testing.T) {
+	n := NewNode(100)
+	a, _ := n.Alloc("buf", 30)
+	if err := a.Resize(80); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if n.Used() != 80 || a.Bytes() != 80 {
+		t.Fatalf("after grow: used %d bytes %d", n.Used(), a.Bytes())
+	}
+	if err := a.Resize(150); err == nil {
+		t.Fatal("grow past capacity succeeded")
+	}
+	if n.Used() != 80 || a.Bytes() != 80 {
+		t.Fatalf("failed grow changed state: used %d bytes %d", n.Used(), a.Bytes())
+	}
+	if err := a.Resize(10); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if n.Used() != 10 {
+		t.Fatalf("after shrink: %d", n.Used())
+	}
+}
+
+func TestSlowdownFactor(t *testing.T) {
+	n := NewNode(1000)
+	n.SetPressureModel(0.8, 5)
+	if f := n.SlowdownFactor(); f != 1.0 {
+		t.Fatalf("empty node slowdown %v", f)
+	}
+	a, _ := n.Alloc("x", 800)
+	if f := n.SlowdownFactor(); f != 1.0 {
+		t.Fatalf("at high water slowdown %v, want 1.0", f)
+	}
+	a.Resize(900) // halfway up the ramp
+	if f := n.SlowdownFactor(); f < 2.9 || f > 3.1 {
+		t.Fatalf("mid-ramp slowdown %v, want ~3", f)
+	}
+	a.Resize(1000)
+	if f := n.SlowdownFactor(); f != 5.0 {
+		t.Fatalf("full slowdown %v, want 5", f)
+	}
+}
+
+func TestSlowdownMonotone(t *testing.T) {
+	f := func(u1, u2 uint16) bool {
+		n := NewNode(1 << 16)
+		lo, hi := int64(u1), int64(u2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, err := n.Alloc("x", lo)
+		if err != nil {
+			return true
+		}
+		f1 := n.SlowdownFactor()
+		if a.Resize(hi) != nil {
+			return true
+		}
+		return n.SlowdownFactor() >= f1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelReport(t *testing.T) {
+	n := NewNode(1000)
+	n.Alloc("sim", 100)
+	n.Alloc("analytics", 50)
+	n.Alloc("sim", 25)
+	got := n.LabelReport()
+	want := []string{"analytics=50", "sim=125"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("report %v, want %v", got, want)
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	n := NewNode(1 << 30)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a, err := n.Alloc("w", 64)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				a.Free()
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Used() != 0 {
+		t.Fatalf("leaked %d bytes", n.Used())
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("NewNode", func() { NewNode(0) })
+	assertPanic("negative alloc", func() { NewNode(10).Alloc("x", -1) })
+	assertPanic("bad pressure", func() { NewNode(10).SetPressureModel(0, 1) })
+	assertPanic("resize after free", func() {
+		n := NewNode(10)
+		a, _ := n.Alloc("x", 1)
+		a.Free()
+		a.Resize(2)
+	})
+}

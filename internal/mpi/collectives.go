@@ -1,0 +1,243 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Collective operation ids, mixed into internal tags.
+const (
+	opBarrier = iota
+	opBcast
+	opGather
+	opScatter
+	opReduce
+	opAllgather
+	numOps
+)
+
+// ctag builds the internal tag for one collective invocation. The sequence
+// counter keeps a fast rank's collective n+1 from matching a slow rank's
+// collective n: with 4096 in-flight sequence slots, ranks would need to
+// drift 4096 collectives apart to alias, which lockstep semantics forbid.
+func (c *Comm) ctag(op int, seq uint64) int {
+	return maxUserTag + int(seq%4096)*numOps + op
+}
+
+// ReduceFunc combines two payloads into one. It must be associative; the
+// substrate applies it in rank order along a binomial tree.
+type ReduceFunc func(a, b []byte) ([]byte, error)
+
+// Barrier blocks until all ranks of the communicator have entered it.
+func (c *Comm) Barrier() error {
+	_, err := c.Allreduce(nil, func(a, b []byte) ([]byte, error) { return nil, nil })
+	if err != nil {
+		return fmt.Errorf("mpi: barrier: %w", err)
+	}
+	return nil
+}
+
+// Bcast broadcasts data from root along a binomial tree. Every rank returns
+// the broadcast payload; the argument is ignored on non-root ranks.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if err := c.checkPeer(root); err != nil {
+		return nil, err
+	}
+	defer c.lock()()
+	seq := c.seq.Add(1)
+	return c.bcast(root, data, c.ctag(opBcast, seq))
+}
+
+func (c *Comm) bcast(root int, data []byte, tag int) ([]byte, error) {
+	p := c.Size()
+	vr := (c.Rank() - root + p) % p
+	// Receive from the parent in the binomial tree.
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := (vr - mask + root) % p
+			var err error
+			data, err = c.t.Recv(src, tag)
+			if err != nil {
+				return nil, err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children: all masks below the bit on which this rank
+	// received (or below the tree height for the root).
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			dst := (vr + mask + root) % p
+			if err := c.t.Send(dst, tag, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Reduce combines every rank's data with fn along a binomial tree rooted at
+// root. Only root receives the final value; other ranks return nil.
+func (c *Comm) Reduce(root int, data []byte, fn ReduceFunc) ([]byte, error) {
+	if err := c.checkPeer(root); err != nil {
+		return nil, err
+	}
+	defer c.lock()()
+	seq := c.seq.Add(1)
+	return c.reduce(root, data, fn, c.ctag(opReduce, seq))
+}
+
+func (c *Comm) reduce(root int, data []byte, fn ReduceFunc, tag int) ([]byte, error) {
+	p := c.Size()
+	vr := (c.Rank() - root + p) % p
+	acc := data
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask == 0 {
+			srcVR := vr | mask
+			if srcVR < p {
+				other, err := c.t.Recv((srcVR+root)%p, tag)
+				if err != nil {
+					return nil, err
+				}
+				acc, err = fn(acc, other)
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			dst := (vr - mask + root) % p
+			if err := c.t.Send(dst, tag, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's data with fn and returns the result on all
+// ranks (reduce to rank 0, then broadcast).
+func (c *Comm) Allreduce(data []byte, fn ReduceFunc) ([]byte, error) {
+	defer c.lock()()
+	seq := c.seq.Add(1)
+	acc, err := c.reduce(0, data, fn, c.ctag(opReduce, seq))
+	if err != nil {
+		return nil, err
+	}
+	return c.bcast(0, acc, c.ctag(opBcast, seq))
+}
+
+// Gather collects every rank's payload at root, indexed by rank. Non-root
+// ranks return nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if err := c.checkPeer(root); err != nil {
+		return nil, err
+	}
+	defer c.lock()()
+	seq := c.seq.Add(1)
+	return c.gather(root, data, c.ctag(opGather, seq))
+}
+
+func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
+	if c.Rank() != root {
+		return nil, c.t.Send(root, tag, data)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = data
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		buf, err := c.t.Recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = buf
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's payload on all ranks, indexed by rank.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	defer c.lock()()
+	seq := c.seq.Add(1)
+	parts, err := c.gather(0, data, c.ctag(opGather, seq))
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.Rank() == 0 {
+		packed = packParts(parts)
+	}
+	packed, err = c.bcast(0, packed, c.ctag(opAllgather, seq))
+	if err != nil {
+		return nil, err
+	}
+	return unpackParts(packed)
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part. On non-root ranks the parts argument is ignored.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if err := c.checkPeer(root); err != nil {
+		return nil, err
+	}
+	defer c.lock()()
+	seq := c.seq.Add(1)
+	tag := c.ctag(opScatter, seq)
+	if c.Rank() == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter needs %d parts, got %d", c.Size(), len(parts))
+		}
+		for r, part := range parts {
+			if r == root {
+				continue
+			}
+			if err := c.t.Send(r, tag, part); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	return c.t.Recv(root, tag)
+}
+
+// packParts frames a slice of byte slices into one payload.
+func packParts(parts [][]byte) []byte {
+	n := 4
+	for _, p := range parts {
+		n += 4 + len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(parts)))
+	for _, p := range parts {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// unpackParts reverses packParts.
+func unpackParts(buf []byte) ([][]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: truncated part framing")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	parts := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("mpi: truncated part header %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < l {
+			return nil, fmt.Errorf("mpi: truncated part body %d", i)
+		}
+		parts[i] = buf[:l:l]
+		buf = buf[l:]
+	}
+	return parts, nil
+}

@@ -1,0 +1,57 @@
+package mpi
+
+import "fmt"
+
+// memTransport is the in-process transport: all ranks share a slice of
+// mailboxes and Send is a copy into the destination's mailbox.
+type memTransport struct {
+	rank  int
+	boxes []*mailbox
+}
+
+// NewWorld creates an in-process world of size ranks and returns one
+// communicator per rank. The communicators share mailboxes; each is intended
+// to be driven by its own goroutine ("node").
+func NewWorld(size int) []*Comm {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	boxes := make([]*mailbox, size)
+	for i := range boxes {
+		boxes[i] = newMailbox()
+	}
+	comms := make([]*Comm, size)
+	for i := range comms {
+		comms[i] = NewComm(&memTransport{rank: i, boxes: boxes})
+	}
+	return comms
+}
+
+func (t *memTransport) Rank() int { return t.rank }
+func (t *memTransport) Size() int { return len(t.boxes) }
+
+func (t *memTransport) Send(dst, tag int, payload []byte) error {
+	// Copy so that the sender may immediately reuse its buffer, matching
+	// MPI's buffered-send semantics that the runtime relies on.
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	return t.boxes[dst].put(message{src: t.rank, tag: tag, payload: buf})
+}
+
+func (t *memTransport) Recv(src, tag int) ([]byte, error) {
+	return t.boxes[t.rank].get(src, tag)
+}
+
+func (t *memTransport) Close() error {
+	t.boxes[t.rank].close()
+	// A closed endpoint will never send again: fail the peers' pending
+	// receives from this rank instead of leaving them blocked (the same
+	// semantics the TCP transport gets from connection teardown). Already
+	// delivered messages remain receivable.
+	for r, box := range t.boxes {
+		if r != t.rank {
+			box.markDown(t.rank)
+		}
+	}
+	return nil
+}

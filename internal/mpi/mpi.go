@@ -1,0 +1,202 @@
+// Package mpi is a message-passing substrate that stands in for MPI in this
+// reproduction. It provides ranks, tagged point-to-point messaging, and the
+// collectives the Smart runtime needs (Barrier, Bcast, Gather, Allgather,
+// Reduce, Allreduce, Scatter), over two interchangeable transports:
+//
+//   - an in-process transport (NewWorld) in which each rank is a goroutine
+//     and messages travel through matched mailboxes, and
+//   - a TCP loopback transport (NewTCPWorld) in which each rank owns a
+//     listener and messages travel through length-prefixed frames, exercising
+//     the same serialization paths a networked MPI would.
+//
+// Semantics follow MPI where it matters for Smart: messages between a (src,
+// dst) pair with equal tags are non-overtaking, collectives must be entered
+// by all ranks of a communicator in the same order, and a communicator may
+// be wrapped in "serialized" mode (see Serialized) to model the
+// MPI_THREAD_MULTIPLE funneling the paper describes for space sharing.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by operations on a closed communicator.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// maxUserTag is the highest tag application code may use; larger tags are
+// reserved for internal collective sequencing.
+const maxUserTag = 1 << 20
+
+// Transport is the point-to-point layer a Comm is built on.
+type Transport interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+	// Send delivers payload to rank dst with the given tag. Send may block
+	// until the destination has buffer space but never until the matching
+	// Recv (eager protocol with bounded buffering).
+	Send(dst, tag int, payload []byte) error
+	// Recv blocks until a message from rank src with the given tag is
+	// available and returns its payload.
+	Recv(src, tag int) ([]byte, error)
+	// Close tears the endpoint down; blocked operations return ErrClosed.
+	Close() error
+}
+
+// Comm is a communicator: a transport plus collectives. The zero value is
+// not usable; obtain Comms from NewWorld, NewTCPWorld, or Serialized.
+type Comm struct {
+	t Transport
+	// seq disambiguates successive collective operations so that a fast
+	// rank entering collective n+1 cannot match messages of a slow rank
+	// still inside collective n. It is shared between a Comm and its
+	// Serialized views, so collectives on views of one transport must be
+	// issued in a single global order.
+	seq *atomic.Uint64
+	// serialize, when non-nil, is held for the duration of every operation,
+	// modeling the "only one thread inside MPI at a time" funneling cost.
+	serialize *sync.Mutex
+}
+
+// NewComm wraps a transport in a communicator.
+func NewComm(t Transport) *Comm { return &Comm{t: t, seq: new(atomic.Uint64)} }
+
+// Serialized returns a view of c in which every operation is funneled
+// through a single mutex, as required when concurrent tasks (simulation and
+// analytics in space sharing mode) share one MPI endpoint with
+// MPI_THREAD_MULTIPLE-style serialization. The returned Comm shares the
+// transport and collective sequence with c.
+func (c *Comm) Serialized() *Comm {
+	mu := c.serialize
+	if mu == nil {
+		mu = new(sync.Mutex)
+	}
+	return &Comm{t: c.t, seq: c.seq, serialize: mu}
+}
+
+func (c *Comm) lock() func() {
+	if c.serialize == nil {
+		return func() {}
+	}
+	c.serialize.Lock()
+	return c.serialize.Unlock
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.t.Rank() }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Close closes the underlying transport endpoint.
+func (c *Comm) Close() error { return c.t.Close() }
+
+// Send delivers payload to dst with a user tag in [0, 1<<20).
+func (c *Comm) Send(dst, tag int, payload []byte) error {
+	if err := c.checkPeer(dst); err != nil {
+		return err
+	}
+	if tag < 0 || tag >= maxUserTag {
+		return fmt.Errorf("mpi: user tag %d out of range [0,%d)", tag, maxUserTag)
+	}
+	defer c.lock()()
+	return c.t.Send(dst, tag, payload)
+}
+
+// Recv blocks for a message from src with the given user tag.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if err := c.checkPeer(src); err != nil {
+		return nil, err
+	}
+	if tag < 0 || tag >= maxUserTag {
+		return nil, fmt.Errorf("mpi: user tag %d out of range [0,%d)", tag, maxUserTag)
+	}
+	defer c.lock()()
+	return c.t.Recv(src, tag)
+}
+
+func (c *Comm) checkPeer(rank int) error {
+	if rank < 0 || rank >= c.Size() {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, c.Size())
+	}
+	return nil
+}
+
+// message is an in-flight tagged payload.
+type message struct {
+	src, tag int
+	payload  []byte
+}
+
+// mailbox holds undelivered messages for one rank and matches them to
+// receivers by (src, tag). Messages from the same (src, tag) are delivered
+// in send order (non-overtaking).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []message
+	closed bool
+	// down marks source ranks whose connection has dropped. Messages that
+	// arrived before the drop remain receivable; a receive from a down
+	// source with nothing queued fails instead of hanging forever.
+	down map[int]bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.queue = append(m.queue, msg)
+	m.cond.Broadcast()
+	return nil
+}
+
+func (m *mailbox) get(src, tag int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.src == src && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg.payload, nil
+			}
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		if m.down[src] {
+			return nil, fmt.Errorf("mpi: %w: peer %d disconnected", ErrClosed, src)
+		}
+		m.cond.Wait()
+	}
+}
+
+// markDown records that no further messages will arrive from src.
+func (m *mailbox) markDown(src int) {
+	m.mu.Lock()
+	if m.down == nil {
+		m.down = make(map[int]bool)
+	}
+	m.down[src] = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchWorld runs fn on every rank and waits; the measured unit is one full
+// collective round across all ranks.
+func benchWorld(b *testing.B, size int, fn func(c *Comm) error) {
+	b.Helper()
+	comms := NewWorld(size)
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, c := range comms {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := fn(c); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("ranks=%d", p), func(b *testing.B) {
+			benchWorld(b, p, func(c *Comm) error { return c.Barrier() })
+		})
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	for _, elems := range []int{8, 1024, 65536} {
+		b.Run(fmt.Sprintf("ranks=8/elems=%d", elems), func(b *testing.B) {
+			b.SetBytes(int64(8 * elems))
+			benchWorld(b, 8, func(c *Comm) error {
+				xs := make([]float64, elems)
+				_, err := c.AllreduceFloat64s(xs, OpSum)
+				return err
+			})
+		})
+	}
+}
+
+func BenchmarkSendRecvLatency(b *testing.B) {
+	comms := NewWorld(2)
+	defer comms[0].Close()
+	defer comms[1].Close()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := comms[1].Recv(0, 1); err != nil {
+				b.Error(err)
+			}
+			if err := comms[1].Send(0, 2, payload); err != nil {
+				b.Error(err)
+			}
+		}()
+		if err := comms[0].Send(1, 1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := comms[0].Recv(1, 2); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+func BenchmarkTCPAllreduce(b *testing.B) {
+	comms, err := NewTCPWorld(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	xs := make([]float64, 1024)
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, c := range comms {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := c.AllreduceFloat64s(xs, OpSum); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,496 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// runWorld runs fn on every rank of an in-process world and waits for all.
+func runWorld(t *testing.T, size int, fn func(c *Comm)) {
+	t.Helper()
+	comms := NewWorld(size)
+	var wg sync.WaitGroup
+	for _, c := range comms {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			fn(c)
+		}()
+	}
+	wg.Wait()
+}
+
+// runTCPWorld is runWorld over the TCP transport.
+func runTCPWorld(t *testing.T, size int, fn func(c *Comm)) {
+	t.Helper()
+	comms, err := NewTCPWorld(size)
+	if err != nil {
+		t.Fatalf("NewTCPWorld(%d): %v", size, err)
+	}
+	var wg sync.WaitGroup
+	for _, c := range comms {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			fn(c)
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSendRecvPair(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 7, []byte("hello")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			got, err := c.Recv(0, 7)
+			if err != nil || string(got) != "hello" {
+				t.Errorf("recv = %q, %v", got, err)
+			}
+		}
+	})
+}
+
+func TestSendRecvNonOvertaking(t *testing.T) {
+	// Two messages with the same (src, tag) must arrive in send order.
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []byte("first"))
+			c.Send(1, 3, []byte("second"))
+		} else {
+			a, _ := c.Recv(0, 3)
+			b, _ := c.Recv(0, 3)
+			if string(a) != "first" || string(b) != "second" {
+				t.Errorf("overtaking: got %q then %q", a, b)
+			}
+		}
+	})
+}
+
+func TestRecvMatchesTag(t *testing.T) {
+	// A receiver waiting on tag 2 must not consume a tag-1 message.
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("one"))
+			c.Send(1, 2, []byte("two"))
+		} else {
+			two, _ := c.Recv(0, 2)
+			one, _ := c.Recv(0, 1)
+			if string(two) != "two" || string(one) != "one" {
+				t.Errorf("tag matching: got %q / %q", two, one)
+			}
+		}
+	})
+}
+
+func TestSendBufferReuse(t *testing.T) {
+	// The sender must be free to clobber its buffer right after Send.
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []byte("payload")
+			c.Send(1, 0, buf)
+			copy(buf, "XXXXXXX")
+		} else {
+			got, _ := c.Recv(0, 0)
+			if string(got) != "payload" {
+				t.Errorf("buffer aliasing: got %q", got)
+			}
+		}
+	})
+}
+
+func TestInvalidArgs(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		if err := c.Send(5, 0, nil); err == nil {
+			t.Error("send to out-of-range rank succeeded")
+		}
+		if err := c.Send(0, maxUserTag, nil); err == nil {
+			t.Error("send with reserved tag succeeded")
+		}
+		if _, err := c.Recv(-1, 0); err == nil {
+			t.Error("recv from out-of-range rank succeeded")
+		}
+		if _, err := c.Bcast(9, nil); err == nil {
+			t.Error("bcast from out-of-range root succeeded")
+		}
+	})
+}
+
+func TestBarrierAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(c *Comm) {
+				for i := 0; i < 3; i++ {
+					if err := c.Barrier(); err != nil {
+						t.Errorf("barrier %d: %v", i, err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < p; root += max(1, p/2) {
+			p, root := p, root
+			t.Run(fmt.Sprintf("p=%d root=%d", p, root), func(t *testing.T) {
+				runWorld(t, p, func(c *Comm) {
+					var in []byte
+					if c.Rank() == root {
+						in = []byte("broadcast-data")
+					}
+					got, err := c.Bcast(root, in)
+					if err != nil {
+						t.Errorf("bcast: %v", err)
+						return
+					}
+					if string(got) != "broadcast-data" {
+						t.Errorf("rank %d got %q", c.Rank(), got)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceSumToEveryRoot(t *testing.T) {
+	concat := func(a, b []byte) ([]byte, error) {
+		xs, _ := DecodeInt64s(a)
+		ys, _ := DecodeInt64s(b)
+		for i := range xs {
+			xs[i] += ys[i]
+		}
+		return EncodeInt64s(xs), nil
+	}
+	for _, p := range []int{1, 2, 4, 5, 9} {
+		for root := 0; root < p; root++ {
+			p, root := p, root
+			t.Run(fmt.Sprintf("p=%d root=%d", p, root), func(t *testing.T) {
+				runWorld(t, p, func(c *Comm) {
+					in := EncodeInt64s([]int64{int64(c.Rank()), 1})
+					out, err := c.Reduce(root, in, concat)
+					if err != nil {
+						t.Errorf("reduce: %v", err)
+						return
+					}
+					if c.Rank() == root {
+						xs, _ := DecodeInt64s(out)
+						wantSum := int64(p * (p - 1) / 2)
+						if xs[0] != wantSum || xs[1] != int64(p) {
+							t.Errorf("root got %v, want [%d %d]", xs, wantSum, p)
+						}
+					} else if out != nil {
+						t.Errorf("non-root rank %d got non-nil result", c.Rank())
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestAllreduceFloat64s(t *testing.T) {
+	for _, p := range []int{1, 3, 4, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(c *Comm) {
+				in := []float64{float64(c.Rank()), -float64(c.Rank()), 1}
+				out, err := c.AllreduceFloat64s(in, OpSum)
+				if err != nil {
+					t.Errorf("allreduce: %v", err)
+					return
+				}
+				wantSum := float64(p*(p-1)) / 2
+				if out[0] != wantSum || out[1] != -wantSum || out[2] != float64(p) {
+					t.Errorf("rank %d got %v", c.Rank(), out)
+				}
+			})
+		})
+	}
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	runWorld(t, 5, func(c *Comm) {
+		mn, err := c.AllreduceFloat64s([]float64{float64(c.Rank())}, OpMin)
+		if err != nil || mn[0] != 0 {
+			t.Errorf("min: %v %v", mn, err)
+		}
+		mx, err := c.AllreduceInt64s([]int64{int64(c.Rank())}, OpMax)
+		if err != nil || mx[0] != 4 {
+			t.Errorf("max: %v %v", mx, err)
+		}
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	runWorld(t, 6, func(c *Comm) {
+		parts, err := c.Gather(2, []byte{byte(c.Rank())})
+		if err != nil {
+			t.Errorf("gather: %v", err)
+			return
+		}
+		if c.Rank() == 2 {
+			for r, p := range parts {
+				if len(p) != 1 || p[0] != byte(r) {
+					t.Errorf("gather part %d = %v", r, p)
+				}
+			}
+			// Scatter back doubled values.
+			out := make([][]byte, len(parts))
+			for r := range out {
+				out[r] = []byte{byte(2 * r)}
+			}
+			mine, err := c.Scatter(2, out)
+			if err != nil || mine[0] != 4 {
+				t.Errorf("scatter at root: %v %v", mine, err)
+			}
+		} else {
+			mine, err := c.Scatter(2, nil)
+			if err != nil || mine[0] != byte(2*c.Rank()) {
+				t.Errorf("scatter rank %d: %v %v", c.Rank(), mine, err)
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			runWorld(t, p, func(c *Comm) {
+				payload := bytes.Repeat([]byte{byte(c.Rank() + 1)}, c.Rank()+1)
+				parts, err := c.Allgather(payload)
+				if err != nil {
+					t.Errorf("allgather: %v", err)
+					return
+				}
+				for r, part := range parts {
+					want := bytes.Repeat([]byte{byte(r + 1)}, r+1)
+					if !bytes.Equal(part, want) {
+						t.Errorf("rank %d: part %d = %v, want %v", c.Rank(), r, part, want)
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestCollectivePipelining(t *testing.T) {
+	// Back-to-back collectives must not cross-talk even when ranks drift.
+	runWorld(t, 4, func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			want := fmt.Sprintf("round-%d", i)
+			var in []byte
+			if c.Rank() == i%4 {
+				in = []byte(want)
+			}
+			got, err := c.Bcast(i%4, in)
+			if err != nil || string(got) != want {
+				t.Errorf("round %d: got %q, %v", i, got, err)
+				return
+			}
+		}
+	})
+}
+
+func TestSerializedComm(t *testing.T) {
+	// Two concurrent tasks sharing a serialized comm endpoint must both make
+	// progress and not corrupt each other's messages.
+	runWorld(t, 2, func(c *Comm) {
+		s := c.Serialized()
+		var wg sync.WaitGroup
+		for task := 0; task < 2; task++ {
+			task := task
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tag := 100 + task
+				for i := 0; i < 20; i++ {
+					if c.Rank() == 0 {
+						if err := s.Send(1, tag, []byte{byte(i)}); err != nil {
+							t.Errorf("task %d send: %v", task, err)
+							return
+						}
+					} else {
+						got, err := s.Recv(0, tag)
+						if err != nil || got[0] != byte(i) {
+							t.Errorf("task %d recv %d: %v %v", task, i, got, err)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+func TestClosedComm(t *testing.T) {
+	comms := NewWorld(2)
+	comms[1].Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := comms[1].Recv(0, 0)
+		done <- err
+	}()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("recv on closed comm: %v, want ErrClosed", err)
+	}
+}
+
+func TestFloat64Roundtrip(t *testing.T) {
+	f := func(xs []float64) bool {
+		got, err := DecodeFloat64s(EncodeFloat64s(xs))
+		if err != nil || len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] && !(math.IsNaN(got[i]) && math.IsNaN(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64Roundtrip(t *testing.T) {
+	f := func(xs []int64) bool {
+		got, err := DecodeInt64s(EncodeInt64s(xs))
+		if err != nil || len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeFloat64s(make([]byte, 7)); err == nil {
+		t.Error("DecodeFloat64s accepted ragged payload")
+	}
+	if _, err := DecodeInt64s(make([]byte, 9)); err == nil {
+		t.Error("DecodeInt64s accepted ragged payload")
+	}
+	if _, err := unpackParts(nil); err == nil {
+		t.Error("unpackParts accepted empty payload")
+	}
+	if _, err := unpackParts([]byte{1, 0, 0, 0, 9, 0, 0, 0, 1}); err == nil {
+		t.Error("unpackParts accepted truncated body")
+	}
+}
+
+func TestPackPartsRoundtrip(t *testing.T) {
+	f := func(parts [][]byte) bool {
+		got, err := unpackParts(packParts(parts))
+		if err != nil || len(got) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if !bytes.Equal(got[i], parts[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCPWorld(t, 3, func(c *Comm) {
+		next := (c.Rank() + 1) % 3
+		prev := (c.Rank() + 2) % 3
+		if err := c.Send(next, 9, []byte{byte(c.Rank())}); err != nil {
+			t.Errorf("tcp send: %v", err)
+			return
+		}
+		got, err := c.Recv(prev, 9)
+		if err != nil || got[0] != byte(prev) {
+			t.Errorf("tcp recv: %v %v", got, err)
+		}
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	runTCPWorld(t, 4, func(c *Comm) {
+		if err := c.Barrier(); err != nil {
+			t.Errorf("tcp barrier: %v", err)
+		}
+		out, err := c.AllreduceFloat64s([]float64{1}, OpSum)
+		if err != nil || out[0] != 4 {
+			t.Errorf("tcp allreduce: %v %v", out, err)
+		}
+		parts, err := c.Allgather([]byte{byte(c.Rank())})
+		if err != nil {
+			t.Errorf("tcp allgather: %v", err)
+			return
+		}
+		for r, p := range parts {
+			if p[0] != byte(r) {
+				t.Errorf("tcp allgather part %d = %v", r, p)
+			}
+		}
+	})
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	runTCPWorld(t, 2, func(c *Comm) {
+		if err := c.Send(c.Rank(), 5, []byte("self")); err != nil {
+			t.Errorf("self send: %v", err)
+			return
+		}
+		got, err := c.Recv(c.Rank(), 5)
+		if err != nil || string(got) != "self" {
+			t.Errorf("self recv: %q %v", got, err)
+		}
+	})
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	runTCPWorld(t, 2, func(c *Comm) {
+		const n = 1 << 20
+		if c.Rank() == 0 {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(i * 31)
+			}
+			if err := c.Send(1, 0, buf); err != nil {
+				t.Errorf("large send: %v", err)
+			}
+		} else {
+			got, err := c.Recv(0, 0)
+			if err != nil || len(got) != n {
+				t.Errorf("large recv: %d bytes, %v", len(got), err)
+				return
+			}
+			for i := 0; i < n; i += 4099 {
+				if got[i] != byte(i*31) {
+					t.Errorf("large payload corrupt at %d", i)
+					return
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package mpi
+
+import "fmt"
+
+// subTagStride spaces each sub-communicator's tag band. The parent's user
+// and internal collective tags all fall below one stride, so traffic on a
+// sub-communicator can never match receives on the parent or on a different
+// band's sub-communicator.
+const subTagStride = 1 << 30
+
+// subTransport restricts a parent transport to a subset of ranks,
+// translating sub ranks to world ranks and shifting tags into the
+// sub-communicator's band.
+type subTransport struct {
+	parent     Transport
+	worldRanks []int // sub rank -> world rank
+	myRank     int   // this endpoint's sub rank
+	tagOffset  int
+}
+
+// SubComm returns a communicator over the given world ranks (which must
+// include this communicator's own rank; its position defines the new rank).
+// All members of one logical sub-communicator must pass the same rank list
+// and the same band; distinct concurrently-used sub-communicators must use
+// distinct bands in [0, 2^32). Point-to-point and collectives on the result
+// cannot interfere with traffic on the parent or on other bands. Closing a
+// sub-communicator is a no-op; close the parent instead.
+func (c *Comm) SubComm(worldRanks []int, band int) (*Comm, error) {
+	if len(worldRanks) == 0 {
+		return nil, fmt.Errorf("mpi: empty sub-communicator")
+	}
+	if band < 0 {
+		return nil, fmt.Errorf("mpi: negative sub-communicator band %d", band)
+	}
+	me := -1
+	seen := make(map[int]bool, len(worldRanks))
+	for i, r := range worldRanks {
+		if r < 0 || r >= c.Size() {
+			return nil, fmt.Errorf("mpi: sub-communicator rank %d out of range [0,%d)", r, c.Size())
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: duplicate rank %d in sub-communicator", r)
+		}
+		seen[r] = true
+		if r == c.Rank() {
+			me = i
+		}
+	}
+	if me < 0 {
+		return nil, fmt.Errorf("mpi: rank %d not a member of the sub-communicator %v", c.Rank(), worldRanks)
+	}
+	t := &subTransport{
+		parent:     c.t,
+		worldRanks: append([]int(nil), worldRanks...),
+		myRank:     me,
+		tagOffset:  (band + 1) * subTagStride,
+	}
+	return NewComm(t), nil
+}
+
+func (t *subTransport) Rank() int { return t.myRank }
+func (t *subTransport) Size() int { return len(t.worldRanks) }
+
+func (t *subTransport) Send(dst, tag int, payload []byte) error {
+	return t.parent.Send(t.worldRanks[dst], tag+t.tagOffset, payload)
+}
+
+func (t *subTransport) Recv(src, tag int) ([]byte, error) {
+	buf, err := t.parent.Recv(t.worldRanks[src], tag+t.tagOffset)
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Close is a no-op: the parent endpoint owns the resources.
+func (t *subTransport) Close() error { return nil }

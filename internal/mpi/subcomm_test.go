@@ -1,0 +1,174 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSubCommP2PAndCollectives(t *testing.T) {
+	// World of 6: ranks {0,1,2,3} form one sub-communicator, {4,5} another.
+	runWorld(t, 6, func(c *Comm) {
+		if c.Rank() < 4 {
+			sub, err := c.SubComm([]int{0, 1, 2, 3}, 0)
+			if err != nil {
+				t.Errorf("subcomm: %v", err)
+				return
+			}
+			if sub.Size() != 4 || sub.Rank() != c.Rank() {
+				t.Errorf("sub rank/size %d/%d", sub.Rank(), sub.Size())
+			}
+			out, err := sub.AllreduceFloat64s([]float64{1}, OpSum)
+			if err != nil || out[0] != 4 {
+				t.Errorf("sub allreduce: %v %v", out, err)
+			}
+		} else {
+			sub, err := c.SubComm([]int{4, 5}, 1)
+			if err != nil {
+				t.Errorf("subcomm: %v", err)
+				return
+			}
+			if sub.Rank() != c.Rank()-4 {
+				t.Errorf("sub rank %d for world %d", sub.Rank(), c.Rank())
+			}
+			out, err := sub.AllreduceFloat64s([]float64{1}, OpSum)
+			if err != nil || out[0] != 2 {
+				t.Errorf("sub allreduce: %v %v", out, err)
+			}
+		}
+	})
+}
+
+func TestSubCommIsolatedFromParent(t *testing.T) {
+	// Same user tag on parent and sub-communicator must not cross-match.
+	runWorld(t, 2, func(c *Comm) {
+		sub, err := c.SubComm([]int{0, 1}, 0)
+		if err != nil {
+			t.Errorf("subcomm: %v", err)
+			return
+		}
+		const tag = 9
+		if c.Rank() == 0 {
+			if err := c.Send(1, tag, []byte("parent")); err != nil {
+				t.Error(err)
+			}
+			if err := sub.Send(1, tag, []byte("sub")); err != nil {
+				t.Error(err)
+			}
+		} else {
+			got, err := sub.Recv(0, tag)
+			if err != nil || string(got) != "sub" {
+				t.Errorf("sub recv %q %v", got, err)
+			}
+			got, err = c.Recv(0, tag)
+			if err != nil || string(got) != "parent" {
+				t.Errorf("parent recv %q %v", got, err)
+			}
+		}
+	})
+}
+
+func TestSubCommRankTranslation(t *testing.T) {
+	// A reversed rank list reverses the rank order.
+	runWorld(t, 3, func(c *Comm) {
+		sub, err := c.SubComm([]int{2, 1, 0}, 0)
+		if err != nil {
+			t.Errorf("subcomm: %v", err)
+			return
+		}
+		if sub.Rank() != 2-c.Rank() {
+			t.Errorf("world %d got sub rank %d", c.Rank(), sub.Rank())
+		}
+		// Broadcast from sub rank 0 (= world rank 2).
+		var in []byte
+		if sub.Rank() == 0 {
+			in = []byte("from-world-2")
+		}
+		got, err := sub.Bcast(0, in)
+		if err != nil || string(got) != "from-world-2" {
+			t.Errorf("sub bcast: %q %v", got, err)
+		}
+	})
+}
+
+func TestSubCommValidation(t *testing.T) {
+	comms := NewWorld(3)
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	c := comms[0]
+	if _, err := c.SubComm(nil, 0); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := c.SubComm([]int{0, 5}, 0); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := c.SubComm([]int{0, 0}, 0); err == nil {
+		t.Error("duplicate rank accepted")
+	}
+	if _, err := c.SubComm([]int{1, 2}, 0); err == nil {
+		t.Error("non-member construction accepted")
+	}
+	if _, err := c.SubComm([]int{0, 1}, -1); err == nil {
+		t.Error("negative band accepted")
+	}
+}
+
+func TestSubCommOverTCP(t *testing.T) {
+	runTCPWorld(t, 4, func(c *Comm) {
+		members := []int{0, 2}
+		if c.Rank()%2 != 0 {
+			members = []int{1, 3}
+		}
+		sub, err := c.SubComm(members, c.Rank()%2)
+		if err != nil {
+			t.Errorf("subcomm: %v", err)
+			return
+		}
+		out, err := sub.AllreduceInt64s([]int64{int64(c.Rank())}, OpSum)
+		if err != nil {
+			t.Errorf("allreduce: %v", err)
+			return
+		}
+		want := int64(members[0] + members[1])
+		if out[0] != want {
+			t.Errorf("sum %d, want %d", out[0], want)
+		}
+	})
+}
+
+func TestConcurrentSubCommTraffic(t *testing.T) {
+	// Two disjoint sub-communicators exchanging concurrently with the
+	// parent must not interfere.
+	runWorld(t, 4, func(c *Comm) {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := c.Barrier(); err != nil {
+					t.Errorf("parent barrier: %v", err)
+					return
+				}
+			}
+		}()
+		members := []int{0, 1}
+		if c.Rank() >= 2 {
+			members = []int{2, 3}
+		}
+		sub, err := c.SubComm(members, c.Rank()/2)
+		if err != nil {
+			t.Errorf("subcomm: %v", err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			out, err := sub.AllreduceInt64s([]int64{1}, OpSum)
+			if err != nil || out[0] != 2 {
+				t.Errorf("round %d: %v %v", i, out, err)
+				return
+			}
+		}
+		wg.Wait()
+	})
+}

@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpTransport is the networked transport: each rank owns a listener, a full
+// mesh of connections is established at startup, and frames carry
+// (src, tag, len, payload). It exists so the substrate exercises real
+// serialization and flow control, not just channel hand-offs.
+type tcpTransport struct {
+	rank    int
+	size    int
+	box     *mailbox
+	conns   []*tcpConn // indexed by peer rank; nil at own rank
+	closeMu sync.Mutex
+	closed  bool
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes frame writes
+	c  net.Conn
+}
+
+// frame header: src(4) tag(8) len(4), little endian. tag is int64 because
+// internal collective tags exceed 32 bits of useful range headroom.
+const frameHeaderLen = 16
+
+func writeFrame(tc *tcpConn, src, tag int, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(src))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(tag))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := tc.c.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (src, tag int, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	src = int(binary.LittleEndian.Uint32(hdr[0:]))
+	tag = int(binary.LittleEndian.Uint64(hdr[4:]))
+	n := int(binary.LittleEndian.Uint32(hdr[12:]))
+	payload = make([]byte, n)
+	_, err = io.ReadFull(r, payload)
+	return src, tag, payload, err
+}
+
+// NewTCPWorld creates a world of size ranks connected over TCP loopback and
+// returns one communicator per rank. The full mesh is wired before the call
+// returns; lower ranks accept connections from higher ranks.
+func NewTCPWorld(size int) ([]*Comm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: invalid world size %d", size)
+	}
+	listeners := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("mpi: listen for rank %d: %w", i, err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+
+	transports := make([]*tcpTransport, size)
+	for i := range transports {
+		transports[i] = &tcpTransport{
+			rank:  i,
+			size:  size,
+			box:   newMailbox(),
+			conns: make([]*tcpConn, size),
+		}
+	}
+
+	// Wire the mesh: rank r accepts from ranks > r and dials ranks < r.
+	// A dialer identifies itself with a 4-byte hello.
+	var wg sync.WaitGroup
+	errs := make(chan error, size*size)
+	for r := 0; r < size; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for peer := r + 1; peer < size; peer++ {
+				conn, err := listeners[r].Accept()
+				if err != nil {
+					errs <- fmt.Errorf("mpi: rank %d accept: %w", r, err)
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					errs <- fmt.Errorf("mpi: rank %d hello: %w", r, err)
+					return
+				}
+				from := int(binary.LittleEndian.Uint32(hello[:]))
+				if from <= r || from >= size {
+					errs <- fmt.Errorf("mpi: rank %d got invalid hello from %d", r, from)
+					return
+				}
+				transports[r].conns[from] = &tcpConn{c: conn}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for peer := 0; peer < r; peer++ {
+				conn, err := net.Dial("tcp", addrs[peer])
+				if err != nil {
+					errs <- fmt.Errorf("mpi: rank %d dial %d: %w", r, peer, err)
+					return
+				}
+				var hello [4]byte
+				binary.LittleEndian.PutUint32(hello[:], uint32(r))
+				if _, err := conn.Write(hello[:]); err != nil {
+					errs <- fmt.Errorf("mpi: rank %d hello to %d: %w", r, peer, err)
+					return
+				}
+				transports[r].conns[peer] = &tcpConn{c: conn}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	for i := range listeners {
+		listeners[i].Close()
+	}
+
+	// Start a reader goroutine per connection, feeding each rank's mailbox.
+	for _, t := range transports {
+		for peer, tc := range t.conns {
+			if tc == nil {
+				continue
+			}
+			go t.readLoop(peer, tc)
+		}
+	}
+
+	comms := make([]*Comm, size)
+	for i, t := range transports {
+		comms[i] = NewComm(t)
+	}
+	return comms, nil
+}
+
+func (t *tcpTransport) readLoop(peer int, tc *tcpConn) {
+	for {
+		src, tag, payload, err := readFrame(tc.c)
+		if err != nil {
+			// The peer closed its endpoint (or the local Close tore the
+			// connection down). Already-delivered messages stay receivable;
+			// only future receives from this peer fail, so an early-exiting
+			// rank does not poison unrelated traffic.
+			t.box.markDown(peer)
+			return
+		}
+		if src != peer {
+			// Frame src must match the connection's peer; a mismatch means
+			// corruption, so fail loudly by closing the box.
+			t.box.close()
+			return
+		}
+		if t.box.put(message{src: src, tag: tag, payload: payload}) != nil {
+			return
+		}
+	}
+}
+
+func (t *tcpTransport) Rank() int { return t.rank }
+func (t *tcpTransport) Size() int { return t.size }
+
+func (t *tcpTransport) Send(dst, tag int, payload []byte) error {
+	if dst == t.rank {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		return t.box.put(message{src: t.rank, tag: tag, payload: buf})
+	}
+	tc := t.conns[dst]
+	if tc == nil {
+		return fmt.Errorf("mpi: no connection from %d to %d", t.rank, dst)
+	}
+	return writeFrame(tc, t.rank, tag, payload)
+}
+
+func (t *tcpTransport) Recv(src, tag int) ([]byte, error) {
+	return t.box.get(src, tag)
+}
+
+func (t *tcpTransport) Close() error {
+	t.closeMu.Lock()
+	t.closed = true
+	t.closeMu.Unlock()
+	t.box.close()
+	for _, tc := range t.conns {
+		if tc != nil {
+			tc.c.Close()
+		}
+	}
+	return nil
+}

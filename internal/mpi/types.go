@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeFloat64s packs xs into a little-endian byte payload.
+func EncodeFloat64s(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// DecodeFloat64s reverses EncodeFloat64s.
+func DecodeFloat64s(buf []byte) ([]float64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64 payload length %d not a multiple of 8", len(buf))
+	}
+	xs := make([]float64, len(buf)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs, nil
+}
+
+// EncodeInt64s packs xs into a little-endian byte payload.
+func EncodeInt64s(xs []int64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+	}
+	return buf
+}
+
+// DecodeInt64s reverses EncodeInt64s.
+func DecodeInt64s(buf []byte) ([]int64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: int64 payload length %d not a multiple of 8", len(buf))
+	}
+	xs := make([]int64, len(buf)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs, nil
+}
+
+// Op is an elementwise reduction operator for the typed collectives.
+type Op int
+
+// Supported elementwise operators.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func (o Op) applyFloat64(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+}
+
+func (o Op) applyInt64(a, b int64) int64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMin:
+		return min(a, b)
+	case OpMax:
+		return max(a, b)
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+}
+
+func float64ReduceFunc(op Op) ReduceFunc {
+	return func(a, b []byte) ([]byte, error) {
+		xs, err := DecodeFloat64s(a)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := DecodeFloat64s(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != len(ys) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(xs), len(ys))
+		}
+		for i := range xs {
+			xs[i] = op.applyFloat64(xs[i], ys[i])
+		}
+		return EncodeFloat64s(xs), nil
+	}
+}
+
+func int64ReduceFunc(op Op) ReduceFunc {
+	return func(a, b []byte) ([]byte, error) {
+		xs, err := DecodeInt64s(a)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := DecodeInt64s(b)
+		if err != nil {
+			return nil, err
+		}
+		if len(xs) != len(ys) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(xs), len(ys))
+		}
+		for i := range xs {
+			xs[i] = op.applyInt64(xs[i], ys[i])
+		}
+		return EncodeInt64s(xs), nil
+	}
+}
+
+// AllreduceFloat64s performs an elementwise Allreduce over equal-length
+// float64 vectors, the MPI_Allreduce(MPI_DOUBLE) workhorse of the low-level
+// baselines.
+func (c *Comm) AllreduceFloat64s(xs []float64, op Op) ([]float64, error) {
+	out, err := c.Allreduce(EncodeFloat64s(xs), float64ReduceFunc(op))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(out)
+}
+
+// AllreduceInt64s performs an elementwise Allreduce over equal-length int64
+// vectors.
+func (c *Comm) AllreduceInt64s(xs []int64, op Op) ([]int64, error) {
+	out, err := c.Allreduce(EncodeInt64s(xs), int64ReduceFunc(op))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeInt64s(out)
+}
+
+// SendFloat64s sends a float64 vector point-to-point.
+func (c *Comm) SendFloat64s(dst, tag int, xs []float64) error {
+	return c.Send(dst, tag, EncodeFloat64s(xs))
+}
+
+// RecvFloat64s receives a float64 vector point-to-point.
+func (c *Comm) RecvFloat64s(src, tag int) ([]float64, error) {
+	buf, err := c.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(buf)
+}
+
+// BcastFloat64s broadcasts a float64 vector from root.
+func (c *Comm) BcastFloat64s(root int, xs []float64) ([]float64, error) {
+	var payload []byte
+	if c.Rank() == root {
+		payload = EncodeFloat64s(xs)
+	}
+	out, err := c.Bcast(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFloat64s(out)
+}

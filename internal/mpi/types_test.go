@@ -1,0 +1,155 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTypedPointToPoint(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			if err := c.SendFloat64s(1, 4, []float64{1.5, -2.5, math.Pi}); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			got, err := c.RecvFloat64s(0, 4)
+			if err != nil || len(got) != 3 || got[2] != math.Pi {
+				t.Errorf("recv: %v %v", got, err)
+			}
+		}
+	})
+}
+
+func TestBcastFloat64s(t *testing.T) {
+	runWorld(t, 5, func(c *Comm) {
+		var in []float64
+		if c.Rank() == 2 {
+			in = []float64{9, 8, 7}
+		}
+		got, err := c.BcastFloat64s(2, in)
+		if err != nil || len(got) != 3 || got[0] != 9 {
+			t.Errorf("rank %d: %v %v", c.Rank(), got, err)
+		}
+	})
+}
+
+func TestAllreduceOpsBothTypes(t *testing.T) {
+	runWorld(t, 4, func(c *Comm) {
+		r := float64(c.Rank())
+		for _, tc := range []struct {
+			op   Op
+			want float64
+		}{
+			{OpSum, 6}, {OpMin, 0}, {OpMax, 3},
+		} {
+			out, err := c.AllreduceFloat64s([]float64{r}, tc.op)
+			if err != nil || out[0] != tc.want {
+				t.Errorf("float64 op %d: %v %v", tc.op, out, err)
+			}
+			outI, err := c.AllreduceInt64s([]int64{int64(r)}, tc.op)
+			if err != nil || outI[0] != int64(tc.want) {
+				t.Errorf("int64 op %d: %v %v", tc.op, outI, err)
+			}
+		}
+	})
+}
+
+func TestUnknownOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	Op(99).applyFloat64(1, 2)
+}
+
+func TestUnknownIntOpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown op did not panic")
+		}
+	}()
+	Op(99).applyInt64(1, 2)
+}
+
+func TestReduceLengthMismatch(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		xs := make([]float64, 1+c.Rank()) // ragged across ranks
+		_, err := c.AllreduceFloat64s(xs, OpSum)
+		if err == nil {
+			t.Error("ragged allreduce succeeded")
+		}
+	})
+}
+
+func TestNonBlockingInPackage(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			reqs := []*Request{
+				c.Isend(1, 1, []byte("a")),
+				c.IsendFloat64s(1, 2, []float64{42}),
+			}
+			if err := WaitAll(reqs...); err != nil {
+				t.Errorf("waitall: %v", err)
+			}
+			if err := WaitAll(nil, reqs[0]); err != nil {
+				t.Errorf("waitall with nil: %v", err)
+			}
+		} else {
+			r1 := c.Irecv(0, 1)
+			r2 := c.Irecv(0, 2)
+			if got, err := r1.Wait(); err != nil || string(got) != "a" {
+				t.Errorf("irecv 1: %q %v", got, err)
+			}
+			xs, err := WaitFloat64s(r2)
+			if err != nil || xs[0] != 42 {
+				t.Errorf("irecv 2: %v %v", xs, err)
+			}
+		}
+	})
+}
+
+func TestWaitAllFirstError(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() != 0 {
+			return
+		}
+		bad := c.Isend(9, 0, nil) // out-of-range destination
+		if err := WaitAll(bad); err == nil {
+			t.Error("WaitAll swallowed the error")
+		}
+	})
+}
+
+func TestWaitFloat64sError(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			// An odd-length payload is not a float64 vector.
+			if err := c.Send(1, 5, []byte{1, 2, 3}); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if _, err := WaitFloat64s(c.Irecv(0, 5)); err == nil {
+				t.Error("ragged payload decoded")
+			}
+		}
+	})
+}
+
+func TestSubCommClose(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) {
+		sub, err := c.SubComm([]int{0, 1}, 0)
+		if err != nil {
+			t.Errorf("subcomm: %v", err)
+			return
+		}
+		// Closing a sub-communicator is a documented no-op; the parent
+		// stays usable.
+		if err := sub.Close(); err != nil {
+			t.Errorf("sub close: %v", err)
+		}
+		if err := c.Barrier(); err != nil {
+			t.Errorf("parent after sub close: %v", err)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+// Package perfmodel composes modeled cluster times from measured work, so
+// the paper's node- and thread-scaling experiments reproduce on a host with
+// fewer cores than the simulated cluster. The method (documented in
+// DESIGN.md §6): every simulated thread's and node's real work is executed
+// and timed, then one cluster step costs
+//
+//	T = max over nodes( (max over threads(split time) + serial time)
+//	      × memory pressure factor ) + T_collective(P, bytes)
+//
+// with the global combination charged by a latency–bandwidth (α–β) model
+// along a binomial tree of depth ⌈log₂P⌉. Absolute times are not claimed;
+// the scaling shapes — parallel efficiency, crossovers, who wins — follow
+// from the same work partitioning and overhead ratios as on a real cluster.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CommModel is the α–β cost model for collectives.
+type CommModel struct {
+	// Latency is the per-tree-hop latency (α).
+	Latency time.Duration
+	// BytesPerSec is the link bandwidth (β).
+	BytesPerSec float64
+}
+
+// DefaultComm approximates a commodity cluster interconnect: 25µs per hop,
+// 1 GB/s links — deliberately mid-range so synchronization overheads are
+// visible but not dominant, matching the paper's ~93% parallel efficiency
+// regime.
+var DefaultComm = CommModel{Latency: 25 * time.Microsecond, BytesPerSec: 1 << 30}
+
+// Collective charges one tree-structured collective (reduce or broadcast)
+// over ranks processes carrying bytes per hop.
+func (m CommModel) Collective(ranks int, bytes int64) time.Duration {
+	if ranks <= 1 {
+		return 0
+	}
+	hops := int(math.Ceil(math.Log2(float64(ranks))))
+	perHop := m.Latency
+	if m.BytesPerSec > 0 {
+		perHop += time.Duration(float64(bytes) / m.BytesPerSec * float64(time.Second))
+	}
+	return time.Duration(hops) * perHop
+}
+
+// Amdahl models a computation's thread scalability: a serial fraction plus
+// a hard core-count saturation (the many-core premise of Section 5.6, where
+// the simulation cannot use all Xeon Phi cores effectively).
+type Amdahl struct {
+	// SerialFraction is the unparallelizable share in [0, 1).
+	SerialFraction float64
+	// SaturationCores caps the usable parallelism (0 = unlimited).
+	SaturationCores int
+}
+
+// Speedup returns the modeled speedup on the given core count.
+func (a Amdahl) Speedup(cores int) float64 {
+	if cores < 1 {
+		panic(fmt.Sprintf("perfmodel: invalid core count %d", cores))
+	}
+	effective := cores
+	if a.SaturationCores > 0 && effective > a.SaturationCores {
+		effective = a.SaturationCores
+	}
+	return 1 / (a.SerialFraction + (1-a.SerialFraction)/float64(effective))
+}
+
+// Time scales a measured sequential duration onto cores.
+func (a Amdahl) Time(seq time.Duration, cores int) time.Duration {
+	return time.Duration(float64(seq) / a.Speedup(cores))
+}
+
+// NodeStep is one node's measured contribution to a cluster step.
+type NodeStep struct {
+	// ThreadTimes are the per-thread split durations (from
+	// core.Stats.SplitTimes, measured under SchedArgs.Sequential).
+	ThreadTimes []time.Duration
+	// SerialTime is the node's unparallelized work for the step (local
+	// combination, serialization).
+	SerialTime time.Duration
+	// CommBytes is the node's global combination payload.
+	CommBytes int64
+	// MemSlowdown is the node's virtual memory pressure factor (>= 1;
+	// zero is treated as 1).
+	MemSlowdown float64
+}
+
+// Compute is the node's modeled local time: slowest thread plus serial
+// work, inflated by memory pressure.
+func (n NodeStep) Compute() time.Duration {
+	var maxThread time.Duration
+	for _, t := range n.ThreadTimes {
+		if t > maxThread {
+			maxThread = t
+		}
+	}
+	slow := n.MemSlowdown
+	if slow < 1 {
+		slow = 1
+	}
+	return time.Duration(float64(maxThread+n.SerialTime) * slow)
+}
+
+// StepTime composes one cluster step from every node's measurements: the
+// slowest node's compute plus one global combination.
+func StepTime(nodes []NodeStep, comm CommModel) time.Duration {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var compute time.Duration
+	var bytes int64
+	for _, n := range nodes {
+		if c := n.Compute(); c > compute {
+			compute = c
+		}
+		if n.CommBytes > bytes {
+			bytes = n.CommBytes
+		}
+	}
+	return compute + comm.Collective(len(nodes), bytes)
+}
+
+// Efficiency is strong-scaling parallel efficiency against a baseline
+// configuration: (T_base × P_base) / (T × P).
+func Efficiency(baseNodes int, baseTime time.Duration, nodes int, t time.Duration) float64 {
+	if t <= 0 || nodes <= 0 || baseNodes <= 0 || baseTime <= 0 {
+		return 0
+	}
+	return float64(baseTime) * float64(baseNodes) / (float64(t) * float64(nodes))
+}
+
+// Speedup is baseTime / t.
+func Speedup(baseTime, t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(baseTime) / float64(t)
+}

@@ -1,0 +1,148 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCollectiveScaling(t *testing.T) {
+	m := CommModel{Latency: time.Millisecond, BytesPerSec: 1 << 20}
+	if m.Collective(1, 1000) != 0 {
+		t.Error("single rank should cost nothing")
+	}
+	// 2 ranks: 1 hop; 8 ranks: 3 hops; 9 ranks: 4 hops.
+	c2 := m.Collective(2, 0)
+	c8 := m.Collective(8, 0)
+	c9 := m.Collective(9, 0)
+	if c2 != time.Millisecond || c8 != 3*time.Millisecond || c9 != 4*time.Millisecond {
+		t.Fatalf("hops wrong: %v %v %v", c2, c8, c9)
+	}
+	// Bandwidth term: 1 MiB at 1 MiB/s over 1 hop ~= 1 s + latency.
+	c := m.Collective(2, 1<<20)
+	if c < time.Second || c > time.Second+10*time.Millisecond {
+		t.Fatalf("bandwidth term %v", c)
+	}
+}
+
+func TestCollectiveMonotone(t *testing.T) {
+	m := DefaultComm
+	f := func(r1, r2 uint8, b1, b2 uint16) bool {
+		ra, rb := int(r1%64)+1, int(r2%64)+1
+		ba, bb := int64(b1), int64(b2)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		return m.Collective(ra, ba) <= m.Collective(rb, bb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	perfect := Amdahl{}
+	if s := perfect.Speedup(8); s != 8 {
+		t.Fatalf("perfect speedup %v", s)
+	}
+	half := Amdahl{SerialFraction: 0.5}
+	if s := half.Speedup(1000); s > 2 {
+		t.Fatalf("Amdahl limit violated: %v", s)
+	}
+	sat := Amdahl{SaturationCores: 30}
+	if sat.Speedup(60) != sat.Speedup(30) {
+		t.Fatal("saturation not applied")
+	}
+	if sat.Speedup(10) >= sat.Speedup(30) {
+		t.Fatal("speedup should grow below saturation")
+	}
+	if d := perfect.Time(8*time.Second, 8); d != time.Second {
+		t.Fatalf("Time = %v", d)
+	}
+}
+
+func TestAmdahlPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero cores accepted")
+		}
+	}()
+	Amdahl{}.Speedup(0)
+}
+
+func TestNodeStepCompute(t *testing.T) {
+	n := NodeStep{
+		ThreadTimes: []time.Duration{time.Second, 3 * time.Second, 2 * time.Second},
+		SerialTime:  time.Second,
+		MemSlowdown: 2,
+	}
+	if c := n.Compute(); c != 8*time.Second {
+		t.Fatalf("compute %v, want 8s", c)
+	}
+	// Zero slowdown treated as 1.
+	n.MemSlowdown = 0
+	if c := n.Compute(); c != 4*time.Second {
+		t.Fatalf("compute %v, want 4s", c)
+	}
+}
+
+func TestStepTime(t *testing.T) {
+	comm := CommModel{Latency: time.Millisecond}
+	nodes := []NodeStep{
+		{ThreadTimes: []time.Duration{10 * time.Millisecond}},
+		{ThreadTimes: []time.Duration{30 * time.Millisecond}},
+		{ThreadTimes: []time.Duration{20 * time.Millisecond}},
+		{ThreadTimes: []time.Duration{15 * time.Millisecond}},
+	}
+	// Slowest node 30ms + 2 hops (4 ranks) * 1ms.
+	if got := StepTime(nodes, comm); got != 32*time.Millisecond {
+		t.Fatalf("step time %v", got)
+	}
+	if StepTime(nil, comm) != 0 {
+		t.Error("empty step should cost nothing")
+	}
+}
+
+func TestStrongScalingShapeEmerges(t *testing.T) {
+	// Synthetic perfectly-divisible work: doubling nodes should halve the
+	// compute but pay one more hop, so efficiency ends below 1 and above
+	// 0.9 — the regime of the paper's Figure 7.
+	comm := DefaultComm
+	work := 80 * time.Millisecond
+	timeFor := func(nodes int) time.Duration {
+		per := work / time.Duration(nodes)
+		ns := make([]NodeStep, nodes)
+		for i := range ns {
+			ns[i] = NodeStep{ThreadTimes: []time.Duration{per}, CommBytes: 4096}
+		}
+		return StepTime(ns, comm)
+	}
+	base := timeFor(4)
+	for _, p := range []int{8, 16, 32} {
+		eff := Efficiency(4, base, p, timeFor(p))
+		if eff <= 0.9 || eff >= 1.0 {
+			t.Fatalf("efficiency at %d nodes = %v, want (0.9, 1.0)", p, eff)
+		}
+	}
+}
+
+func TestEfficiencyAndSpeedup(t *testing.T) {
+	if e := Efficiency(4, 100*time.Millisecond, 8, 50*time.Millisecond); e != 1 {
+		t.Fatalf("perfect efficiency %v", e)
+	}
+	if e := Efficiency(4, 100*time.Millisecond, 8, 100*time.Millisecond); e != 0.5 {
+		t.Fatalf("halved efficiency %v", e)
+	}
+	if Efficiency(0, 0, 0, 0) != 0 {
+		t.Error("degenerate efficiency should be 0")
+	}
+	if s := Speedup(10*time.Second, 2*time.Second); s != 5 {
+		t.Fatalf("speedup %v", s)
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Error("degenerate speedup should be 0")
+	}
+}

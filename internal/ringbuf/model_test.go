@@ -1,0 +1,56 @@
+package ringbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestModelEquivalence drives the buffer with a random operation sequence
+// and checks it against a plain slice model: same values, same order, same
+// occupancy, at every step.
+func TestModelEquivalence(t *testing.T) {
+	f := func(ops []byte, capRaw uint8) bool {
+		capacity := int(capRaw%7) + 1
+		b := New[int](capacity)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				// Put, but only when it would not block.
+				if len(model) == capacity {
+					continue
+				}
+				if err := b.Put(next); err != nil {
+					return false
+				}
+				model = append(model, next)
+				next++
+			} else {
+				if len(model) == 0 {
+					continue
+				}
+				v, err := b.Get()
+				if err != nil || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+			if b.Len() != len(model) {
+				return false
+			}
+		}
+		// Drain and compare the tail.
+		b.Close()
+		for _, want := range model {
+			v, err := b.Get()
+			if err != nil || v != want {
+				return false
+			}
+		}
+		_, err := b.Get()
+		return err == ErrClosed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package ringbuf implements the bounded circular buffer Smart uses in
+// space sharing mode. Each cell caches one time-step's output; the
+// simulation task is the producer and the analytics task is the consumer.
+// When the buffer is full the producer blocks until a cell frees up, exactly
+// as described in the paper's Section 3.2.
+package ringbuf
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned once the buffer has been closed and drained.
+var ErrClosed = errors.New("ringbuf: closed")
+
+// Buffer is a bounded blocking FIFO of time-step payloads. The element type
+// is generic so the buffer can carry typed array partitions without copying
+// through interface boxes.
+type Buffer[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	cells    []T
+	head     int // index of the oldest element
+	count    int
+	closed   bool
+
+	// stats
+	produced     int
+	consumed     int
+	producerWait int // times the producer blocked on a full buffer
+}
+
+// New creates a buffer with the given number of cells. It panics on a
+// non-positive capacity, which would deadlock the producer.
+func New[T any](capacity int) *Buffer[T] {
+	if capacity <= 0 {
+		panic("ringbuf: capacity must be positive")
+	}
+	b := &Buffer[T]{cells: make([]T, capacity)}
+	b.notFull = sync.NewCond(&b.mu)
+	b.notEmpty = sync.NewCond(&b.mu)
+	return b
+}
+
+// Cap returns the number of cells.
+func (b *Buffer[T]) Cap() int { return len(b.cells) }
+
+// Len returns the number of occupied cells.
+func (b *Buffer[T]) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Put appends v, blocking while the buffer is full. It returns ErrClosed if
+// the buffer was closed before space became available.
+func (b *Buffer[T]) Put(v T) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.count == len(b.cells) && !b.closed {
+		b.producerWait++
+		b.notFull.Wait()
+	}
+	if b.closed {
+		return ErrClosed
+	}
+	b.cells[(b.head+b.count)%len(b.cells)] = v
+	b.count++
+	b.produced++
+	b.notEmpty.Signal()
+	return nil
+}
+
+// Get removes and returns the oldest element, blocking while the buffer is
+// empty. Once the buffer is closed and drained, Get returns ErrClosed.
+func (b *Buffer[T]) Get() (T, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.count == 0 && !b.closed {
+		b.notEmpty.Wait()
+	}
+	var zero T
+	if b.count == 0 {
+		return zero, ErrClosed
+	}
+	v := b.cells[b.head]
+	b.cells[b.head] = zero // release the cell's reference
+	b.head = (b.head + 1) % len(b.cells)
+	b.count--
+	b.consumed++
+	b.notFull.Signal()
+	return v, nil
+}
+
+// Close marks the buffer as closed. Blocked producers fail immediately;
+// consumers drain remaining elements and then receive ErrClosed.
+func (b *Buffer[T]) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.notFull.Broadcast()
+	b.notEmpty.Broadcast()
+	b.mu.Unlock()
+}
+
+// Stats reports the number of elements produced and consumed and how many
+// times the producer blocked on a full buffer (a backpressure signal used by
+// the space-sharing experiments).
+func (b *Buffer[T]) Stats() (produced, consumed, producerWaits int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.produced, b.consumed, b.producerWait
+}

@@ -1,0 +1,182 @@
+package ringbuf
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	b := New[int](4)
+	for i := 0; i < 4; i++ {
+		if err := b.Put(i); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, err := b.Get()
+		if err != nil || v != i {
+			t.Fatalf("get %d = %d, %v", i, v, err)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	b := New[int](3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			b.Put(round*3 + i)
+		}
+		for i := 0; i < 3; i++ {
+			v, _ := b.Get()
+			if v != round*3+i {
+				t.Fatalf("round %d: got %d, want %d", round, v, round*3+i)
+			}
+		}
+	}
+}
+
+func TestProducerBlocksWhenFull(t *testing.T) {
+	b := New[int](2)
+	b.Put(1)
+	b.Put(2)
+	done := make(chan struct{})
+	go func() {
+		b.Put(3) // must block until a Get frees a cell
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Put on full buffer did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, _ := b.Get(); v != 1 {
+		t.Fatalf("got %d, want 1", v)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("blocked Put never completed")
+	}
+	_, _, waits := b.Stats()
+	if waits == 0 {
+		t.Error("producer wait not recorded")
+	}
+}
+
+func TestConsumerBlocksWhenEmpty(t *testing.T) {
+	b := New[string](1)
+	got := make(chan string, 1)
+	go func() {
+		v, _ := b.Get()
+		got <- v
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get on empty buffer did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Put("step")
+	select {
+	case v := <-got:
+		if v != "step" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Get never completed")
+	}
+}
+
+func TestCloseDrains(t *testing.T) {
+	b := New[int](4)
+	b.Put(10)
+	b.Put(11)
+	b.Close()
+	if v, err := b.Get(); err != nil || v != 10 {
+		t.Fatalf("drain 1: %d %v", v, err)
+	}
+	if v, err := b.Get(); err != nil || v != 11 {
+		t.Fatalf("drain 2: %d %v", v, err)
+	}
+	if _, err := b.Get(); err != ErrClosed {
+		t.Fatalf("after drain: %v, want ErrClosed", err)
+	}
+	if err := b.Put(12); err != ErrClosed {
+		t.Fatalf("put after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseUnblocksProducer(t *testing.T) {
+	b := New[int](1)
+	b.Put(1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- b.Put(2)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("unblocked put: %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not unblock producer")
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	const n = 10000
+	b := New[int](8)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := b.Put(i); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		b.Close()
+	}()
+	sum := 0
+	count := 0
+	for {
+		v, err := b.Get()
+		if err != nil {
+			break
+		}
+		sum += v
+		count++
+	}
+	wg.Wait()
+	if count != n || sum != n*(n-1)/2 {
+		t.Fatalf("consumed %d items, sum %d", count, sum)
+	}
+	produced, consumed, _ := b.Stats()
+	if produced != n || consumed != n {
+		t.Fatalf("stats: produced %d consumed %d", produced, consumed)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestLenCap(t *testing.T) {
+	b := New[int](5)
+	if b.Cap() != 5 || b.Len() != 0 {
+		t.Fatalf("cap %d len %d", b.Cap(), b.Len())
+	}
+	b.Put(1)
+	b.Put(2)
+	if b.Len() != 2 {
+		t.Fatalf("len %d, want 2", b.Len())
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// EmulatorConfig configures the sequential data emulator.
+type EmulatorConfig struct {
+	// StepElems is the number of float64 elements produced per time-step.
+	StepElems int
+	// Mean and StdDev parameterize the normal distribution (defaults 0, 1).
+	Mean, StdDev float64
+	// Seed makes the stream deterministic.
+	Seed uint64
+	// Dims, when > 1, rescales every Dims-th element into [0, 1] and
+	// appends a separable 0/1 label, producing logistic-regression records
+	// in place of raw scalars. Zero or one leaves the stream scalar.
+	Dims int
+}
+
+// Emulator reproduces the Spark-comparison setup of Section 5.2: a
+// sequential program that outputs double-precision array elements following
+// a normal distribution, consuming almost no memory beyond the output
+// buffer itself so the downstream engine faces no memory bound.
+type Emulator struct {
+	cfg  EmulatorConfig
+	out  []float64
+	r    *rng
+	step int
+}
+
+// NewEmulator creates the generator.
+func NewEmulator(cfg EmulatorConfig) (*Emulator, error) {
+	if cfg.StepElems <= 0 {
+		return nil, fmt.Errorf("sim: emulator step size %d", cfg.StepElems)
+	}
+	if cfg.StdDev == 0 {
+		cfg.StdDev = 1
+	}
+	if cfg.StdDev < 0 {
+		return nil, fmt.Errorf("sim: emulator stddev %v", cfg.StdDev)
+	}
+	return &Emulator{cfg: cfg, out: make([]float64, cfg.StepElems), r: newRNG(cfg.Seed)}, nil
+}
+
+// normal draws a standard normal value via Box–Muller.
+func (e *Emulator) normal() float64 {
+	u1 := e.r.float64()
+	for u1 == 0 {
+		u1 = e.r.float64()
+	}
+	u2 := e.r.float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Step implements Simulation: fill the output buffer with fresh draws.
+func (e *Emulator) Step() error {
+	if e.cfg.Dims > 1 {
+		e.fillRecords()
+	} else {
+		for i := range e.out {
+			e.out[i] = e.cfg.Mean + e.cfg.StdDev*e.normal()
+		}
+	}
+	e.step++
+	return nil
+}
+
+// fillRecords produces (Dims features, label) records: the label is 1 when a
+// fixed linear functional of the features is positive, giving the
+// logistic-regression workload something learnable.
+func (e *Emulator) fillRecords() {
+	rec := e.cfg.Dims + 1
+	for i := 0; i+rec <= len(e.out); i += rec {
+		z := 0.0
+		for j := 0; j < e.cfg.Dims; j++ {
+			v := e.normal()
+			e.out[i+j] = v
+			w := float64(j%3) - 1
+			if j == 0 {
+				w = 2
+			}
+			z += w * v
+		}
+		if z > 0 {
+			e.out[i+e.cfg.Dims] = 1
+		} else {
+			e.out[i+e.cfg.Dims] = 0
+		}
+	}
+}
+
+// Data implements Simulation.
+func (e *Emulator) Data() []float64 { return e.out }
+
+// StepBytes implements Simulation.
+func (e *Emulator) StepBytes() int64 { return int64(len(e.out)) * 8 }
+
+// MemoryBytes implements Simulation: only the output buffer.
+func (e *Emulator) MemoryBytes() int64 { return e.StepBytes() }
+
+// StepCount returns the number of completed steps.
+func (e *Emulator) StepCount() int { return e.step }

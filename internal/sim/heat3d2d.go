@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+// Heat3D2DConfig configures one rank's share of a Heat3D run decomposed
+// over a 2-D (PY × PZ) process grid — the decomposition production stencil
+// codes use once one dimension stops providing enough parallelism.
+type Heat3D2DConfig struct {
+	// NX, NY, NZ are the global extents.
+	NX, NY, NZ int
+	// PY and PZ are the process-grid extents; PY*PZ must equal the
+	// communicator size (both 1 for a single-process run).
+	PY, PZ int
+	// Alpha is the diffusion coefficient (zero defaults to 0.1).
+	Alpha float64
+	// Comm connects the ranks (nil implies PY = PZ = 1).
+	Comm *mpi.Comm
+	// Seed makes the initial condition deterministic.
+	Seed uint64
+}
+
+// Heat3D2D integrates the same heat equation as Heat3D under a 2-D domain
+// decomposition: rank r owns the (y, z) tile (r%PY, r/PY). Unlike Heat3D's
+// embedded ghost planes, the four halos live in side buffers, so Data()
+// still returns one contiguous interior block — the invariant Smart's
+// zero-copy time sharing depends on.
+type Heat3D2D struct {
+	cfg            Heat3DConfig2Dresolved
+	yStart, yLocal int
+	zStart, zLocal int
+	cur, next      []float64
+	// side buffers: ghost planes/rows received from the four neighbors.
+	ghostZLow, ghostZHigh []float64 // [yLocal*NX]
+	ghostYLow, ghostYHigh []float64 // [zLocal*NX]
+	step                  int
+}
+
+// Heat3DConfig2Dresolved is the validated configuration.
+type Heat3DConfig2Dresolved struct {
+	Heat3D2DConfig
+	rank, py, pz int
+}
+
+// halo tags for the four directions.
+const (
+	tagHaloYUp   = 111
+	tagHaloYDown = 112
+	tagHaloZUp   = 113
+	tagHaloZDown = 114
+)
+
+// NewHeat3D2D allocates and initializes this rank's tile.
+func NewHeat3D2D(cfg Heat3D2DConfig) (*Heat3D2D, error) {
+	if cfg.NX <= 0 || cfg.NY <= 0 || cfg.NZ <= 0 {
+		return nil, fmt.Errorf("sim: invalid Heat3D2D extents %dx%dx%d", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.1
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1.0/6 {
+		return nil, fmt.Errorf("sim: Heat3D2D alpha %v outside stable range (0, 1/6]", cfg.Alpha)
+	}
+	py, pz := cfg.PY, cfg.PZ
+	if py <= 0 {
+		py = 1
+	}
+	if pz <= 0 {
+		pz = 1
+	}
+	rank, size := 0, 1
+	if cfg.Comm != nil {
+		rank, size = cfg.Comm.Rank(), cfg.Comm.Size()
+	}
+	if py*pz != size {
+		return nil, fmt.Errorf("sim: process grid %dx%d does not match world size %d", py, pz, size)
+	}
+	if cfg.NY < py || cfg.NZ < pz {
+		return nil, fmt.Errorf("sim: extents %dx%d smaller than process grid %dx%d", cfg.NY, cfg.NZ, py, pz)
+	}
+
+	h := &Heat3D2D{cfg: Heat3DConfig2Dresolved{Heat3D2DConfig: cfg, rank: rank, py: py, pz: pz}}
+	h.yStart, h.yLocal = share(cfg.NY, py, rank%py)
+	h.zStart, h.zLocal = share(cfg.NZ, pz, rank/py)
+
+	n := h.yLocal * h.zLocal * cfg.NX
+	h.cur = make([]float64, n)
+	h.next = make([]float64, n)
+	h.ghostZLow = make([]float64, h.yLocal*cfg.NX)
+	h.ghostZHigh = make([]float64, h.yLocal*cfg.NX)
+	h.ghostYLow = make([]float64, h.zLocal*cfg.NX)
+	h.ghostYHigh = make([]float64, h.zLocal*cfg.NX)
+
+	// Same global initial condition as Heat3D, so the two decompositions
+	// of one problem are comparable.
+	for z := 0; z < h.zLocal; z++ {
+		for y := 0; y < h.yLocal; y++ {
+			for x := 0; x < cfg.NX; x++ {
+				gy, gz := h.yStart+y, h.zStart+z
+				v := 10 * coordNoise(cfg.Seed, gz, gy, x)
+				cx, cy, cz := cfg.NX/2, cfg.NY/2, cfg.NZ/2
+				d2 := (x-cx)*(x-cx) + (gy-cy)*(gy-cy) + (gz-cz)*(gz-cz)
+				if d2 < (cfg.NX/4)*(cfg.NX/4)+1 {
+					v += 100
+				}
+				h.cur[h.idx(z, y, x)] = v
+			}
+		}
+	}
+	return h, nil
+}
+
+// share splits n items over parts and returns part p's (start, count).
+func share(n, parts, p int) (start, count int) {
+	base, rem := n/parts, n%parts
+	count = base
+	start = p * base
+	if p < rem {
+		count++
+		start += p
+	} else {
+		start += rem
+	}
+	return start, count
+}
+
+func (h *Heat3D2D) idx(z, y, x int) int { return (z*h.yLocal+y)*h.cfg.NX + x }
+
+// Tile returns the global (yStart, yCount, zStart, zCount) of this rank.
+func (h *Heat3D2D) Tile() (yStart, yCount, zStart, zCount int) {
+	return h.yStart, h.yLocal, h.zStart, h.zLocal
+}
+
+// Data implements Simulation: the contiguous interior tile.
+func (h *Heat3D2D) Data() []float64 { return h.cur }
+
+// StepBytes implements Simulation.
+func (h *Heat3D2D) StepBytes() int64 { return int64(len(h.cur)) * 8 }
+
+// MemoryBytes implements Simulation.
+func (h *Heat3D2D) MemoryBytes() int64 {
+	ghosts := len(h.ghostZLow) + len(h.ghostZHigh) + len(h.ghostYLow) + len(h.ghostYHigh)
+	return int64(2*len(h.cur)+ghosts) * 8
+}
+
+// StepCount returns the number of completed steps.
+func (h *Heat3D2D) StepCount() int { return h.step }
+
+// neighbor returns the rank of the (dy, dz) neighbor, or -1 at a physical
+// boundary.
+func (h *Heat3D2D) neighbor(dy, dz int) int {
+	py, pz := h.cfg.py, h.cfg.pz
+	ny, nz := h.cfg.rank%py+dy, h.cfg.rank/py+dz
+	if ny < 0 || ny >= py || nz < 0 || nz >= pz {
+		return -1
+	}
+	return nz*py + ny
+}
+
+// Step implements Simulation.
+func (h *Heat3D2D) Step() error {
+	if err := h.exchangeHalos(); err != nil {
+		return err
+	}
+	h.applyStencil()
+	h.cur, h.next = h.next, h.cur
+	h.step++
+	return nil
+}
+
+// gather* extract the edge faces sent to neighbors.
+func (h *Heat3D2D) gatherYFace(y int) []float64 {
+	nx := h.cfg.NX
+	out := make([]float64, h.zLocal*nx)
+	for z := 0; z < h.zLocal; z++ {
+		copy(out[z*nx:(z+1)*nx], h.cur[h.idx(z, y, 0):h.idx(z, y, 0)+nx])
+	}
+	return out
+}
+
+func (h *Heat3D2D) gatherZFace(z int) []float64 {
+	nx := h.cfg.NX
+	out := make([]float64, h.yLocal*nx)
+	copy(out, h.cur[h.idx(z, 0, 0):h.idx(z, 0, 0)+h.yLocal*nx])
+	return out
+}
+
+// exchangeHalos swaps the four faces with the neighbors (reflecting at
+// physical boundaries) using non-blocking operations throughout.
+func (h *Heat3D2D) exchangeHalos() error {
+	c := h.cfg.Comm
+	type xfer struct {
+		neighbor   int
+		sendTag    int
+		recvTag    int
+		face       func() []float64
+		ghost      []float64
+		reflectSrc func() []float64
+	}
+	xfers := []xfer{
+		{h.neighbor(-1, 0), tagHaloYUp, tagHaloYDown,
+			func() []float64 { return h.gatherYFace(0) }, h.ghostYLow,
+			func() []float64 { return h.gatherYFace(0) }},
+		{h.neighbor(1, 0), tagHaloYDown, tagHaloYUp,
+			func() []float64 { return h.gatherYFace(h.yLocal - 1) }, h.ghostYHigh,
+			func() []float64 { return h.gatherYFace(h.yLocal - 1) }},
+		{h.neighbor(0, -1), tagHaloZUp, tagHaloZDown,
+			func() []float64 { return h.gatherZFace(0) }, h.ghostZLow,
+			func() []float64 { return h.gatherZFace(0) }},
+		{h.neighbor(0, 1), tagHaloZDown, tagHaloZUp,
+			func() []float64 { return h.gatherZFace(h.zLocal - 1) }, h.ghostZHigh,
+			func() []float64 { return h.gatherZFace(h.zLocal - 1) }},
+	}
+
+	var sends []*mpi.Request
+	recvs := make([]*mpi.Request, len(xfers))
+	for i, x := range xfers {
+		if x.neighbor < 0 {
+			copy(x.ghost, x.reflectSrc()) // insulated physical boundary
+			continue
+		}
+		recvs[i] = c.Irecv(x.neighbor, x.recvTag)
+		sends = append(sends, c.IsendFloat64s(x.neighbor, x.sendTag, x.face()))
+	}
+	for i, r := range recvs {
+		if r == nil {
+			continue
+		}
+		got, err := mpi.WaitFloat64s(r)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(xfers[i].ghost) {
+			return fmt.Errorf("sim: halo face length %d, want %d", len(got), len(xfers[i].ghost))
+		}
+		copy(xfers[i].ghost, got)
+	}
+	return mpi.WaitAll(sends...)
+}
+
+// at reads the field with ghost fallback for out-of-tile (y, z).
+func (h *Heat3D2D) at(z, y, x int) float64 {
+	switch {
+	case y < 0:
+		return h.ghostYLow[z*h.cfg.NX+x]
+	case y >= h.yLocal:
+		return h.ghostYHigh[z*h.cfg.NX+x]
+	case z < 0:
+		return h.ghostZLow[y*h.cfg.NX+x]
+	case z >= h.zLocal:
+		return h.ghostZHigh[y*h.cfg.NX+x]
+	}
+	return h.cur[h.idx(z, y, x)]
+}
+
+// applyStencil computes next = cur + alpha*laplacian with insulated physical
+// boundaries in every dimension.
+func (h *Heat3D2D) applyStencil() {
+	nx := h.cfg.NX
+	alpha := h.cfg.Alpha
+	for z := 0; z < h.zLocal; z++ {
+		for y := 0; y < h.yLocal; y++ {
+			for x := 0; x < nx; x++ {
+				xm, xp := x-1, x+1
+				if xm < 0 {
+					xm = 0
+				}
+				if xp >= nx {
+					xp = nx - 1
+				}
+				c := h.cur[h.idx(z, y, x)]
+				ym, yp := h.at(z, y-1, x), h.at(z, y+1, x)
+				zm, zp := h.at(z-1, y, x), h.at(z+1, y, x)
+				// Physical (global) reflection when the tile touches the
+				// domain edge is handled by the ghost reflection fills.
+				lap := h.cur[h.idx(z, y, xm)] + h.cur[h.idx(z, y, xp)] +
+					ym + yp + zm + zp - 6*c
+				h.next[h.idx(z, y, x)] = c + alpha*lap
+			}
+		}
+	}
+}
+
+// TotalHeat sums the local tile.
+func (h *Heat3D2D) TotalHeat() float64 {
+	s := 0.0
+	for _, v := range h.cur {
+		s += v
+	}
+	return s
+}

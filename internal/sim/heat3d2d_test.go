@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+// runHeat2DWorld advances a 2-D-decomposed run and reassembles the global
+// field in [z][y][x] order.
+func runHeat2DWorld(t *testing.T, py, pz, nx, ny, nz, steps int) []float64 {
+	t.Helper()
+	ranks := py * pz
+	comms := mpi.NewWorld(ranks)
+	global := make([]float64, nx*ny*nz)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			h, err := NewHeat3D2D(Heat3D2DConfig{
+				NX: nx, NY: ny, NZ: nz, PY: py, PZ: pz, Comm: comms[r], Seed: 77,
+			})
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			for i := 0; i < steps; i++ {
+				if err := h.Step(); err != nil {
+					t.Errorf("rank %d step %d: %v", r, i, err)
+					return
+				}
+			}
+			ys, yc, zs, zc := h.Tile()
+			data := h.Data()
+			mu.Lock()
+			for z := 0; z < zc; z++ {
+				for y := 0; y < yc; y++ {
+					for x := 0; x < nx; x++ {
+						global[((zs+z)*ny+(ys+y))*nx+x] = data[(z*yc+y)*nx+x]
+					}
+				}
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return global
+}
+
+func TestHeat3D2DMatchesSingleRank(t *testing.T) {
+	const nx, ny, nz, steps = 6, 8, 8, 5
+	want := runHeat2DWorld(t, 1, 1, nx, ny, nz, steps)
+	for _, grid := range []struct{ py, pz int }{{2, 1}, {1, 2}, {2, 2}, {2, 3}, {4, 2}} {
+		got := runHeat2DWorld(t, grid.py, grid.pz, nx, ny, nz, steps)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("grid %dx%d diverges at %d: %v vs %v", grid.py, grid.pz, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHeat3D2DMatches1DDecomposition(t *testing.T) {
+	// The 2-D code with PY=1 must agree with the original 1-D Heat3D,
+	// plane for plane (same IC, same stencil, same boundaries).
+	const nx, ny, nz, steps = 5, 6, 9, 4
+	h1, err := NewHeat3D(Heat3DConfig{NX: nx, NY: ny, NZ: nz, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		h1.Step()
+	}
+	got := runHeat2DWorld(t, 1, 3, nx, ny, nz, steps)
+	want := h1.Data()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("1-D vs 2-D diverge at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeat3D2DConservation(t *testing.T) {
+	const ranks = 4
+	comms := mpi.NewWorld(ranks)
+	totals := make([]float64, ranks, ranks)
+	deltas := make([]float64, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			h, err := NewHeat3D2D(Heat3D2DConfig{
+				NX: 5, NY: 6, NZ: 6, PY: 2, PZ: 2, Comm: comms[r], Seed: 3,
+			})
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			before := h.TotalHeat()
+			for i := 0; i < 10; i++ {
+				if err := h.Step(); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+			}
+			totals[r] = before
+			deltas[r] = h.TotalHeat() - before
+		}()
+	}
+	wg.Wait()
+	var sumBefore, sumDelta float64
+	for r := 0; r < ranks; r++ {
+		sumBefore += totals[r]
+		sumDelta += deltas[r]
+	}
+	if math.Abs(sumDelta) > 1e-6*math.Abs(sumBefore) {
+		t.Fatalf("global heat drifted by %v of %v", sumDelta, sumBefore)
+	}
+}
+
+func TestHeat3D2DValidation(t *testing.T) {
+	comms := mpi.NewWorld(3)
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	if _, err := NewHeat3D2D(Heat3D2DConfig{NX: 4, NY: 4, NZ: 4, PY: 2, PZ: 2, Comm: comms[0]}); err == nil {
+		t.Error("mismatched process grid accepted")
+	}
+	if _, err := NewHeat3D2D(Heat3D2DConfig{NX: 0, NY: 4, NZ: 4}); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if _, err := NewHeat3D2D(Heat3D2DConfig{NX: 4, NY: 1, NZ: 4, PY: 3, PZ: 1, Comm: comms[0]}); err == nil {
+		t.Error("grid larger than extent accepted")
+	}
+	if _, err := NewHeat3D2D(Heat3D2DConfig{NX: 4, NY: 4, NZ: 4, Alpha: 1}); err == nil {
+		t.Error("unstable alpha accepted")
+	}
+}
+
+func TestHeat3D2DSimulationInterface(t *testing.T) {
+	h, err := NewHeat3D2D(Heat3D2DConfig{NX: 4, NY: 4, NZ: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Simulation = h
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if s.StepBytes() != int64(len(s.Data()))*8 || s.MemoryBytes() <= s.StepBytes() {
+		t.Fatalf("sizes: step %d mem %d", s.StepBytes(), s.MemoryBytes())
+	}
+}

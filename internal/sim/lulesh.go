@@ -1,0 +1,160 @@
+package sim
+
+import "fmt"
+
+// LuleshConfig configures the Lulesh-like proxy on one node.
+type LuleshConfig struct {
+	// Edge is the element cube's edge; the node simulates Edge^3 elements
+	// and memory grows cubically in Edge, the knob Figure 9b sweeps.
+	Edge int
+	// Threads partitions each step's sweeps across goroutines (default 1).
+	Threads int
+	// SweepsPerStep is the number of relaxation sweeps one time-step runs
+	// (default 1) — the knob for the simulation's compute intensity
+	// relative to its output size.
+	SweepsPerStep int
+	// Seed makes the initial state deterministic.
+	Seed uint64
+}
+
+// Lulesh is a proxy for the LULESH shock-hydrodynamics mini-app, built to
+// reproduce the two properties the paper's experiments depend on: a moderate
+// per-step output (one field of Edge^3 elements) and a working set several
+// times larger (five fields), growing cubically with the edge size. Each
+// step runs a nearest-neighbour relaxation sweep over the energy field,
+// driven by a decaying central "shock" source.
+type Lulesh struct {
+	cfg    LuleshConfig
+	n      int // Edge^3
+	energy []float64
+	scratch,
+	pressure,
+	velocity,
+	volume []float64
+	step int
+}
+
+// NewLulesh allocates and initializes the proxy.
+func NewLulesh(cfg LuleshConfig) (*Lulesh, error) {
+	if cfg.Edge < 2 {
+		return nil, fmt.Errorf("sim: Lulesh edge %d too small", cfg.Edge)
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.SweepsPerStep <= 0 {
+		cfg.SweepsPerStep = 1
+	}
+	n := cfg.Edge * cfg.Edge * cfg.Edge
+	l := &Lulesh{
+		cfg:      cfg,
+		n:        n,
+		energy:   make([]float64, n),
+		scratch:  make([]float64, n),
+		pressure: make([]float64, n),
+		velocity: make([]float64, n),
+		volume:   make([]float64, n),
+	}
+	r := newRNG(cfg.Seed)
+	for i := range l.energy {
+		l.energy[i] = r.float64()
+		l.volume[i] = 1
+	}
+	// Shock energy deposited at the cube center (the classic Sedov setup).
+	e := cfg.Edge
+	l.energy[(e/2*e+e/2)*e+e/2] += float64(n)
+	return l, nil
+}
+
+func (l *Lulesh) idx(z, y, x int) int { return (z*l.cfg.Edge+y)*l.cfg.Edge + x }
+
+// Data implements Simulation: the energy field (one Edge^3 array per step).
+func (l *Lulesh) Data() []float64 { return l.energy }
+
+// StepBytes implements Simulation.
+func (l *Lulesh) StepBytes() int64 { return int64(l.n) * 8 }
+
+// MemoryBytes implements Simulation: all five fields.
+func (l *Lulesh) MemoryBytes() int64 { return int64(5*l.n) * 8 }
+
+// StepCount returns the number of completed steps.
+func (l *Lulesh) StepCount() int { return l.step }
+
+// Step implements Simulation: update pressure from energy, relax energy
+// toward its neighbours scaled by pressure, and integrate a velocity proxy,
+// SweepsPerStep times.
+func (l *Lulesh) Step() error {
+	for s := 0; s < l.cfg.SweepsPerStep; s++ {
+		l.sweepOnce()
+	}
+	l.step++
+	return nil
+}
+
+func (l *Lulesh) sweepOnce() {
+	e := l.cfg.Edge
+	// Equation of state proxy: pressure follows energy per volume.
+	for i := range l.pressure {
+		l.pressure[i] = 0.4 * l.energy[i] / l.volume[i]
+	}
+	sweep := func(zFrom, zTo int) {
+		for z := zFrom; z < zTo; z++ {
+			zm, zp := max(z-1, 0), min(z+1, e-1)
+			for y := 0; y < e; y++ {
+				ym, yp := max(y-1, 0), min(y+1, e-1)
+				for x := 0; x < e; x++ {
+					xm, xp := max(x-1, 0), min(x+1, e-1)
+					c := l.energy[l.idx(z, y, x)]
+					avg := (l.energy[l.idx(z, y, xm)] + l.energy[l.idx(z, y, xp)] +
+						l.energy[l.idx(z, ym, x)] + l.energy[l.idx(z, yp, x)] +
+						l.energy[l.idx(zm, y, x)] + l.energy[l.idx(zp, y, x)]) / 6
+					l.scratch[l.idx(z, y, x)] = c + 0.2*(avg-c)
+					l.velocity[l.idx(z, y, x)] += 0.01 * (avg - c)
+				}
+			}
+		}
+	}
+	parallelSweep(e, l.cfg.Threads, sweep)
+	l.energy, l.scratch = l.scratch, l.energy
+}
+
+// TotalEnergy sums the energy field; the relaxation conserves it (reflected
+// boundaries, symmetric averaging), giving the tests an invariant.
+func (l *Lulesh) TotalEnergy() float64 {
+	s := 0.0
+	for _, v := range l.energy {
+		s += v
+	}
+	return s
+}
+
+// parallelSweep partitions [0, extent) z-planes across threads.
+func parallelSweep(extent, threads int, fn func(from, to int)) {
+	if threads <= 1 || extent < threads {
+		fn(0, extent)
+		return
+	}
+	type span struct{ from, to int }
+	var spans []span
+	per, rem := extent/threads, extent%threads
+	z := 0
+	for t := 0; t < threads; t++ {
+		count := per
+		if t < rem {
+			count++
+		}
+		spans = append(spans, span{z, z + count})
+		z += count
+	}
+	done := make(chan struct{}, len(spans))
+	for _, sp := range spans {
+		sp := sp
+		go func() {
+			fn(sp.from, sp.to)
+			done <- struct{}{}
+		}()
+	}
+	for range spans {
+		<-done
+	}
+}

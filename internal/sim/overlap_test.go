@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+// runHeatWorld advances a distributed Heat3D for `steps` and returns every
+// rank's final interior field, concatenated in rank order.
+func runHeatWorld(t *testing.T, ranks, nx, ny, nz, steps int, overlap bool) []float64 {
+	t.Helper()
+	comms := mpi.NewWorld(ranks)
+	parts := make([][]float64, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			h, err := NewHeat3D(Heat3DConfig{
+				NX: nx, NY: ny, NZ: nz, Seed: 77, Comm: comms[r],
+				OverlapHalo: overlap, Threads: 2,
+			})
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			for i := 0; i < steps; i++ {
+				if err := h.Step(); err != nil {
+					t.Errorf("rank %d step %d: %v", r, i, err)
+					return
+				}
+			}
+			parts[r] = append([]float64(nil), h.Data()...)
+		}()
+	}
+	wg.Wait()
+	var all []float64
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return all
+}
+
+func TestOverlappedHaloBitIdentical(t *testing.T) {
+	for _, tc := range []struct{ ranks, nz int }{
+		{2, 8}, {3, 9}, {4, 8}, {4, 11}, // including single-plane ranks
+	} {
+		plain := runHeatWorld(t, tc.ranks, 6, 6, tc.nz, 6, false)
+		over := runHeatWorld(t, tc.ranks, 6, 6, tc.nz, 6, true)
+		if len(plain) != len(over) {
+			t.Fatalf("ranks=%d nz=%d: lengths differ", tc.ranks, tc.nz)
+		}
+		for i := range plain {
+			if plain[i] != over[i] {
+				t.Fatalf("ranks=%d nz=%d: overlap diverges at %d: %v vs %v",
+					tc.ranks, tc.nz, i, plain[i], over[i])
+			}
+		}
+	}
+}
+
+func TestOverlappedSinglePlaneRanks(t *testing.T) {
+	// nz == ranks: every rank owns exactly one plane, so there is no
+	// interior to overlap and both boundary updates collapse to one.
+	got := runHeatWorld(t, 4, 5, 5, 4, 4, true)
+	want := runHeatWorld(t, 1, 5, 5, 4, 4, false)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("single-plane overlap diverges at %d", i)
+		}
+	}
+}
+
+func TestNonBlockingRequests(t *testing.T) {
+	comms := mpi.NewWorld(2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			c := comms[r]
+			if r == 0 {
+				req := c.Isend(1, 3, []byte("nb"))
+				if _, err := req.Wait(); err != nil {
+					t.Errorf("isend: %v", err)
+				}
+				// Wait is idempotent.
+				if _, err := req.Wait(); err != nil {
+					t.Errorf("re-wait: %v", err)
+				}
+			} else {
+				req := c.Irecv(0, 3)
+				got, err := req.Wait()
+				if err != nil || string(got) != "nb" {
+					t.Errorf("irecv: %q %v", got, err)
+				}
+				if !req.Done() {
+					t.Error("Done false after Wait")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIsendBufferReuse(t *testing.T) {
+	comms := mpi.NewWorld(2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			c := comms[r]
+			if r == 0 {
+				buf := []byte("original")
+				req := c.Isend(1, 0, buf)
+				copy(buf, "CLOBBERED")
+				if _, err := req.Wait(); err != nil {
+					t.Error(err)
+				}
+			} else {
+				got, err := c.Recv(0, 0)
+				if err != nil || string(got) != "original" {
+					t.Errorf("payload aliased: %q %v", got, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+// Package sim provides the simulation programs whose output drives the
+// in-situ analytics experiments, standing in for the paper's workloads:
+//
+//   - Heat3D: an explicit 3-D heat-equation stencil with 1-D domain
+//     decomposition and halo exchange over the mpi substrate — the paper's
+//     large-output simulation (~400 MB per node per step, scaled down here).
+//   - Lulesh: a proxy mini-app on a 3-D cube of elements with an edge-size
+//     parameter, reproducing LULESH's two properties the paper relies on:
+//     moderate per-step output and cubic-in-edge memory growth.
+//   - Emulator: the sequential generator of normally-distributed values used
+//     in the Spark comparison (Section 5.2), which consumes almost no
+//     memory beyond its output buffer.
+//
+// All simulations expose their current time-step partition through Data() as
+// a read pointer into simulation-owned memory, which is what Smart's time
+// sharing mode processes without a copy.
+package sim
+
+// Simulation is the surface the in-situ drivers program against.
+type Simulation interface {
+	// Step advances the simulation by one time-step.
+	Step() error
+	// Data returns the current time-step's output partition. The returned
+	// slice aliases simulation-owned memory and is overwritten by the next
+	// Step — exactly the constraint that forces time sharing analytics to
+	// run before the simulation resumes.
+	Data() []float64
+	// StepBytes is the size of one time-step's output in bytes.
+	StepBytes() int64
+	// MemoryBytes is the simulation's total working-set size in bytes, used
+	// to charge the virtual memory model.
+	MemoryBytes() int64
+}
+
+// rng is a splitmix64 generator: deterministic, seedable, and good enough
+// for synthetic workloads.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/mpi"
+)
+
+func TestHeat3DConservation(t *testing.T) {
+	h, err := NewHeat3D(Heat3DConfig{NX: 12, NY: 10, NZ: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.TotalHeat()
+	for i := 0; i < 20; i++ {
+		if err := h.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := h.TotalHeat()
+	if math.Abs(after-before) > 1e-6*math.Abs(before) {
+		t.Fatalf("heat not conserved: %v -> %v", before, after)
+	}
+	if h.StepCount() != 20 {
+		t.Fatalf("step count %d", h.StepCount())
+	}
+}
+
+func TestHeat3DDiffusesTowardMean(t *testing.T) {
+	h, err := NewHeat3D(Heat3DConfig{NX: 10, NY: 10, NZ: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxBefore := 0.0
+	for _, v := range h.Data() {
+		maxBefore = math.Max(maxBefore, v)
+	}
+	for i := 0; i < 50; i++ {
+		h.Step()
+	}
+	maxAfter := 0.0
+	for _, v := range h.Data() {
+		maxAfter = math.Max(maxAfter, v)
+	}
+	if maxAfter >= maxBefore {
+		t.Fatalf("peak did not diffuse: %v -> %v", maxBefore, maxAfter)
+	}
+}
+
+func TestHeat3DThreadInvariance(t *testing.T) {
+	run := func(threads int) []float64 {
+		h, err := NewHeat3D(Heat3DConfig{NX: 8, NY: 8, NZ: 12, Threads: threads, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			h.Step()
+		}
+		return append([]float64(nil), h.Data()...)
+	}
+	a, b := run(1), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("threaded stencil diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHeat3DDistributedMatchesSingle(t *testing.T) {
+	const nx, ny, nz, steps = 6, 6, 12, 8
+	single, err := NewHeat3D(Heat3DConfig{NX: nx, NY: ny, NZ: nz, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		single.Step()
+	}
+	want := single.Data()
+
+	const ranks = 3
+	comms := mpi.NewWorld(ranks)
+	parts := make([][]float64, ranks)
+	starts := make([]int, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			h, err := NewHeat3D(Heat3DConfig{NX: nx, NY: ny, NZ: nz, Seed: 7, Comm: comms[r]})
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			starts[r], _ = h.LocalZ()
+			for i := 0; i < steps; i++ {
+				if err := h.Step(); err != nil {
+					t.Errorf("rank %d step: %v", r, err)
+					return
+				}
+			}
+			parts[r] = append([]float64(nil), h.Data()...)
+		}()
+	}
+	wg.Wait()
+	plane := nx * ny
+	for r := 0; r < ranks; r++ {
+		off := starts[r] * plane
+		for i, v := range parts[r] {
+			if math.Abs(v-want[off+i]) > 1e-12 {
+				t.Fatalf("rank %d element %d: %v vs single-node %v", r, i, v, want[off+i])
+			}
+		}
+	}
+}
+
+func TestHeat3DUnevenDecomposition(t *testing.T) {
+	// NZ not divisible by ranks: plane counts must still cover the domain.
+	const nz = 11
+	comms := mpi.NewWorld(3)
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			h, err := NewHeat3D(Heat3DConfig{NX: 4, NY: 4, NZ: nz, Comm: comms[r]})
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			_, count := h.LocalZ()
+			mu.Lock()
+			total += count
+			mu.Unlock()
+			if err := h.Step(); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if total != nz {
+		t.Fatalf("planes covered %d, want %d", total, nz)
+	}
+}
+
+func TestHeat3DValidation(t *testing.T) {
+	if _, err := NewHeat3D(Heat3DConfig{NX: 0, NY: 1, NZ: 1}); err == nil {
+		t.Error("zero extent accepted")
+	}
+	if _, err := NewHeat3D(Heat3DConfig{NX: 4, NY: 4, NZ: 4, Alpha: 0.5}); err == nil {
+		t.Error("unstable alpha accepted")
+	}
+}
+
+func TestHeat3DDataAliasesLiveField(t *testing.T) {
+	h, _ := NewHeat3D(Heat3DConfig{NX: 4, NY: 4, NZ: 4, Seed: 9})
+	d1 := h.Data()
+	v := d1[0]
+	h.Step()
+	// After a step the same read pointer region belongs to the swapped
+	// buffer; Data() must still return the *current* field.
+	d2 := h.Data()
+	if &d1[0] == &d2[0] {
+		t.Fatal("buffers did not swap")
+	}
+	if d2[0] == v {
+		t.Log("value coincidentally unchanged; not an error")
+	}
+	if int64(len(d2))*8 != h.StepBytes() {
+		t.Fatalf("StepBytes %d vs data %d", h.StepBytes(), len(d2)*8)
+	}
+	if h.MemoryBytes() <= h.StepBytes() {
+		t.Fatal("working set should exceed one step's output")
+	}
+}
+
+func TestLuleshConservation(t *testing.T) {
+	l, err := NewLulesh(LuleshConfig{Edge: 12, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.TotalEnergy()
+	for i := 0; i < 15; i++ {
+		if err := l.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := l.TotalEnergy()
+	if math.Abs(after-before) > 1e-6*math.Abs(before) {
+		t.Fatalf("energy not conserved: %v -> %v", before, after)
+	}
+}
+
+func TestLuleshShockSpreads(t *testing.T) {
+	l, _ := NewLulesh(LuleshConfig{Edge: 10, Seed: 5})
+	center := l.idx(5, 5, 5)
+	peak := l.energy[center]
+	for i := 0; i < 30; i++ {
+		l.Step()
+	}
+	if l.energy[center] >= peak {
+		t.Fatalf("shock did not spread: %v -> %v", peak, l.energy[center])
+	}
+}
+
+func TestLuleshCubicMemory(t *testing.T) {
+	small, _ := NewLulesh(LuleshConfig{Edge: 10})
+	large, _ := NewLulesh(LuleshConfig{Edge: 20})
+	if large.MemoryBytes() != 8*small.MemoryBytes() {
+		t.Fatalf("memory not cubic in edge: %d vs %d", small.MemoryBytes(), large.MemoryBytes())
+	}
+	if large.MemoryBytes() != 5*large.StepBytes() {
+		t.Fatalf("working set should be 5 fields: %d vs %d", large.MemoryBytes(), large.StepBytes())
+	}
+}
+
+func TestLuleshThreadInvariance(t *testing.T) {
+	run := func(threads int) []float64 {
+		l, _ := NewLulesh(LuleshConfig{Edge: 8, Threads: threads, Seed: 6})
+		for i := 0; i < 10; i++ {
+			l.Step()
+		}
+		return append([]float64(nil), l.Data()...)
+	}
+	a, b := run(1), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("threaded sweep diverges at %d", i)
+		}
+	}
+}
+
+func TestLuleshValidation(t *testing.T) {
+	if _, err := NewLulesh(LuleshConfig{Edge: 1}); err == nil {
+		t.Error("edge 1 accepted")
+	}
+}
+
+func TestEmulatorNormalDistribution(t *testing.T) {
+	e, err := NewEmulator(EmulatorConfig{StepElems: 200000, Mean: 5, StdDev: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	data := e.Data()
+	mean := 0.0
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	variance := 0.0
+	for _, v := range data {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(data))
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("mean %v, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("stddev %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestEmulatorDeterministic(t *testing.T) {
+	a, _ := NewEmulator(EmulatorConfig{StepElems: 100, Seed: 42})
+	b, _ := NewEmulator(EmulatorConfig{StepElems: 100, Seed: 42})
+	a.Step()
+	b.Step()
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c, _ := NewEmulator(EmulatorConfig{StepElems: 100, Seed: 43})
+	c.Step()
+	same := true
+	for i := range a.Data() {
+		if a.Data()[i] != c.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestEmulatorRecords(t *testing.T) {
+	const dims = 4
+	e, err := NewEmulator(EmulatorConfig{StepElems: 1000 * (dims + 1), Dims: dims, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	data := e.Data()
+	ones := 0
+	for i := 0; i+dims < len(data); i += dims + 1 {
+		label := data[i+dims]
+		if label != 0 && label != 1 {
+			t.Fatalf("label %v at record %d", label, i/(dims+1))
+		}
+		if label == 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones == 1000 {
+		t.Fatalf("degenerate labels: %d ones of 1000", ones)
+	}
+}
+
+func TestEmulatorValidation(t *testing.T) {
+	if _, err := NewEmulator(EmulatorConfig{StepElems: 0}); err == nil {
+		t.Error("zero step size accepted")
+	}
+	if _, err := NewEmulator(EmulatorConfig{StepElems: 10, StdDev: -1}); err == nil {
+		t.Error("negative stddev accepted")
+	}
+}
+
+func TestSimulationInterfaceCompliance(t *testing.T) {
+	h, _ := NewHeat3D(Heat3DConfig{NX: 4, NY: 4, NZ: 4})
+	l, _ := NewLulesh(LuleshConfig{Edge: 4})
+	e, _ := NewEmulator(EmulatorConfig{StepElems: 16})
+	for _, s := range []Simulation{h, l, e} {
+		if err := s.Step(); err != nil {
+			t.Fatalf("%T step: %v", s, err)
+		}
+		if len(s.Data()) == 0 || s.StepBytes() <= 0 || s.MemoryBytes() <= 0 {
+			t.Fatalf("%T reports empty state", s)
+		}
+	}
+}

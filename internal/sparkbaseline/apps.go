@@ -1,0 +1,148 @@
+package sparkbaseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram runs the equi-width histogram workload (Section 5.2, 100
+// buckets) over the record stream, returning bucket counts.
+func Histogram(e *Engine, data []float64, min, max float64, buckets, parts int) ([]int64, error) {
+	width := (max - min) / float64(buckets)
+	mapf := func(rec []float64, emit func(KV)) {
+		k := int((rec[0] - min) / width)
+		if k < 0 {
+			k = 0
+		}
+		if k >= buckets {
+			k = buckets - 1
+		}
+		emit(KV{Key: k, Value: []float64{1}})
+	}
+	redf := func(_ int, vals [][]float64) []float64 {
+		s := 0.0
+		for _, v := range vals {
+			s += v[0]
+		}
+		return []float64{s}
+	}
+	pairs, err := e.RunStage(Partition(data, 1, parts), 1, mapf, redf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, buckets)
+	for _, kv := range pairs {
+		out[kv.Key] = int64(kv.Value[0])
+	}
+	return out, nil
+}
+
+// KMeans runs the clustering workload (k centroids, dims dimensions, iters
+// iterations) and returns the final centroid matrix. Every iteration is a
+// fresh stage over a fresh immutable dataset, as the paper observes of
+// Spark's iterative execution.
+func KMeans(e *Engine, data []float64, init [][]float64, dims, iters, parts int) ([][]float64, error) {
+	k := len(init)
+	if k == 0 {
+		return nil, fmt.Errorf("sparkbaseline: k-means needs initial centroids")
+	}
+	centroids := make([][]float64, k)
+	for i := range centroids {
+		centroids[i] = append([]float64(nil), init[i]...)
+	}
+	partitions := Partition(data, dims, parts)
+	for it := 0; it < iters; it++ {
+		cs := centroids
+		mapf := func(rec []float64, emit func(KV)) {
+			best, bestD := 0, math.Inf(1)
+			for c := range cs {
+				d := 0.0
+				for j := range rec {
+					diff := rec[j] - cs[c][j]
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			// Emit (centroid id, point ++ 1) — sum and count travel together.
+			v := make([]float64, dims+1)
+			copy(v, rec)
+			v[dims] = 1
+			emit(KV{Key: best, Value: v})
+		}
+		redf := func(_ int, vals [][]float64) []float64 {
+			acc := make([]float64, dims+1)
+			for _, v := range vals {
+				for j := range acc {
+					acc[j] += v[j]
+				}
+			}
+			return acc
+		}
+		pairs, err := e.RunStage(partitions, dims, mapf, redf)
+		if err != nil {
+			return nil, err
+		}
+		next := make([][]float64, k)
+		for i := range next {
+			next[i] = append([]float64(nil), centroids[i]...)
+		}
+		for _, kv := range pairs {
+			n := kv.Value[dims]
+			if n == 0 {
+				continue
+			}
+			c := make([]float64, dims)
+			for j := range c {
+				c[j] = kv.Value[j] / n
+			}
+			next[kv.Key] = c
+		}
+		centroids = next
+	}
+	return centroids, nil
+}
+
+// LogReg runs the logistic regression workload (dims features + label per
+// record) for iters gradient steps and returns the weights.
+func LogReg(e *Engine, data []float64, dims, iters, parts int, learningRate float64) ([]float64, error) {
+	rec := dims + 1
+	w := make([]float64, dims)
+	partitions := Partition(data, rec, parts)
+	records := len(data) / rec
+	for it := 0; it < iters; it++ {
+		cur := append([]float64(nil), w...)
+		mapf := func(r []float64, emit func(KV)) {
+			z := 0.0
+			for j := 0; j < dims; j++ {
+				z += cur[j] * r[j]
+			}
+			err := 1/(1+math.Exp(-z)) - r[dims]
+			g := make([]float64, dims)
+			for j := range g {
+				g[j] = err * r[j]
+			}
+			emit(KV{Key: 0, Value: g})
+		}
+		redf := func(_ int, vals [][]float64) []float64 {
+			acc := make([]float64, dims)
+			for _, v := range vals {
+				for j := range acc {
+					acc[j] += v[j]
+				}
+			}
+			return acc
+		}
+		pairs, err := e.RunStage(partitions, rec, mapf, redf)
+		if err != nil {
+			return nil, err
+		}
+		if len(pairs) == 1 {
+			for j := range w {
+				w[j] -= learningRate / float64(records) * pairs[0].Value[j]
+			}
+		}
+	}
+	return w, nil
+}

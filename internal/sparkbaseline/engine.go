@@ -1,0 +1,224 @@
+// Package sparkbaseline is the comparison engine for the paper's Section 5.2
+// experiments: a deliberately conventional MapReduce runtime embodying the
+// three cost mechanisms the paper attributes Spark's gap to.
+//
+//  1. The map phase materializes every intermediate key-value pair before
+//     any reduction happens, so intermediate data can exceed the input.
+//  2. The shuffle sorts and groups the materialized pairs by key before the
+//     reduce function sees them.
+//  3. Every stage produces a new immutable dataset, and stage boundaries
+//     serialize/deserialize the data (as Spark does even in local mode).
+//
+// It is a reproduction of those mechanisms, not of the Spark codebase; see
+// DESIGN.md. The engine is exercised by the same three workloads the paper
+// uses: histogram, k-means, and logistic regression.
+package sparkbaseline
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KV is one intermediate key-value pair. Values are float64 vectors, which
+// covers all three comparison workloads.
+type KV struct {
+	Key   int
+	Value []float64
+}
+
+// Stats counts the work the engine's cost mechanisms perform.
+type Stats struct {
+	// PairsEmitted is the total number of intermediate pairs materialized
+	// by map phases.
+	PairsEmitted atomic.Int64
+	// PairBytes is the approximate heap footprint of materialized pairs.
+	PairBytes atomic.Int64
+	// ShuffleBytes counts bytes serialized at stage boundaries.
+	ShuffleBytes atomic.Int64
+	// StagesRun counts executed map+shuffle+reduce stages.
+	StagesRun atomic.Int64
+}
+
+// StageTiming is one stage's measured cost breakdown, consumed by the
+// replay performance model: map work parallelizes across workers; the
+// shuffle (serialize, sort, group) and reduce are the stage's serial tail.
+type StageTiming struct {
+	// PartTimes are the per-partition map durations.
+	PartTimes []time.Duration
+	// ShuffleTime covers stage-boundary serialization, the sort, and
+	// grouping.
+	ShuffleTime time.Duration
+	// ReduceTime covers the reduce folds.
+	ReduceTime time.Duration
+}
+
+// MaxPart returns the slowest partition's map time.
+func (t StageTiming) MaxPart() time.Duration {
+	var m time.Duration
+	for _, d := range t.PartTimes {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Engine is the mini runtime: a worker pool plus stage plumbing.
+type Engine struct {
+	threads int
+	stats   Stats
+
+	mu      sync.Mutex
+	timings []StageTiming
+}
+
+// Timings returns the per-stage timing records accumulated so far.
+func (e *Engine) Timings() []StageTiming {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]StageTiming(nil), e.timings...)
+}
+
+// NewEngine creates an engine with the given worker count.
+func NewEngine(threads int) *Engine {
+	if threads <= 0 {
+		panic("sparkbaseline: threads must be positive")
+	}
+	return &Engine{threads: threads}
+}
+
+// Stats exposes the engine's counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Partition splits a record stream into roughly equal partitions of whole
+// records (recLen elements each).
+func Partition(data []float64, recLen, parts int) [][]float64 {
+	if recLen <= 0 || parts <= 0 {
+		panic("sparkbaseline: invalid partitioning")
+	}
+	records := len(data) / recLen
+	out := make([][]float64, parts)
+	per, rem := records/parts, records%parts
+	pos := 0
+	for i := range out {
+		n := per
+		if i < rem {
+			n++
+		}
+		out[i] = data[pos*recLen : (pos+n)*recLen]
+		pos += n
+	}
+	return out
+}
+
+// MapFunc emits zero or more pairs for one record.
+type MapFunc func(record []float64, emit func(KV))
+
+// ReduceFunc folds a group of values for one key into a single value.
+type ReduceFunc func(key int, values [][]float64) []float64
+
+// RunStage executes one full map → shuffle → reduce stage over the
+// partitions and returns the reduced pairs sorted by key. Each call pays the
+// engine's three costs in full: pair materialization, serialization at the
+// map/reduce boundary, and sort+group.
+func (e *Engine) RunStage(parts [][]float64, recLen int, mapf MapFunc, redf ReduceFunc) ([]KV, error) {
+	e.stats.StagesRun.Add(1)
+	timing := StageTiming{PartTimes: make([]time.Duration, len(parts))}
+
+	// Map phase: materialize all intermediate pairs, one output bucket per
+	// partition, partitions processed by the worker pool.
+	mapped := make([][]KV, len(parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.threads)
+	for p := range parts {
+		p := p
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			partStart := time.Now()
+			defer func() { timing.PartTimes[p] = time.Since(partStart) }()
+			var out []KV
+			part := parts[p]
+			for i := 0; i+recLen <= len(part); i += recLen {
+				mapf(part[i:i+recLen], func(kv KV) {
+					// The immutability contract: the engine owns a copy.
+					v := append([]float64(nil), kv.Value...)
+					out = append(out, KV{Key: kv.Key, Value: v})
+					e.stats.PairsEmitted.Add(1)
+					e.stats.PairBytes.Add(int64(16 + 8*len(v)))
+				})
+			}
+			mapped[p] = out
+		}()
+	}
+	wg.Wait()
+
+	// Stage boundary: serialize and deserialize every partition's pairs,
+	// as a new immutable dataset would be formed.
+	shuffleStart := time.Now()
+	for p := range mapped {
+		buf, err := encodePairs(mapped[p])
+		if err != nil {
+			return nil, err
+		}
+		e.stats.ShuffleBytes.Add(int64(len(buf)))
+		mapped[p], err = decodePairs(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Shuffle: concatenate, sort by key, group runs.
+	var all []KV
+	for _, m := range mapped {
+		all = append(all, m...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	timing.ShuffleTime = time.Since(shuffleStart)
+
+	// Reduce: fold each key's group.
+	reduceStart := time.Now()
+	var out []KV
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].Key == all[i].Key {
+			j++
+		}
+		group := make([][]float64, 0, j-i)
+		for _, kv := range all[i:j] {
+			group = append(group, kv.Value)
+		}
+		out = append(out, KV{Key: all[i].Key, Value: redf(all[i].Key, group)})
+		i = j
+	}
+	timing.ReduceTime = time.Since(reduceStart)
+	e.mu.Lock()
+	e.timings = append(e.timings, timing)
+	e.mu.Unlock()
+	return out, nil
+}
+
+// encodePairs serializes pairs with gob, the stage-boundary cost.
+func encodePairs(pairs []KV) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
+		return nil, fmt.Errorf("sparkbaseline: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePairs reverses encodePairs.
+func decodePairs(buf []byte) ([]KV, error) {
+	var pairs []KV
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&pairs); err != nil {
+		return nil, fmt.Errorf("sparkbaseline: decode: %w", err)
+	}
+	return pairs, nil
+}

@@ -1,0 +1,208 @@
+package sparkbaseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+)
+
+func synth(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Mod(float64(i)*7.31, 100)
+	}
+	return out
+}
+
+func TestPartitionCoversRecords(t *testing.T) {
+	data := synth(103)
+	parts := Partition(data, 1, 4)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 103 {
+		t.Fatalf("partitions cover %d elements", total)
+	}
+	// Records must not be torn.
+	rec3 := Partition(synth(99), 3, 4)
+	for i, p := range rec3 {
+		if len(p)%3 != 0 {
+			t.Fatalf("partition %d tears records: %d elements", i, len(p))
+		}
+	}
+}
+
+func TestHistogramMatchesSmart(t *testing.T) {
+	data := synth(5000)
+	e := NewEngine(2)
+	got, err := Histogram(e, data, 0, 100, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app := analytics.NewHistogram(0, 100, 10)
+	s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{NumThreads: 2, ChunkSize: 1, NumIters: 1})
+	want := make([]int64, 10)
+	if err := s.Run(data, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d: baseline %d smart %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKMeansMatchesSmart(t *testing.T) {
+	// Two separated 2-D blobs.
+	var data []float64
+	for i := 0; i < 300; i++ {
+		data = append(data, 1+0.1*math.Sin(float64(i)), 1+0.1*math.Cos(float64(i)))
+		data = append(data, 9+0.1*math.Sin(float64(i)), 9+0.1*math.Cos(float64(i)))
+	}
+	init := [][]float64{{0, 0}, {10, 10}}
+	e := NewEngine(2)
+	got, err := KMeans(e, data, init, 2, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app := analytics.NewKMeans(2, 2)
+	s := core.MustNewScheduler[float64, []float64](app, core.SchedArgs{
+		NumThreads: 2, ChunkSize: 2, NumIters: 8, Extra: []float64{0, 0, 10, 10},
+	})
+	if err := s.Run(data, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := app.Centroids(s.CombinationMap())
+	for k := range want {
+		for d := range want[k] {
+			if math.Abs(got[k][d]-want[k][d]) > 1e-9 {
+				t.Fatalf("centroid %d dim %d: baseline %v smart %v", k, d, got[k][d], want[k][d])
+			}
+		}
+	}
+}
+
+func TestLogRegMatchesSmart(t *testing.T) {
+	const dims, iters, n = 4, 6, 400
+	const lr = 0.4
+	rec := dims + 1
+	data := make([]float64, n*rec)
+	for i := 0; i < n; i++ {
+		z := 0.0
+		for j := 0; j < dims; j++ {
+			v := math.Sin(float64(i*13 + j*7))
+			data[i*rec+j] = v
+			if j == 0 {
+				z += 2 * v
+			} else {
+				z -= v
+			}
+		}
+		if z > 0 {
+			data[i*rec+dims] = 1
+		}
+	}
+	e := NewEngine(2)
+	got, err := LogReg(e, data, dims, iters, 3, lr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app := analytics.NewLogReg(dims, lr)
+	s := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: 2, ChunkSize: rec, NumIters: iters,
+	})
+	if err := s.Run(data, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := app.Weights(s.CombinationMap())
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-9 {
+			t.Fatalf("weight %d: baseline %v smart %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestStatsExposeCostMechanisms(t *testing.T) {
+	data := synth(1000)
+	e := NewEngine(2)
+	if _, err := Histogram(e, data, 0, 100, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// Mechanism 1: one materialized pair per input element.
+	if st.PairsEmitted.Load() != 1000 {
+		t.Errorf("pairs emitted %d, want 1000", st.PairsEmitted.Load())
+	}
+	if st.PairBytes.Load() < 1000*16 {
+		t.Errorf("pair bytes %d too small", st.PairBytes.Load())
+	}
+	// Mechanism 3: stage-boundary serialization happened.
+	if st.ShuffleBytes.Load() == 0 {
+		t.Error("no shuffle bytes recorded")
+	}
+	if st.StagesRun.Load() != 1 {
+		t.Errorf("stages %d", st.StagesRun.Load())
+	}
+}
+
+func TestIterationCostScalesWithStages(t *testing.T) {
+	// Each k-means iteration re-materializes the full intermediate data —
+	// the immutability cost the paper calls out.
+	data := synth(600)
+	e := NewEngine(1)
+	if _, err := KMeans(e, data, [][]float64{{10}, {90}}, 1, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.StagesRun.Load() != 5 {
+		t.Fatalf("stages %d, want 5", st.StagesRun.Load())
+	}
+	if st.PairsEmitted.Load() != 5*600 {
+		t.Fatalf("pairs %d, want %d", st.PairsEmitted.Load(), 5*600)
+	}
+}
+
+func TestPairCodec(t *testing.T) {
+	pairs := []KV{{Key: 3, Value: []float64{1, 2}}, {Key: -1, Value: nil}}
+	buf, err := encodePairs(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodePairs(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != 3 || got[0].Value[1] != 2 || got[1].Key != -1 {
+		t.Fatalf("roundtrip: %+v", got)
+	}
+	if _, err := decodePairs([]byte("junk")); err == nil {
+		t.Error("decodePairs accepted junk")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	assertPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		fn()
+	}
+	assertPanic(func() { NewEngine(0) })
+	assertPanic(func() { Partition(nil, 0, 1) })
+	assertPanic(func() { Partition(nil, 1, 0) })
+}
+
+func TestEmptyKMeansInit(t *testing.T) {
+	e := NewEngine(1)
+	if _, err := KMeans(e, synth(10), nil, 1, 1, 1); err == nil {
+		t.Fatal("empty init accepted")
+	}
+}
