@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"github.com/scipioneer/smart/internal/harness"
+	"github.com/scipioneer/smart/internal/obs"
 )
 
 // experiment adapts every harness entry point to a common shape.
@@ -65,12 +67,36 @@ func main() {
 	fig := flag.String("fig", "all", "figure id to regenerate (1, 5, 5mem, 6, 6loc, 7, 8, 9a, 9b, 10, 11a, 11b, ext1, all)")
 	scaleName := flag.String("scale", "full", "experiment scale: small or full")
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
+	metricsFile := flag.String("metrics", "", "write a JSON snapshot of the runtime metrics to this file at exit")
+	traceFile := flag.String("trace", "", "stream runtime phase spans to this file as JSON lines")
 	flag.Parse()
 
 	scale, err := harness.ParseScale(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		w := bufio.NewWriter(f)
+		obs.Default().SetTraceWriter(w)
+		defer func() {
+			obs.Default().SetTraceWriter(nil)
+			w.Flush()
+			f.Close()
+		}()
+	}
+	if *metricsFile != "" {
+		defer func() {
+			if err := writeMetrics(*metricsFile); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			}
+		}()
 	}
 
 	ran := 0
@@ -100,6 +126,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure id %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// writeMetrics snapshots the default registry as indented JSON.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.DefaultRegistry().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV saves one figure's table under dir.

@@ -19,6 +19,7 @@ import (
 	"github.com/scipioneer/smart/internal/analytics"
 	"github.com/scipioneer/smart/internal/core"
 	"github.com/scipioneer/smart/internal/insitu"
+	"github.com/scipioneer/smart/internal/obs"
 	"github.com/scipioneer/smart/internal/sim"
 )
 
@@ -26,14 +27,16 @@ type options struct {
 	simName string
 	nx, ny, nz,
 	edge, elems int
-	app     string
-	mode    string
-	steps   int
-	threads int
-	window  int
-	buckets int
-	k       int
-	trace   bool
+	app         string
+	mode        string
+	steps       int
+	threads     int
+	window      int
+	buckets     int
+	k           int
+	trace       bool
+	metricsAddr string
+	linger      time.Duration
 }
 
 func main() {
@@ -52,6 +55,8 @@ func main() {
 	flag.IntVar(&o.buckets, "buckets", 16, "histogram buckets")
 	flag.IntVar(&o.k, "k", 4, "clusters / extremes")
 	flag.BoolVar(&o.trace, "trace", false, "print per-phase runtime timings")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live runtime metrics over HTTP on this address (e.g. :9090)")
+	flag.DurationVar(&o.linger, "metrics-linger", 0, "keep the metrics endpoint up this long after the run finishes")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -61,6 +66,21 @@ func main() {
 }
 
 func run(o options) error {
+	if o.metricsAddr != "" {
+		srv, err := obs.Serve(o.metricsAddr, obs.DefaultRegistry())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics: http://%s/metrics (Prometheus text) and /metrics.json\n", srv.Addr())
+		defer func() {
+			if o.linger > 0 {
+				fmt.Printf("metrics endpoint stays up for %v (ctrl-C to stop)\n", o.linger)
+				time.Sleep(o.linger)
+			}
+			srv.Close()
+		}()
+	}
+
 	simulation, err := makeSim(o)
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 	"github.com/scipioneer/smart/internal/chunk"
 	"github.com/scipioneer/smart/internal/memmodel"
 	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/obs"
 	"github.com/scipioneer/smart/internal/ringbuf"
 )
 
@@ -169,10 +170,21 @@ type SchedArgs struct {
 	PinThreads bool
 	// OnPhase, when non-nil, receives one event per completed runtime phase
 	// per iteration ("reduction", "local combine", "global combine",
-	// "convert") with its duration — lightweight observability for the
-	// in-situ time budget. It is called from the scheduler's coordinating
-	// goroutine, never concurrently.
+	// "post combine", "convert", and — in space sharing mode — "read" for
+	// the circular-buffer wait) with its duration. It is called from the
+	// scheduler's coordinating goroutine, never concurrently.
+	//
+	// Deprecated: OnPhase is kept as a back-compat shim, reimplemented as a
+	// subscriber of the scheduler's obs span stream. New code should pass an
+	// obs.Observer via Obs (or use the process default) and call
+	// SubscribeSpans for callbacks: spans carry the category, start time and
+	// attributes that this callback drops.
 	OnPhase func(phase string, d time.Duration)
+	// Obs is the observability sink for phase spans and runtime metrics
+	// (reduction-map sizes, keys touched, early emissions, serialized
+	// bytes). Nil means obs.Default(), so instrumentation is always on; the
+	// hot-path cost is a handful of atomic adds per phase, not per chunk.
+	Obs *obs.Observer
 }
 
 func (a *SchedArgs) validate() error {
@@ -219,6 +231,13 @@ type Scheduler[In, Out any] struct {
 	globalComb bool
 	buf        *ringbuf.Buffer[feedItem[In]]
 	stats      Stats
+	obs        *obs.Observer
+	met        schedMetrics
+	// spanSubs receives every phase span this scheduler emits from its
+	// coordinating goroutine; the OnPhase shim is the first subscriber.
+	// Append via SubscribeSpans before the first Run — the slice is read
+	// without a lock on the phase path.
+	spanSubs []func(obs.Span)
 
 	// cached optional capabilities of app
 	multi     MultiKeyer[In]
@@ -247,6 +266,15 @@ func NewScheduler[In, Out any](app Analytics[In, Out], args SchedArgs) (*Schedul
 		comMap:     make(CombMap),
 		globalComb: true,
 		buf:        ringbuf.New[feedItem[In]](a.BufferCells),
+		obs:        a.Obs,
+	}
+	if s.obs == nil {
+		s.obs = obs.Default()
+	}
+	s.met.init(s.obs.Registry())
+	if a.OnPhase != nil {
+		hook := a.OnPhase
+		s.SubscribeSpans(func(sp obs.Span) { hook(sp.Name, sp.Dur) })
 	}
 	var anyApp any = app
 	if m, ok := anyApp.(MultiKeyer[In]); ok {
@@ -296,6 +324,19 @@ func (s *Scheduler[In, Out]) ResetCombinationMap() { s.comMap = make(CombMap) }
 
 // Stats returns counters describing the most recent Run.
 func (s *Scheduler[In, Out]) Stats() *Stats { return &s.stats }
+
+// Observer returns the observability sink this scheduler reports into
+// (SchedArgs.Obs, or the process default).
+func (s *Scheduler[In, Out]) Observer() *obs.Observer { return s.obs }
+
+// SubscribeSpans registers fn to receive every phase span this scheduler
+// emits ("reduction", "local combine", "global combine", "post combine",
+// "convert", and "read" in space sharing mode). fn is invoked synchronously
+// from the scheduler's coordinating goroutine. Subscribe before the first
+// Run; the subscriber list is not synchronized against concurrent phases.
+func (s *Scheduler[In, Out]) SubscribeSpans(fn func(obs.Span)) {
+	s.spanSubs = append(s.spanSubs, fn)
+}
 
 // sizeOfRedObj returns the accounted footprint of one reduction object.
 func (s *Scheduler[In, Out]) sizeOfRedObj(obj RedObj) int {

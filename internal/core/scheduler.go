@@ -10,6 +10,7 @@ import (
 
 	"github.com/scipioneer/smart/internal/chunk"
 	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/obs"
 )
 
 // Run executes the analytics over one partition in time sharing mode using
@@ -77,6 +78,9 @@ func (s *Scheduler[In, Out]) run(in []In, out []Out, multi bool) error {
 			return redErr
 		}
 		s.phaseEvent("reduction", redStart)
+		for t := range redMaps {
+			s.met.redmapSize.Observe(float64(len(redMaps[t])))
+		}
 
 		// Local combination: merge every thread's reduction map into the
 		// combination map. Objects for unseen keys are moved; objects for
@@ -112,21 +116,29 @@ func (s *Scheduler[In, Out]) run(in []In, out []Out, multi bool) error {
 		}
 
 		if s.postComb != nil {
+			pcStart := time.Now()
 			s.postComb.PostCombine(s.comMap)
+			s.phaseEvent("post combine", pcStart)
 		}
 	}
 
 	s.stats.MaxLiveRedObjs = live.peak.Load()
+	s.met.livePeak.Set(s.stats.MaxLiveRedObjs)
 	convStart := time.Now()
 	err = s.convert(out)
 	s.phaseEvent("convert", convStart)
+	s.met.runs.Inc()
 	return err
 }
 
-// phaseEvent reports a completed phase to the OnPhase hook, if any.
+// phaseEvent records a completed phase as an obs span — metrics + trace via
+// the observer, then the scheduler's subscribers (the OnPhase shim among
+// them). Called only from the coordinating goroutine.
 func (s *Scheduler[In, Out]) phaseEvent(name string, start time.Time) {
-	if s.args.OnPhase != nil {
-		s.args.OnPhase(name, time.Since(start))
+	sp := obs.Span{Cat: "core", Name: name, Start: start, Dur: time.Since(start)}
+	s.obs.RecordSpan(sp)
+	for _, fn := range s.spanSubs {
+		fn(sp)
 	}
 }
 
@@ -185,7 +197,7 @@ func (s *Scheduler[In, Out]) processSplit(sp chunk.Split, in []In, out []Out,
 	redMap CombMap, multi bool, live *liveCounter, tracker *memTracker) error {
 
 	var keys []int
-	var chunks int64
+	var chunks, touched int64
 	chunkSize := s.args.ChunkSize
 	end := sp.End()
 	// cache short-circuits the reduction-map lookup for consecutive chunks
@@ -205,11 +217,13 @@ func (s *Scheduler[In, Out]) processSplit(sp chunk.Split, in []In, out []Out,
 		chunks++
 		if multi {
 			keys = s.multi.GenKeys(c, in, s.comMap, keys[:0])
+			touched += int64(len(keys))
 			for _, k := range keys {
 				s.consumeChunk(k, c, in, out, redMap, live, tracker, &cache)
 			}
 		} else {
 			k := s.app.GenKey(c, in, s.comMap)
+			touched++
 			s.consumeChunk(k, c, in, out, redMap, live, tracker, &cache)
 		}
 		if tracker != nil && chunks%4096 == 0 {
@@ -219,6 +233,9 @@ func (s *Scheduler[In, Out]) processSplit(sp chunk.Split, in []In, out []Out,
 		}
 	}
 	atomic.AddInt64(&s.stats.ChunksProcessed, chunks)
+	// One registry update per split, not per chunk: the counters stay off
+	// the hot loop that Section 5.3 benchmarks against hand-coded baselines.
+	s.met.keysTouched.Add(touched)
 	return tracker.maybeSync()
 }
 
@@ -272,6 +289,7 @@ func (s *Scheduler[In, Out]) consumeChunk(k int, c chunk.Chunk, in []In, out []O
 		live.add(-1)
 		tracker.add(-int64(s.sizeOfRedObj(obj)))
 		atomic.AddInt64(&s.stats.EmittedEarly, 1)
+		s.met.earlyEmit.Inc()
 		cache.obj = nil
 	}
 }
@@ -376,6 +394,7 @@ func (s *Scheduler[In, Out]) globalCombine() error {
 		return fmt.Errorf("core: global combination encode: %w", err)
 	}
 	atomic.AddInt64(&s.stats.SerializedBytes, int64(len(payload)))
+	s.met.gcBytes.Add(int64(len(payload)))
 
 	comm := s.args.Comm
 	var merged []byte

@@ -2,8 +2,10 @@ package core
 
 import (
 	"errors"
+	"time"
 
 	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/obs"
 )
 
 // Feed hands one time-step's output partition to the analytics task in
@@ -12,6 +14,7 @@ import (
 // space sharing from time sharing — and Feed blocks while the buffer is
 // full, back-pressuring the simulation exactly as Section 3.2 describes.
 func (s *Scheduler[In, Out]) Feed(in []In) error {
+	start := time.Now()
 	cell := make([]In, len(in))
 	copy(cell, in)
 	var alloc *memmodel.Allocation
@@ -26,6 +29,12 @@ func (s *Scheduler[In, Out]) Feed(in []In) error {
 		alloc.Free()
 		return err
 	}
+	// The feed span (copy + any blocked-on-full wait) goes to the observer
+	// only, not to SubscribeSpans/OnPhase: it fires on the producer
+	// goroutine, and the subscriber contract promises the coordinating
+	// goroutine. The consumer-side "read" span covers the other end.
+	s.obs.RecordSpan(obs.Span{Cat: "core", Name: "feed", Start: start, Dur: time.Since(start),
+		Attrs: map[string]any{"elems": len(in)}})
 	return nil
 }
 
@@ -53,10 +62,15 @@ func (s *Scheduler[In, Out]) RunShared2(out []Out) error {
 }
 
 func (s *Scheduler[In, Out]) runShared(out []Out, multi bool) error {
+	start := time.Now()
 	item, err := s.buf.Get()
 	if err != nil {
 		return ErrFeedClosed
 	}
+	// "read" is the phase the plain Run path never has: waiting on (and
+	// dequeuing from) the circular buffer. Delivered on the consumer — the
+	// coordinating goroutine — so it reaches OnPhase/SubscribeSpans too.
+	s.phaseEvent("read", start)
 	defer item.mem.Free()
 	return s.run(item.data, out, multi)
 }
@@ -68,6 +82,16 @@ func (s *Scheduler[In, Out]) BufferStats() (produced, consumed, producerWaits in
 		return 0, 0, 0
 	}
 	return s.buf.Stats()
+}
+
+// BufferBlockedTime reports how long the space-sharing producer (Feed) has
+// cumulatively blocked on a full circular buffer and the consumer
+// (RunShared) on an empty one — the backpressure signal of Section 3.2.
+func (s *Scheduler[In, Out]) BufferBlockedTime() (producer, consumer time.Duration) {
+	if s.buf == nil {
+		return 0, 0
+	}
+	return s.buf.BlockedTime()
 }
 
 // elemSize conservatively estimates the in-memory size of one element of

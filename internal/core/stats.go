@@ -3,6 +3,8 @@ package core
 import (
 	"sync/atomic"
 	"time"
+
+	"github.com/scipioneer/smart/internal/obs"
 )
 
 // Stats reports counters from the most recent Run. The replay cluster
@@ -52,6 +54,37 @@ func (s *Stats) reset(threads int) {
 	s.ChunksProcessed = 0
 	s.MaxLiveRedObjs = 0
 	s.EmittedEarly = 0
+}
+
+// schedMetrics caches the scheduler's registry handles so the per-phase and
+// per-split paths never pay a name lookup.
+type schedMetrics struct {
+	// keysTouched counts (key, chunk) pairs consumed by the reduction
+	// phase — the map-side workload the paper's Section 5.3 overhead
+	// analysis reasons about.
+	keysTouched *obs.Counter
+	// earlyEmit counts reduction objects converted and erased by the
+	// Trigger mechanism (Section 4 early emission).
+	earlyEmit *obs.Counter
+	// gcBytes counts bytes this process serialized into global combination.
+	gcBytes *obs.Counter
+	// redmapSize samples each thread's reduction-map entry count at the end
+	// of every reduction phase — the live-map-size quantity of Figure 11.
+	redmapSize *obs.Histogram
+	// livePeak tracks the peak number of live reduction objects across all
+	// threads (gauge value = latest Run's peak, gauge peak = all-time).
+	livePeak *obs.Gauge
+	// runs counts completed Run/RunShared executions.
+	runs *obs.Counter
+}
+
+func (m *schedMetrics) init(r *obs.Registry) {
+	m.keysTouched = r.Counter("smart_core_keys_touched_total")
+	m.earlyEmit = r.Counter("smart_core_early_emissions_total")
+	m.gcBytes = r.Counter("smart_core_global_combine_bytes_total")
+	m.redmapSize = r.Histogram("smart_core_redmap_entries", obs.SizeBuckets)
+	m.livePeak = r.Gauge("smart_core_live_redobjs")
+	m.runs = r.Counter("smart_core_runs_total")
 }
 
 // liveCounter tracks the number of live reduction objects across threads and

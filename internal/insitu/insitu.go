@@ -20,8 +20,27 @@ import (
 	"time"
 
 	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/obs"
 	"github.com/scipioneer/smart/internal/sim"
 )
+
+// Per-step end-to-end latency by execution mode. For time sharing a step is
+// sim compute plus in-place analytics; for space sharing it is the consumer's
+// cadence (how often a buffered step drains); for offline it is the charged
+// sim + spool write + spool read + analytics cost of one time-step.
+var (
+	metStepTime    = obs.DefaultRegistry().Histogram(`smart_insitu_step_seconds{mode="time"}`, obs.DurationBuckets)
+	metStepSpace   = obs.DefaultRegistry().Histogram(`smart_insitu_step_seconds{mode="space"}`, obs.DurationBuckets)
+	metStepOffline = obs.DefaultRegistry().Histogram(`smart_insitu_step_seconds{mode="offline"}`, obs.DurationBuckets)
+)
+
+// stepSpan records one sim↔analytics handoff phase on the default observer.
+func stepSpan(cat, name string, step int, start time.Time) {
+	obs.Default().RecordSpan(obs.Span{
+		Cat: cat, Name: name, Start: start, Dur: time.Since(start),
+		Attrs: map[string]any{"step": step},
+	})
+}
 
 // AnalyzeFn consumes one time-step's output partition.
 type AnalyzeFn func(data []float64) error
@@ -85,6 +104,7 @@ func TimeSharing(s sim.Simulation, analyze AnalyzeFn, cfg TimeSharingConfig) ([]
 			return timings, fmt.Errorf("insitu: simulation step %d: %w", i, err)
 		}
 		t.Sim = time.Since(start)
+		stepSpan("insitu.time", "sim step", i, start)
 
 		start = time.Now()
 		data := s.Data()
@@ -96,6 +116,8 @@ func TimeSharing(s sim.Simulation, analyze AnalyzeFn, cfg TimeSharingConfig) ([]
 			return timings, fmt.Errorf("insitu: analytics at step %d: %w", i, err)
 		}
 		t.Analytics = time.Since(start)
+		stepSpan("insitu.time", "analytics step", i, start)
+		metStepTime.Observe((t.Sim + t.Analytics).Seconds())
 		if cfg.Mem != nil {
 			t.MemSlowdown = cfg.Mem.SlowdownFactor()
 		}
@@ -152,11 +174,13 @@ func SpaceSharing(s sim.Simulation, feed func([]float64) error, consume func() e
 			simErr <- err
 		}
 		for i := 0; i < cfg.Steps; i++ {
+			stepStart := time.Now()
 			if err := s.Step(); err != nil {
 				closeFeed()
 				finish(fmt.Errorf("insitu: simulation step %d: %w", i, err))
 				return
 			}
+			stepSpan("insitu.space", "sim step", i, stepStart)
 			if err := feed(s.Data()); err != nil {
 				finish(fmt.Errorf("insitu: feed at step %d: %w", i, err))
 				return
@@ -169,10 +193,13 @@ func SpaceSharing(s sim.Simulation, feed func([]float64) error, consume func() e
 	busyStart := time.Now()
 	var consumeErr error
 	for i := 0; i < cfg.Steps; i++ {
+		stepStart := time.Now()
 		if err := consume(); err != nil {
 			consumeErr = fmt.Errorf("insitu: analytics at step %d: %w", i, err)
 			break
 		}
+		stepSpan("insitu.space", "analytics step", i, stepStart)
+		metStepSpace.Observe(time.Since(stepStart).Seconds())
 	}
 	res.AnalyticsBusy = time.Since(busyStart)
 	if err := <-simErr; err != nil {
@@ -235,21 +262,32 @@ func Offline(s sim.Simulation, analyze AnalyzeFn, steps int, disk DiskModel) (Of
 		return time.Duration(math.Max(float64(measured), float64(modeled)))
 	}
 
+	// stepCost accumulates each time-step's charged end-to-end cost across
+	// both pipeline phases, observed into the mode="offline" histogram once
+	// the step has been analyzed.
+	stepCost := make([]time.Duration, steps)
+
 	// Phase 1: simulate and spool.
 	for i := 0; i < steps; i++ {
 		start := time.Now()
 		if err := s.Step(); err != nil {
 			return res, fmt.Errorf("insitu: simulation step %d: %w", i, err)
 		}
-		res.Sim += time.Since(start)
+		d := time.Since(start)
+		res.Sim += d
+		stepCost[i] += d
+		stepSpan("insitu.offline", "sim step", i, start)
 
 		start = time.Now()
 		n, err := writeStep(stepPath(dir, i), s.Data())
 		if err != nil {
 			return res, err
 		}
-		res.Write += charge(time.Since(start), n)
+		d = charge(time.Since(start), n)
+		res.Write += d
+		stepCost[i] += d
 		res.Bytes += n
+		stepSpan("insitu.offline", "spool write", i, start)
 	}
 
 	// Phase 2: load and analyze.
@@ -259,13 +297,20 @@ func Offline(s sim.Simulation, analyze AnalyzeFn, steps int, disk DiskModel) (Of
 		if err != nil {
 			return res, err
 		}
-		res.Read += charge(time.Since(start), n)
+		d := charge(time.Since(start), n)
+		res.Read += d
+		stepCost[i] += d
+		stepSpan("insitu.offline", "spool read", i, start)
 
 		start = time.Now()
 		if err := analyze(data); err != nil {
 			return res, fmt.Errorf("insitu: analytics at step %d: %w", i, err)
 		}
-		res.Analytics += time.Since(start)
+		d = time.Since(start)
+		res.Analytics += d
+		stepCost[i] += d
+		stepSpan("insitu.offline", "analytics step", i, start)
+		metStepOffline.Observe(stepCost[i].Seconds())
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package insitu
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"github.com/scipioneer/smart/internal/analytics"
 	"github.com/scipioneer/smart/internal/core"
@@ -269,5 +270,32 @@ func TestDriverValidation(t *testing.T) {
 	}
 	if _, err := SpaceSharing(h, nil, nil, nil, SpaceSharingConfig{}); err == nil {
 		t.Error("zero steps accepted")
+	}
+}
+
+func TestSpaceSharingDriverBlocksProducer(t *testing.T) {
+	// Satellite regression for the observability work: with a single-cell
+	// buffer and a consumer that is deliberately slower than the
+	// simulation, the driver must exhibit real backpressure — a non-zero
+	// producer wait count and non-zero cumulative producer blocked time,
+	// both surfaced through the scheduler's buffer introspection.
+	h := newHeat(t)
+	s := core.MustNewScheduler[float64, int64](analytics.NewHistogram(0, 120, 4),
+		core.SchedArgs{NumThreads: 1, ChunkSize: 1, NumIters: 1, BufferCells: 1})
+	consume := func() error {
+		time.Sleep(3 * time.Millisecond) // slower than the 8^3 heat step
+		s.ResetCombinationMap()
+		return s.RunShared(nil)
+	}
+	if _, err := SpaceSharing(h, s.Feed, consume, s.CloseFeed, SpaceSharingConfig{Steps: 6}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, producerWaits := s.BufferStats()
+	if producerWaits == 0 {
+		t.Fatal("producer never waited on a full buffer; backpressure not exercised")
+	}
+	producerBlocked, _ := s.BufferBlockedTime()
+	if producerBlocked <= 0 {
+		t.Fatalf("producer blocked time = %v, want > 0", producerBlocked)
 	}
 }

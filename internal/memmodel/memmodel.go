@@ -12,6 +12,18 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// Process-wide metrics, aggregated over all virtual nodes: the used-bytes
+// gauge (its peak is the global high-water mark), pressure-onset events
+// (crossings of a node's high-water fraction, the point where the thrash
+// ramp starts), and virtual OOM failures.
+var (
+	metUsed     = obs.DefaultRegistry().Gauge("smart_mem_used_bytes")
+	metPressure = obs.DefaultRegistry().Counter("smart_mem_pressure_events_total")
+	metOOM      = obs.DefaultRegistry().Counter("smart_mem_oom_total")
 )
 
 // Default pressure-model parameters. Above HighWater×capacity the node is
@@ -45,6 +57,24 @@ type Node struct {
 	used         int64
 	peak         int64
 	byLabel      map[string]int64
+	// pressured marks that used is above highWater×capacity, so the
+	// pressure-event counter fires once per excursion, not per allocation.
+	pressured bool
+}
+
+// account applies a usage delta under the node's lock, maintaining the peak
+// and the process-wide gauges/counters.
+func (n *Node) account(delta int64) {
+	n.used += delta
+	metUsed.Add(delta)
+	if n.used > n.peak {
+		n.peak = n.used
+	}
+	above := float64(n.used) > n.highWater*float64(n.capacity)
+	if above && !n.pressured {
+		metPressure.Inc()
+	}
+	n.pressured = above
 }
 
 // NewNode creates a node with the given virtual capacity in bytes and the
@@ -91,13 +121,11 @@ func (n *Node) Alloc(label string, bytes int64) (*Allocation, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.used+bytes > n.capacity {
+		metOOM.Inc()
 		return nil, &OOMError{Label: label, Want: bytes, Used: n.used, Capacity: n.capacity}
 	}
-	n.used += bytes
+	n.account(bytes)
 	n.byLabel[label] += bytes
-	if n.used > n.peak {
-		n.peak = n.used
-	}
 	return &Allocation{node: n, label: label, bytes: bytes}, nil
 }
 
@@ -109,7 +137,7 @@ func (a *Allocation) Free() {
 	a.freed = true
 	n := a.node
 	n.mu.Lock()
-	n.used -= a.bytes
+	n.account(-a.bytes)
 	n.byLabel[a.label] -= a.bytes
 	if n.byLabel[a.label] == 0 {
 		delete(n.byLabel, a.label)
@@ -131,13 +159,11 @@ func (a *Allocation) Resize(bytes int64) error {
 	defer n.mu.Unlock()
 	delta := bytes - a.bytes
 	if n.used+delta > n.capacity {
+		metOOM.Inc()
 		return &OOMError{Label: a.label, Want: delta, Used: n.used, Capacity: n.capacity}
 	}
-	n.used += delta
+	n.account(delta)
 	n.byLabel[a.label] += delta
-	if n.used > n.peak {
-		n.peak = n.used
-	}
 	a.bytes = bytes
 	return nil
 }

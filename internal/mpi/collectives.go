@@ -3,7 +3,41 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
+
+	"github.com/scipioneer/smart/internal/obs"
 )
+
+// collectiveMetrics holds the per-operation invocation counter and latency
+// histogram, cached at init so the per-call cost is a clock read and two
+// atomic updates.
+type collectiveMetrics struct {
+	calls   *obs.Counter
+	seconds *obs.Histogram
+}
+
+var collMetrics = func() map[string]collectiveMetrics {
+	r := obs.DefaultRegistry()
+	m := make(map[string]collectiveMetrics)
+	for _, op := range []string{"barrier", "bcast", "reduce", "allreduce", "gather", "allgather", "scatter"} {
+		m[op] = collectiveMetrics{
+			calls:   r.Counter(`smart_mpi_collective_total{op="` + op + `"}`),
+			seconds: r.Histogram(`smart_mpi_collective_seconds{op="`+op+`"}`, obs.DurationBuckets),
+		}
+	}
+	return m
+}()
+
+// timeCollective starts timing one collective call; the returned closer
+// records its latency. Usage: defer c.timeCollective("bcast")().
+func timeCollective(op string) func() {
+	met := collMetrics[op]
+	start := time.Now()
+	return func() {
+		met.calls.Inc()
+		met.seconds.Observe(time.Since(start).Seconds())
+	}
+}
 
 // Collective operation ids, mixed into internal tags.
 const (
@@ -30,7 +64,8 @@ type ReduceFunc func(a, b []byte) ([]byte, error)
 
 // Barrier blocks until all ranks of the communicator have entered it.
 func (c *Comm) Barrier() error {
-	_, err := c.Allreduce(nil, func(a, b []byte) ([]byte, error) { return nil, nil })
+	defer timeCollective("barrier")()
+	_, err := c.allreduce(nil, func(a, b []byte) ([]byte, error) { return nil, nil })
 	if err != nil {
 		return fmt.Errorf("mpi: barrier: %w", err)
 	}
@@ -43,6 +78,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
+	defer timeCollective("bcast")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	return c.bcast(root, data, c.ctag(opBcast, seq))
@@ -84,6 +120,7 @@ func (c *Comm) Reduce(root int, data []byte, fn ReduceFunc) ([]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
+	defer timeCollective("reduce")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	return c.reduce(root, data, fn, c.ctag(opReduce, seq))
@@ -120,6 +157,13 @@ func (c *Comm) reduce(root int, data []byte, fn ReduceFunc, tag int) ([]byte, er
 // Allreduce combines every rank's data with fn and returns the result on all
 // ranks (reduce to rank 0, then broadcast).
 func (c *Comm) Allreduce(data []byte, fn ReduceFunc) ([]byte, error) {
+	defer timeCollective("allreduce")()
+	return c.allreduce(data, fn)
+}
+
+// allreduce is Allreduce without the metrics wrapper, shared with Barrier
+// so a barrier is not double-counted as an allreduce.
+func (c *Comm) allreduce(data []byte, fn ReduceFunc) ([]byte, error) {
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	acc, err := c.reduce(0, data, fn, c.ctag(opReduce, seq))
@@ -135,6 +179,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
+	defer timeCollective("gather")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	return c.gather(root, data, c.ctag(opGather, seq))
@@ -161,6 +206,7 @@ func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
 
 // Allgather collects every rank's payload on all ranks, indexed by rank.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	defer timeCollective("allgather")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	parts, err := c.gather(0, data, c.ctag(opGather, seq))
@@ -184,6 +230,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
+	defer timeCollective("scatter")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	tag := c.ctag(opScatter, seq)

@@ -1,6 +1,36 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// transportMetrics counts messages and bytes per transport and direction,
+// aggregated over every endpoint in the process. Handles are cached at
+// package init so the per-message cost is two atomic adds.
+type transportMetrics struct {
+	sendMsgs, sendBytes *obs.Counter
+	recvMsgs, recvBytes *obs.Counter
+}
+
+func newTransportMetrics(transport string) transportMetrics {
+	r := obs.DefaultRegistry()
+	name := func(kind, dir string) string {
+		return "smart_mpi_" + kind + `_total{transport="` + transport + `",dir="` + dir + `"}`
+	}
+	return transportMetrics{
+		sendMsgs:  r.Counter(name("messages", "send")),
+		sendBytes: r.Counter(name("bytes", "send")),
+		recvMsgs:  r.Counter(name("messages", "recv")),
+		recvBytes: r.Counter(name("bytes", "recv")),
+	}
+}
+
+var (
+	memMetrics = newTransportMetrics("mem")
+	tcpMetrics = newTransportMetrics("tcp")
+)
 
 // memTransport is the in-process transport: all ranks share a slice of
 // mailboxes and Send is a copy into the destination's mailbox.
@@ -35,11 +65,18 @@ func (t *memTransport) Send(dst, tag int, payload []byte) error {
 	// MPI's buffered-send semantics that the runtime relies on.
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
+	memMetrics.sendMsgs.Inc()
+	memMetrics.sendBytes.Add(int64(len(payload)))
 	return t.boxes[dst].put(message{src: t.rank, tag: tag, payload: buf})
 }
 
 func (t *memTransport) Recv(src, tag int) ([]byte, error) {
-	return t.boxes[t.rank].get(src, tag)
+	payload, err := t.boxes[t.rank].get(src, tag)
+	if err == nil {
+		memMetrics.recvMsgs.Inc()
+		memMetrics.recvBytes.Add(int64(len(payload)))
+	}
+	return payload, err
 }
 
 func (t *memTransport) Close() error {

@@ -185,6 +185,8 @@ func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
 
 func (t *tcpTransport) Send(dst, tag int, payload []byte) error {
+	tcpMetrics.sendMsgs.Inc()
+	tcpMetrics.sendBytes.Add(int64(len(payload)))
 	if dst == t.rank {
 		buf := make([]byte, len(payload))
 		copy(buf, payload)
@@ -198,7 +200,12 @@ func (t *tcpTransport) Send(dst, tag int, payload []byte) error {
 }
 
 func (t *tcpTransport) Recv(src, tag int) ([]byte, error) {
-	return t.box.get(src, tag)
+	payload, err := t.box.get(src, tag)
+	if err == nil {
+		tcpMetrics.recvMsgs.Inc()
+		tcpMetrics.recvBytes.Add(int64(len(payload)))
+	}
+	return payload, err
 }
 
 func (t *tcpTransport) Close() error {

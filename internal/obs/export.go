@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteJSON writes a one-shot JSON snapshot of the registry, indented for
+// human reading. This is what `smartbench -metrics <file>` emits.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// splitName separates an optional inline label set from a metric name:
+// `smart_span_total{phase="reduction"}` -> ("smart_span_total",
+// `phase="reduction"`). Names without braces return empty labels.
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// promLine formats one sample, merging extra labels (e.g. le) into the
+// name's inline label set.
+func promLine(w io.Writer, family, labels, extra string, value any) {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		fmt.Fprintf(w, "%s{%s} %v\n", family, all, value)
+	} else {
+		fmt.Fprintf(w, "%s %v\n", family, value)
+	}
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples (gauges
+// additionally expose a <family>_peak high-water sample), histograms as
+// cumulative _bucket/_sum/_count families.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	typed := map[string]bool{}
+	writeType := func(family, kind string) {
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		}
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		family, labels := splitName(name)
+		writeType(family, "counter")
+		promLine(w, family, labels, "", s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		family, labels := splitName(name)
+		g := s.Gauges[name]
+		writeType(family, "gauge")
+		promLine(w, family, labels, "", g.Value)
+		writeType(family+"_peak", "gauge")
+		promLine(w, family+"_peak", labels, "", g.Peak)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		family, labels := splitName(name)
+		h := s.Histograms[name]
+		writeType(family, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			promLine(w, family+"_bucket", labels, `le="`+formatFloat(b.UpperBound)+`"`, cum)
+		}
+		promLine(w, family+"_sum", labels, "", formatFloat(h.Sum))
+		promLine(w, family+"_count", labels, "", h.Count)
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Server is a live metrics endpoint: GET /metrics serves the Prometheus
+// text format, GET /metrics.json the JSON snapshot. Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP metrics server for reg on addr (e.g. ":9090" or
+// "127.0.0.1:0"). It returns once the listener is bound; requests are
+// served on a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "smart metrics endpoint: /metrics (Prometheus text), /metrics.json (snapshot)")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

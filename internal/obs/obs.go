@@ -1,0 +1,292 @@
+// Package obs is the Smart runtime's observability subsystem: a metrics
+// registry with lock-free counters, gauges and fixed-bucket histograms, a
+// span-based phase trace stream, and exporters (Prometheus text, one-shot
+// JSON snapshot, live HTTP endpoint). The paper's entire evaluation hinges
+// on where time and memory go — reduction vs. local vs. global combination,
+// buffer stalls under space sharing, live reduction-map size with and
+// without early emission — and this package is the measurement layer every
+// runtime phase reports into.
+//
+// Hot-path discipline: Counter.Add, Gauge.Set/Add and Histogram.Observe are
+// single atomic operations (plus a short CAS loop for peaks and float sums)
+// and never take a lock; registration (Registry.Counter, ...) takes a lock
+// only on first use of a name, so instrumented code caches the returned
+// pointers. Snapshot readers see each metric atomically but the snapshot as
+// a whole is not a consistent cut — fine for monitoring, meaningless for
+// invariant checking across metrics.
+//
+// Names follow the Prometheus convention, optionally with one inline label
+// set: "smart_span_seconds{phase=\"reduction\"}". The registry treats the
+// whole string as the key; the Prometheus exporter splits it back into
+// family and labels.
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0 for the Prometheus
+// exposition to stay meaningful; the counter does not enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a 64-bit value that can go up and down. It additionally tracks
+// the peak (high-water mark) of every value it has held, which is what the
+// memory and occupancy experiments actually read: a drained ring buffer ends
+// at occupancy zero, but its peak proves the buffer was exercised.
+type Gauge struct {
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.bumpPeak(v)
+}
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 {
+	v := g.v.Add(delta)
+	g.bumpPeak(v)
+	return v
+}
+
+func (g *Gauge) bumpPeak(v int64) {
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Peak returns the largest value the gauge has held.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations. Bucket
+// bounds are upper limits in ascending order; one implicit +Inf bucket
+// catches the tail. Observations update per-bucket atomic counters and a
+// CAS-maintained float sum, so concurrent writers never block each other.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// DurationBuckets is the default bucket layout for phase and collective
+// latencies, in seconds: 1µs .. 10s, decades.
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// SizeBuckets is the default bucket layout for cardinalities (reduction-map
+// entries, live objects): decades from 1 to 10M.
+var SizeBuckets = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// use NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry backs Default(); package-level instrumentation (ringbuf,
+// memmodel, mpi) registers against it at init time.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry, the sink for all
+// instrumentation that has no explicit Observer threaded to it.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// GaugeSnapshot is one gauge's state at snapshot time.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Peak  int64 `json:"peak"`
+}
+
+// BucketSnapshot is one histogram bucket: the count of observations at or
+// below the upper bound (non-cumulative; the Prometheus exporter cumulates).
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// bucketJSON is the wire form: the bound is a string because encoding/json
+// cannot represent the final +Inf bucket as a number.
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MarshalJSON encodes the bound as a string ("0.001", "+Inf").
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bucketJSON{LE: formatFloat(b.UpperBound), Count: b.Count})
+}
+
+// UnmarshalJSON reverses MarshalJSON.
+func (b *BucketSnapshot) UnmarshalJSON(data []byte) error {
+	var w bucketJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	ub, err := strconv.ParseFloat(w.LE, 64)
+	if err != nil {
+		return err
+	}
+	b.UpperBound = ub
+	b.Count = w.Count
+	return nil
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Each
+// metric is read atomically; the set as a whole is not a consistent cut.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Peak: g.Peak()}
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		hs.Buckets = make([]BucketSnapshot, len(h.counts))
+		for i := range h.counts {
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			hs.Buckets[i] = BucketSnapshot{UpperBound: ub, Count: h.counts[i].Load()}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}

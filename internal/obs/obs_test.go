@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("get-or-create returned a different counter for the same name")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 || g.Peak() != 7 {
+		t.Fatalf("gauge value=%d peak=%d, want 4/7", g.Value(), g.Peak())
+	}
+	g.Add(10)
+	if g.Peak() != 14 {
+		t.Fatalf("peak after add = %d, want 14", g.Peak())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.001, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.561) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.561", h.Sum())
+	}
+	s := r.Snapshot().Histograms["h_seconds"]
+	wantCounts := []int64{2, 1, 1, 1} // le=0.01 (0.001 and 0.01), 0.1, 1, +Inf
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d (le=%g) count = %d, want %d", i, b.UpperBound, b.Count, wantCounts[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Fatalf("last bucket bound = %g, want +Inf", s.Buckets[3].UpperBound)
+	}
+}
+
+// TestRegistryConcurrentStress is the -race gate for the lock-free hot
+// path: N writer goroutines hammer one counter, one gauge and one histogram
+// through the get-or-create path while a reader snapshots continuously;
+// the final totals must be exact.
+func TestRegistryConcurrentStress(t *testing.T) {
+	const (
+		writers = 8
+		perG    = 20_000
+	)
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if c := s.Counters["stress_total"]; c < 0 || c > writers*perG {
+				t.Errorf("snapshot counter out of range: %d", c)
+				return
+			}
+			var buf bytes.Buffer
+			_ = r.WritePrometheus(&buf)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Re-resolve by name every iteration to stress the
+				// registration fast path, not just the atomics.
+				r.Counter("stress_total").Inc()
+				r.Gauge("stress_gauge").Add(1)
+				r.Gauge("stress_gauge").Add(-1)
+				r.Histogram("stress_seconds", DurationBuckets).Observe(float64(seed*perG+i) * 1e-7)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Counter("stress_total").Value(); got != writers*perG {
+		t.Fatalf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := r.Gauge("stress_gauge").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	h := r.Histogram("stress_seconds", DurationBuckets)
+	if h.Count() != writers*perG {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), writers*perG)
+	}
+	// Sum of 0..writers*perG-1 scaled by 1e-7, exact in float64 CAS-add up
+	// to rounding: check to a relative tolerance.
+	n := float64(writers * perG)
+	want := n * (n - 1) / 2 * 1e-7
+	if math.Abs(h.Sum()-want)/want > 1e-9 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`smart_span_total{phase="reduction"}`).Add(3)
+	r.Gauge("smart_ringbuf_occupancy").Set(2)
+	r.Histogram(`lat_seconds{op="bcast"}`, []float64{0.1}).Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE smart_span_total counter",
+		`smart_span_total{phase="reduction"} 3`,
+		"smart_ringbuf_occupancy 2",
+		"smart_ringbuf_occupancy_peak 2",
+		`lat_seconds_bucket{op="bcast",le="0.1"} 1`,
+		`lat_seconds_bucket{op="bcast",le="+Inf"} 1`,
+		`lat_seconds_sum{op="bcast"} 0.05`,
+		`lat_seconds_count{op="bcast"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(9)
+	r.Gauge("b").Set(-4)
+	r.Histogram("c_seconds", DurationBuckets).Observe(0.2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if s.Counters["a_total"] != 9 || s.Gauges["b"].Value != -4 || s.Histograms["c_seconds"].Count != 1 {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+}

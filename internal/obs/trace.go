@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one completed, named interval of runtime work: a scheduler phase
+// ("reduction", "local combine", ...), a per-step simulation or analytics
+// interval, or an I/O leg of the offline pipeline. Cat names the emitting
+// subsystem ("core", "insitu.space", ...) so a merged trace file from a
+// coupled run can be split back per layer.
+type Span struct {
+	// Cat is the emitting subsystem, e.g. "core" or "insitu.time".
+	Cat string `json:"cat"`
+	// Name is the phase name, e.g. "reduction".
+	Name string `json:"name"`
+	// Start is when the interval began.
+	Start time.Time `json:"ts"`
+	// Dur is the interval's length.
+	Dur time.Duration `json:"dur_ns"`
+	// Attrs carries optional small structured payload (step index, byte
+	// counts, ...). Values must be JSON-encodable.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Observer couples a metrics Registry with a span sink. Recording a span
+// does three things: bumps the per-phase counter and latency histogram in
+// the registry, appends one JSON line to the trace writer (if set), and
+// fans the span out to subscribers. A nil *Observer is valid and records
+// nothing, so instrumented code never needs a nil check.
+type Observer struct {
+	reg *Registry
+
+	traceMu sync.Mutex
+	traceW  io.Writer
+	enc     *json.Encoder
+
+	subMu   sync.RWMutex
+	subs    map[int]func(Span)
+	nextSub int
+}
+
+// New creates an Observer with its own fresh registry.
+func New() *Observer { return NewWithRegistry(NewRegistry()) }
+
+// NewWithRegistry creates an Observer recording metrics into reg.
+func NewWithRegistry(reg *Registry) *Observer {
+	return &Observer{reg: reg, subs: make(map[int]func(Span))}
+}
+
+// defaultObserver is the process-wide observer, sharing DefaultRegistry.
+var defaultObserver = NewWithRegistry(defaultRegistry)
+
+// Default returns the process-wide observer: the sink for every runtime
+// layer that has no explicitly configured Observer.
+func Default() *Observer { return defaultObserver }
+
+// Registry returns the observer's metrics registry (the default registry
+// for a nil observer, so callers can cache metric handles unconditionally).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return defaultRegistry
+	}
+	return o.reg
+}
+
+// SetTraceWriter directs span trace output to w as JSON lines, one span per
+// line (nil disables tracing). The observer serializes writes; hand it a
+// *bufio.Writer for high-rate traces and flush it at the end of the run.
+func (o *Observer) SetTraceWriter(w io.Writer) {
+	if o == nil {
+		return
+	}
+	o.traceMu.Lock()
+	defer o.traceMu.Unlock()
+	o.traceW = w
+	if w == nil {
+		o.enc = nil
+	} else {
+		o.enc = json.NewEncoder(w)
+	}
+}
+
+// Subscribe registers fn to receive every recorded span and returns a
+// cancel function. fn is called synchronously from the recording goroutine
+// and must be fast and concurrency-safe.
+func (o *Observer) Subscribe(fn func(Span)) (cancel func()) {
+	if o == nil {
+		return func() {}
+	}
+	o.subMu.Lock()
+	id := o.nextSub
+	o.nextSub++
+	o.subs[id] = fn
+	o.subMu.Unlock()
+	return func() {
+		o.subMu.Lock()
+		delete(o.subs, id)
+		o.subMu.Unlock()
+	}
+}
+
+// traceEvent is the JSON-lines wire form of a span.
+type traceEvent struct {
+	TS    string         `json:"ts"`
+	Cat   string         `json:"cat"`
+	Name  string         `json:"name"`
+	DurNS int64          `json:"dur_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// RecordSpan records one completed span: per-phase counter + latency
+// histogram, trace line, subscriber fanout.
+func (o *Observer) RecordSpan(sp Span) {
+	if o == nil {
+		return
+	}
+	o.reg.Counter(SpanCounterName(sp.Name)).Inc()
+	o.reg.Histogram(SpanSecondsName(sp.Name), DurationBuckets).Observe(sp.Dur.Seconds())
+
+	o.traceMu.Lock()
+	if o.enc != nil {
+		// Encode errors are swallowed by design: tracing must never fail
+		// the traced computation. A torn tail line marks a crashed run.
+		_ = o.enc.Encode(traceEvent{
+			TS:    sp.Start.UTC().Format(time.RFC3339Nano),
+			Cat:   sp.Cat,
+			Name:  sp.Name,
+			DurNS: int64(sp.Dur),
+			Attrs: sp.Attrs,
+		})
+	}
+	o.traceMu.Unlock()
+
+	o.subMu.RLock()
+	for _, fn := range o.subs {
+		fn(sp)
+	}
+	o.subMu.RUnlock()
+}
+
+// Span starts an interval and returns its closer; call the closer when the
+// interval completes to record it:
+//
+//	done := o.Span("core", "reduction")
+//	... work ...
+//	done()
+func (o *Observer) Span(cat, name string) (done func()) {
+	if o == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		o.RecordSpan(Span{Cat: cat, Name: name, Start: start, Dur: time.Since(start)})
+	}
+}
+
+// SpanCounterName returns the registry name under which spans with the
+// given phase name are counted.
+func SpanCounterName(phase string) string {
+	return `smart_span_total{phase="` + phase + `"}`
+}
+
+// SpanSecondsName returns the registry name of the latency histogram for
+// spans with the given phase name.
+func SpanSecondsName(phase string) string {
+	return `smart_span_seconds{phase="` + phase + `"}`
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordSpanBumpsMetrics(t *testing.T) {
+	o := New()
+	o.RecordSpan(Span{Cat: "core", Name: "reduction", Start: time.Now(), Dur: 3 * time.Millisecond})
+	o.RecordSpan(Span{Cat: "core", Name: "reduction", Start: time.Now(), Dur: 5 * time.Millisecond})
+	o.RecordSpan(Span{Cat: "core", Name: "convert", Start: time.Now(), Dur: time.Microsecond})
+
+	r := o.Registry()
+	if got := r.Counter(SpanCounterName("reduction")).Value(); got != 2 {
+		t.Fatalf("reduction span count = %d, want 2", got)
+	}
+	if got := r.Counter(SpanCounterName("convert")).Value(); got != 1 {
+		t.Fatalf("convert span count = %d, want 1", got)
+	}
+	h := r.Histogram(SpanSecondsName("reduction"), DurationBuckets)
+	if h.Count() != 2 || h.Sum() < 0.007 || h.Sum() > 0.009 {
+		t.Fatalf("reduction histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestTraceWriterEmitsJSONLines(t *testing.T) {
+	o := New()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	o.SetTraceWriter(w)
+
+	start := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	o.RecordSpan(Span{Cat: "core", Name: "reduction", Start: start, Dur: 2 * time.Millisecond,
+		Attrs: map[string]any{"iter": 0}})
+	o.RecordSpan(Span{Cat: "insitu.space", Name: "feed", Start: start.Add(time.Second), Dur: time.Millisecond})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("trace lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev struct {
+		TS    string         `json:"ts"`
+		Cat   string         `json:"cat"`
+		Name  string         `json:"name"`
+		DurNS int64          `json:"dur_ns"`
+		Attrs map[string]any `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if ev.Name != "reduction" || ev.Cat != "core" || ev.DurNS != int64(2*time.Millisecond) {
+		t.Fatalf("unexpected event: %+v", ev)
+	}
+	if ev.Attrs["iter"] != float64(0) {
+		t.Fatalf("attrs not carried: %+v", ev.Attrs)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, ev.TS); err != nil {
+		t.Fatalf("timestamp not RFC3339Nano: %v", err)
+	}
+}
+
+func TestSubscribeAndCancel(t *testing.T) {
+	o := New()
+	var got []string
+	cancel := o.Subscribe(func(sp Span) { got = append(got, sp.Name) })
+	o.RecordSpan(Span{Name: "a"})
+	o.RecordSpan(Span{Name: "b"})
+	cancel()
+	o.RecordSpan(Span{Name: "c"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("subscriber saw %v, want [a b]", got)
+	}
+}
+
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	o.RecordSpan(Span{Name: "x"})
+	o.SetTraceWriter(io.Discard)
+	o.Span("c", "n")()
+	o.Subscribe(func(Span) {})()
+	if o.Registry() != DefaultRegistry() {
+		t.Fatal("nil observer must fall back to the default registry")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(11)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if text := get("/metrics"); !strings.Contains(text, "served_total 11") {
+		t.Fatalf("/metrics missing counter:\n%s", text)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["served_total"] != 11 {
+		t.Fatalf("snapshot counter = %d, want 11", snap.Counters["served_total"])
+	}
+}

@@ -1,0 +1,85 @@
+package ringbuf
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProducerBlockedTime is the backpressure regression test: with the
+// buffer at capacity, a Put must actually block (non-zero wait count and
+// blocked duration) until the consumer frees a cell.
+func TestProducerBlockedTime(t *testing.T) {
+	b := New[int](1)
+	if err := b.Put(1); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- b.Put(2) }() // blocks: buffer is full
+
+	const hold = 30 * time.Millisecond
+	time.Sleep(hold)
+	if v, err := b.Get(); err != nil || v != 1 {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked Put failed: %v", err)
+	}
+
+	_, _, waits := b.Stats()
+	if waits == 0 {
+		t.Fatal("producer never blocked on a full buffer")
+	}
+	producer, _ := b.BlockedTime()
+	if producer < hold/2 {
+		t.Fatalf("producer blocked time = %v, want >= %v", producer, hold/2)
+	}
+	if v, err := b.Get(); err != nil || v != 2 {
+		t.Fatalf("second Get = %d, %v", v, err)
+	}
+}
+
+// TestConsumerBlockedTime mirrors the producer test on the empty side.
+func TestConsumerBlockedTime(t *testing.T) {
+	b := New[int](2)
+	done := make(chan int, 1)
+	go func() {
+		v, err := b.Get() // blocks: buffer is empty
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v
+	}()
+
+	const hold = 30 * time.Millisecond
+	time.Sleep(hold)
+	if err := b.Put(7); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-done; v != 7 {
+		t.Fatalf("Get = %d, want 7", v)
+	}
+	_, consumer := b.BlockedTime()
+	if consumer < hold/2 {
+		t.Fatalf("consumer blocked time = %v, want >= %v", consumer, hold/2)
+	}
+}
+
+// TestCloseTerminatedWaitAccounted closes the buffer under a blocked
+// producer and checks the ended wait is still charged to blocked time.
+func TestCloseTerminatedWaitAccounted(t *testing.T) {
+	b := New[int](1)
+	if err := b.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Put(2) }()
+	time.Sleep(10 * time.Millisecond)
+	b.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("blocked Put after Close = %v, want ErrClosed", err)
+	}
+	if producer, _ := b.BlockedTime(); producer == 0 {
+		t.Fatal("blocked time not recorded for a Close-terminated wait")
+	}
+}

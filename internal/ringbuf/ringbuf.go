@@ -3,15 +3,34 @@
 // simulation task is the producer and the analytics task is the consumer.
 // When the buffer is full the producer blocks until a cell frees up, exactly
 // as described in the paper's Section 3.2.
+//
+// Every buffer reports into the process-wide obs registry: a global
+// occupancy gauge (its peak proves the buffer was exercised even after a
+// full drain), produced/consumed counters, and producer/consumer blocked
+// time — the backpressure signals Figure 10's space-sharing analysis needs.
 package ringbuf
 
 import (
 	"errors"
 	"sync"
+	"time"
+
+	"github.com/scipioneer/smart/internal/obs"
 )
 
 // ErrClosed is returned once the buffer has been closed and drained.
 var ErrClosed = errors.New("ringbuf: closed")
+
+// Package-wide metrics, aggregated over all buffers in the process. The
+// occupancy gauge is the net cell count across buffers; its Peak is the
+// high-water mark.
+var (
+	metOccupancy       = obs.DefaultRegistry().Gauge("smart_ringbuf_occupancy")
+	metProduced        = obs.DefaultRegistry().Counter("smart_ringbuf_produced_total")
+	metConsumed        = obs.DefaultRegistry().Counter("smart_ringbuf_consumed_total")
+	metProducerBlocked = obs.DefaultRegistry().Counter("smart_ringbuf_producer_blocked_ns_total")
+	metConsumerBlocked = obs.DefaultRegistry().Counter("smart_ringbuf_consumer_blocked_ns_total")
+)
 
 // Buffer is a bounded blocking FIFO of time-step payloads. The element type
 // is generic so the buffer can carry typed array partitions without copying
@@ -26,9 +45,11 @@ type Buffer[T any] struct {
 	closed   bool
 
 	// stats
-	produced     int
-	consumed     int
-	producerWait int // times the producer blocked on a full buffer
+	produced        int
+	consumed        int
+	producerWait    int // times the producer blocked on a full buffer
+	producerBlocked time.Duration
+	consumerBlocked time.Duration
 }
 
 // New creates a buffer with the given number of cells. It panics on a
@@ -60,7 +81,11 @@ func (b *Buffer[T]) Put(v T) error {
 	defer b.mu.Unlock()
 	for b.count == len(b.cells) && !b.closed {
 		b.producerWait++
+		start := time.Now()
 		b.notFull.Wait()
+		d := time.Since(start)
+		b.producerBlocked += d
+		metProducerBlocked.Add(int64(d))
 	}
 	if b.closed {
 		return ErrClosed
@@ -68,6 +93,8 @@ func (b *Buffer[T]) Put(v T) error {
 	b.cells[(b.head+b.count)%len(b.cells)] = v
 	b.count++
 	b.produced++
+	metProduced.Inc()
+	metOccupancy.Add(1)
 	b.notEmpty.Signal()
 	return nil
 }
@@ -78,7 +105,11 @@ func (b *Buffer[T]) Get() (T, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for b.count == 0 && !b.closed {
+		start := time.Now()
 		b.notEmpty.Wait()
+		d := time.Since(start)
+		b.consumerBlocked += d
+		metConsumerBlocked.Add(int64(d))
 	}
 	var zero T
 	if b.count == 0 {
@@ -89,6 +120,8 @@ func (b *Buffer[T]) Get() (T, error) {
 	b.head = (b.head + 1) % len(b.cells)
 	b.count--
 	b.consumed++
+	metConsumed.Inc()
+	metOccupancy.Add(-1)
 	b.notFull.Signal()
 	return v, nil
 }
@@ -110,4 +143,12 @@ func (b *Buffer[T]) Stats() (produced, consumed, producerWaits int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.produced, b.consumed, b.producerWait
+}
+
+// BlockedTime reports how long the producer has cumulatively blocked on a
+// full buffer and the consumer on an empty one.
+func (b *Buffer[T]) BlockedTime() (producer, consumer time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.producerBlocked, b.consumerBlocked
 }
