@@ -1,0 +1,105 @@
+// Command smartd runs the Smart analytics job service: an HTTP daemon that
+// accepts typed analytics jobs, executes them on the in-situ runtime under
+// admission control, streams results, and drains gracefully — in-flight
+// jobs finish within the grace period or are checkpointed for a future
+// server to resume, queued jobs are rejected, and the process exits 0.
+//
+// Usage:
+//
+//	smartd [-addr :8080] [-queue 16] [-workers 2] [-mem-bytes 0]
+//	       [-deadline 0] [-grace 10s] [-ckdir DIR]
+//
+// SIGTERM or SIGINT triggers the drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "smartd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored out of main so the shutdown path is
+// testable in-process: when ready is non-nil it receives the bound listen
+// address once the service is up.
+func run(args []string, out io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("smartd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		queue    = fs.Int("queue", 16, "bounded job-queue capacity")
+		workers  = fs.Int("workers", 2, "worker pool size (concurrent jobs)")
+		memBytes = fs.Int64("mem-bytes", 0, "virtual memory node capacity for admission control (0 = off)")
+		deadline = fs.Duration("deadline", 0, "default per-job execution deadline (0 = none)")
+		grace    = fs.Duration("grace", 10*time.Second, "drain grace period before inflight jobs are checkpointed")
+		ckdir    = fs.String("ckdir", "", "checkpoint directory for drained jobs (default os temp dir)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Queue:           *queue,
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+		CheckpointDir:   *ckdir,
+	}
+	if cfg.CheckpointDir == "" {
+		cfg.CheckpointDir = os.TempDir()
+	}
+	if *memBytes > 0 {
+		cfg.Mem = memmodel.NewNode(*memBytes)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(cfg)
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(out, "smartd: serving on %s (queue=%d workers=%d)\n", ln.Addr(), *queue, *workers)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(out, "smartd: %v: draining (grace %v)\n", s, *grace)
+	case err := <-serveErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+
+	// Drain first — it refuses new work, rejects queued jobs, and gives
+	// in-flight jobs the grace period to finish before checkpointing them —
+	// then stop the HTTP listener so late status/stream readers still get
+	// their terminal records.
+	srv.Drain(*grace)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(out, "smartd: drained, exiting")
+	return nil
+}

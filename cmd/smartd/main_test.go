@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/scipioneer/smart/internal/serve"
+	"github.com/scipioneer/smart/internal/serve/client"
+)
+
+// longKMeans is a job spec that cannot finish within the test's lifetime
+// unless it is cancelled, checkpointed, or the machine is absurdly fast.
+var longKMeans = serve.JobSpec{
+	App: "kmeans", Steps: 10_000, Elems: 65536,
+	Params: serve.Params{K: 8, Dims: 4, Iters: 10},
+}
+
+// pollStatus waits for the job to reach status via the HTTP API.
+func pollStatus(t *testing.T, c *client.Client, id string, want serve.Status, timeout time.Duration) serve.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last serve.JobView
+	for time.Now().Before(deadline) {
+		v, err := c.Get(context.Background(), id)
+		if err == nil {
+			last = v
+			if v.Status == want {
+				return v
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s: status = %q, want %q within %v", id, last.Status, want, timeout)
+	return last
+}
+
+// TestSmartdEndToEnd drives the daemon through its whole lifecycle: queue
+// bounds above the admission limit, chunk-granularity cancellation, an
+// early-emission stream, and a SIGTERM drain that checkpoints the in-flight
+// job, rejects the queued one, and returns cleanly (exit 0 in main).
+func TestSmartdEndToEnd(t *testing.T) {
+	ckdir := t.TempDir()
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "1",
+			"-queue", "1",
+			"-grace", "50ms",
+			"-ckdir", ckdir,
+		}, io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("smartd exited before ready: %v", err)
+	}
+	c := client.New("http://"+addr, client.WithRetries(0))
+
+	// A job streams early emissions before its result.
+	view, err := c.SubmitWait(context.Background(), serve.JobSpec{
+		App: "movingavg", Elems: 2048, Params: serve.Params{Window: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != serve.StatusDone {
+		t.Fatalf("movingavg status = %q (error %q)", view.Status, view.Error)
+	}
+	sawEmitBeforeResult, sawEmit := false, false
+	if err := c.Stream(context.Background(), view.ID, func(rec serve.StreamRecord) error {
+		if rec.Type == "emit" {
+			sawEmit = true
+		}
+		if rec.Type == "result" && sawEmit {
+			sawEmitBeforeResult = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawEmitBeforeResult {
+		t.Fatal("stream had no early emission before the result record")
+	}
+
+	// Cancellation stops a running job at chunk granularity — far faster
+	// than the job would take to finish.
+	cv, err := c.Submit(context.Background(), longKMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollStatus(t, c, cv.ID, serve.StatusRunning, 5*time.Second)
+	cancelStart := time.Now()
+	if _, err := c.Cancel(context.Background(), cv.ID); err != nil {
+		t.Fatal(err)
+	}
+	pollStatus(t, c, cv.ID, serve.StatusCancelled, 5*time.Second)
+	if d := time.Since(cancelStart); d > 2*time.Second {
+		t.Errorf("cancel latency %v, want chunk-scale", d)
+	}
+
+	// Admission: one running + one queued fills worker and queue; the next
+	// submission is a 429.
+	running, err := c.Submit(context.Background(), longKMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollStatus(t, c, running.ID, serve.StatusRunning, 5*time.Second)
+	queued, err := c.Submit(context.Background(), longKMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := queued.Status; got != serve.StatusQueued {
+		t.Fatalf("second job status = %q, want queued", got)
+	}
+	_, err = c.Submit(context.Background(), longKMeans)
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit: err = %v, want 429", err)
+	}
+
+	// SIGTERM: the daemon drains — the queued job is rejected, the running
+	// one is checkpointed once the 50ms grace expires — and run returns nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("smartd exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("smartd did not exit after SIGTERM")
+	}
+
+	ck := filepath.Join(ckdir, running.ID+".ck")
+	buf, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatalf("inflight job was not checkpointed: %v", err)
+	}
+	if !strings.HasPrefix(string(buf), "SMARTCK1") {
+		t.Errorf("checkpoint %s missing the Smart magic", ck)
+	}
+	entries, err := os.ReadDir(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir has %d entries, want 1 (only the inflight job): %v", len(entries), entries)
+	}
+}

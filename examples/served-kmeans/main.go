@@ -1,0 +1,140 @@
+// Analytics as a service: an in-process smartd serves typed analytics jobs
+// over HTTP while a client submits k-means clustering, watches a moving
+// average stream its early-emitted window results live, and cancels a
+// long-running job mid-flight — the chunk-granularity cancellation of
+// Scheduler.RunContext surfacing as a fast DELETE. The server then drains:
+// nothing is in flight here, so it exits immediately, but a busy server
+// would checkpoint interrupted jobs for a successor to resume.
+//
+// Run with: go run ./examples/served-kmeans
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/serve"
+	"github.com/scipioneer/smart/internal/serve/client"
+)
+
+func main() {
+	// An in-process smartd: two workers, a small bounded queue, and a 2 GB
+	// virtual memory node gating admission.
+	ckdir, err := os.MkdirTemp("", "smartd-ck-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(ckdir)
+	srv := serve.NewServer(serve.Config{
+		Workers:       2,
+		Queue:         4,
+		Mem:           memmodel.NewNode(2 << 30),
+		CheckpointDir: ckdir,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	fmt.Printf("smartd serving on %s\n\n", ln.Addr())
+
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	// 1. Submit k-means and wait for the clustered centroids.
+	fmt.Println("== k-means (submit and wait) ==")
+	view, err := c.SubmitWait(ctx, serve.JobSpec{
+		App:   "kmeans",
+		Steps: 2, Elems: 1 << 16, Seed: 42,
+		Params: serve.Params{K: 4, Dims: 4, Iters: 8, Lo: -3, Hi: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %s\n", view.ID, view.Status)
+	if m, ok := view.Result.(map[string]any); ok {
+		fmt.Printf("centroids: %v\n\n", m["centroids"])
+	}
+
+	// 2. A moving average with early emission on: window positions finalize
+	// and stream as NDJSON records while the job runs; the result record
+	// closes the stream.
+	fmt.Println("== moving average (streamed early emissions) ==")
+	mv, err := c.Submit(ctx, serve.JobSpec{
+		App: "movingavg", Elems: 4096, Seed: 7, Params: serve.Params{Window: 25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var emits, spans int
+	err = c.Stream(ctx, mv.ID, func(rec serve.StreamRecord) error {
+		switch rec.Type {
+		case "emit":
+			if emits < 3 {
+				fmt.Printf("early emission: window[%d] = %v\n", rec.Key, rec.Value)
+			}
+			emits++
+		case "span":
+			spans++
+		case "result":
+			fmt.Printf("stream closed by result record (seq %d)\n", rec.Seq)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d early emissions and %d phase spans streamed\n\n", emits, spans)
+
+	// 3. Cancel a deliberately long job mid-flight: the reduction stops
+	// within one chunk per thread, so the DELETE lands fast.
+	fmt.Println("== cancellation mid-flight ==")
+	long, err := c.Submit(ctx, serve.JobSpec{
+		App: "kmeans", Steps: 100_000, Elems: 1 << 16,
+		Params: serve.Params{K: 8, Dims: 4, Iters: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		v, err := c.Get(ctx, long.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.Status == serve.StatusRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if _, err := c.Cancel(ctx, long.ID); err != nil {
+		log.Fatal(err)
+	}
+	for {
+		v, err := c.Get(ctx, long.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.Status == serve.StatusCancelled {
+			fmt.Printf("%s cancelled in %v (%s)\n\n", long.ID, time.Since(start).Round(time.Millisecond), v.Error)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// 4. Drain: refuse new work, let in-flight jobs finish (none remain),
+	// checkpoint whatever the grace period cuts off.
+	srv.Drain(5 * time.Second)
+	fmt.Println("server drained; all jobs terminal:")
+	for _, v := range srv.List() {
+		fmt.Printf("  %s %-12s %s\n", v.ID, v.Status, v.App)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // checkpointMagic guards against restoring a file that is not a Smart
@@ -13,6 +14,13 @@ var checkpointMagic = []byte("SMARTCK1")
 // analytics whose state lives entirely in the combination map (k-means
 // centroids, regression weights), this checkpoints the job: a restored
 // scheduler continues exactly where the saved one stopped.
+//
+// The publish is crash-safe: the payload is written to a staging file which
+// is fsynced before being renamed over path, and the directory entry is
+// synced after the rename. A crash at any point leaves either the previous
+// checkpoint or the new one — never a torn or empty file posing as a valid
+// checkpoint. Do not call while a Run is in progress; the map is read
+// without synchronization against the reduction workers.
 func (s *Scheduler[In, Out]) WriteCheckpoint(path string) error {
 	payload, err := encodeMap(s.comMap)
 	if err != nil {
@@ -22,17 +30,48 @@ func (s *Scheduler[In, Out]) WriteCheckpoint(path string) error {
 	buf = append(buf, checkpointMagic...)
 	buf = append(buf, payload...)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("core: checkpoint write: %w", err)
 	}
-	// Atomic publish: a crash mid-write never leaves a torn checkpoint.
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint write: %w", err)
+	}
+	// The rename only publishes atomically if the staged bytes are durable
+	// first; without this fsync a crash can rename an empty or torn file
+	// into place.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: checkpoint close: %w", err)
+	}
 	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("core: checkpoint publish: %w", err)
+	}
+	// Sync the directory so the rename itself survives a crash. Some
+	// platforms (and some filesystems) refuse to fsync a directory; the
+	// rename is already atomic there, so this is best-effort.
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
 	return nil
 }
 
-// ReadCheckpoint replaces the combination map with a previously saved one.
+// ReadCheckpoint replaces the scheduler's accumulated state with a
+// previously saved one. Beyond swapping in the decoded combination map it
+// resets the per-Run statistics, so counters from a partial run before the
+// restore cannot leak into post-restore accounting. Per-thread reduction
+// maps and iteration counters need no reset: both are created fresh at the
+// start of every Run, so a restore-then-continue sequence cannot
+// double-count (the restore-resume k-means test pins this invariant).
 func (s *Scheduler[In, Out]) ReadCheckpoint(path string) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -46,5 +85,6 @@ func (s *Scheduler[In, Out]) ReadCheckpoint(path string) error {
 		return fmt.Errorf("core: checkpoint decode: %w", err)
 	}
 	s.comMap = m
+	s.stats = Stats{}
 	return nil
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// TestConcurrentSchedulersSharedRegistryAndNode is the invariant the serving
+// layer depends on: independent Scheduler instances running simultaneously
+// against the shared default registry and one memmodel node must produce
+// metric totals equal to the sum of per-job expectations, with no lost or
+// double-counted updates (run under -race in CI).
+func TestConcurrentSchedulersSharedRegistryAndNode(t *testing.T) {
+	reg := obs.DefaultRegistry()
+	keys := reg.Counter("smart_core_keys_touched_total")
+	runs := reg.Counter("smart_core_runs_total")
+	keysBefore, runsBefore := keys.Value(), runs.Value()
+
+	node := memmodel.NewNode(64 << 20)
+	usedBefore := node.Used()
+
+	sizes := []int{40_000, 30_000}
+	var wg sync.WaitGroup
+	errs := make([]error, len(sizes))
+	for i, n := range sizes {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+				NumThreads: 4, ChunkSize: 1, NumIters: 1, Mem: node,
+			})
+			errs[i] = s.Run(histInput(n), make([]int64, 10))
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+
+	wantKeys := int64(0)
+	for _, n := range sizes {
+		wantKeys += int64(n)
+	}
+	if got := keys.Value() - keysBefore; got != wantKeys {
+		t.Fatalf("keys touched: %d jobs summed to %d, want %d", len(sizes), got, wantKeys)
+	}
+	if got := runs.Value() - runsBefore; got != int64(len(sizes)) {
+		t.Fatalf("runs counted: %d, want %d", got, len(sizes))
+	}
+	// Both runs released their trackers: the shared node is back to its
+	// pre-test level, and the peak proves both charged it.
+	if got := node.Used(); got != usedBefore {
+		t.Fatalf("node usage leaked: %d bytes (was %d)", got, usedBefore)
+	}
+	if node.Peak() == 0 {
+		t.Fatal("memory tracker never charged the shared node")
+	}
+}

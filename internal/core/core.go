@@ -16,7 +16,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"github.com/scipioneer/smart/internal/chunk"
@@ -238,6 +240,19 @@ type Scheduler[In, Out any] struct {
 	// Append via SubscribeSpans before the first Run — the slice is read
 	// without a lock on the phase path.
 	spanSubs []func(obs.Span)
+	// emitSubs receives every early emission (SubscribeEarlyEmits); like
+	// spanSubs it is appended before the first Run and read without a lock,
+	// but it fires from reduction worker goroutines.
+	emitSubs []func(key int, value Out)
+	// cancelled is raised by RunContext's watcher when the run's context
+	// completes; the chunk loops poll it so a cancelled run stops within one
+	// chunk per thread.
+	cancelled atomic.Bool
+	// runCtx is the active run's context; reduction workers consult it
+	// directly every cancelPollMask+1 chunks as a backstop when the watcher
+	// goroutine is starved. Written by the coordinating goroutine before
+	// workers spawn.
+	runCtx context.Context
 
 	// cached optional capabilities of app
 	multi     MultiKeyer[In]
@@ -336,6 +351,19 @@ func (s *Scheduler[In, Out]) Observer() *obs.Observer { return s.obs }
 // Run; the subscriber list is not synchronized against concurrent phases.
 func (s *Scheduler[In, Out]) SubscribeSpans(fn func(obs.Span)) {
 	s.spanSubs = append(s.spanSubs, fn)
+}
+
+// SubscribeEarlyEmits registers fn to receive every early-emitted output
+// value — a reduction object whose Trigger fired, already converted into its
+// output slot (Section 4's early emission). Final conversions at the end of
+// a Run are not delivered; this is the live stream of results that finalize
+// mid-run, which the serving layer forwards to clients before the run
+// converges. fn is invoked from reduction worker goroutines, potentially
+// concurrently, and must be fast and safe for concurrent use. Subscribe
+// before the first Run. Emissions for keys outside [OutBase, OutBase+len(out))
+// or on schedulers without a Converter are not observable and are skipped.
+func (s *Scheduler[In, Out]) SubscribeEarlyEmits(fn func(key int, value Out)) {
+	s.emitSubs = append(s.emitSubs, fn)
 }
 
 // sizeOfRedObj returns the accounted footprint of one reduction object.

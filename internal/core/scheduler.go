@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -19,18 +20,68 @@ import (
 // final result is converted into out (which may be nil to skip conversion).
 // This is Algorithm 1 of the paper.
 func (s *Scheduler[In, Out]) Run(in []In, out []Out) error {
-	return s.run(in, out, false)
+	return s.run(context.Background(), in, out, false)
 }
 
 // Run2 is Run using gen_keys (multiple keys per unit chunk), the path used
 // by window-based analytics.
 func (s *Scheduler[In, Out]) Run2(in []In, out []Out) error {
-	return s.run(in, out, true)
+	return s.run(context.Background(), in, out, true)
 }
 
-func (s *Scheduler[In, Out]) run(in []In, out []Out, multi bool) error {
+// RunContext is Run with deadline/cancellation support. Cancellation is
+// observed at chunk granularity: every reduction worker checks a flag raised
+// by ctx's completion before consuming the next unit chunk, so a cancelled
+// run stops within one chunk per thread (within cancelPollMask+1 chunks on a
+// host where the watcher goroutine is starved) and returns an error wrapping
+// context.Cause(ctx). The combination map is left as of the last completed
+// phase — callers that checkpoint after cancellation persist a consistent
+// (if not fully converged) state.
+func (s *Scheduler[In, Out]) RunContext(ctx context.Context, in []In, out []Out) error {
+	return s.run(ctx, in, out, false)
+}
+
+// Run2Context is RunContext using gen_keys.
+func (s *Scheduler[In, Out]) Run2Context(ctx context.Context, in []In, out []Out) error {
+	return s.run(ctx, in, out, true)
+}
+
+// errCancelled is the internal sentinel the reduction workers return when
+// they observe the cancellation flag; run translates it into an error that
+// wraps the context's cause.
+var errCancelled = errors.New("core: run cancelled")
+
+// cancelPollMask sets how often (in chunks, power of two minus one) a
+// reduction worker pays a direct ctx.Err() — a mutex acquisition — on top of
+// the free per-chunk atomic flag check. 255 keeps the direct check off the
+// hot path while bounding cancellation latency even when the watcher
+// goroutine is starved.
+const cancelPollMask = 255
+
+// cancelErr wraps the context's cancellation cause so callers can match it
+// with errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+func cancelErr(ctx context.Context) error {
+	return fmt.Errorf("core: run cancelled: %w", context.Cause(ctx))
+}
+
+func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi bool) error {
 	if multi && s.multi == nil {
 		return errors.New("core: Run2 requires the application to implement MultiKeyer")
+	}
+	// The chunk loops poll s.cancelled (one uncontended atomic load per
+	// chunk) instead of ctx.Err(), so cancellation support costs the hot
+	// path nothing measurable; an AfterFunc watcher raises the flag. The
+	// watcher runs on its own goroutine, which a tight reduction loop on a
+	// GOMAXPROCS=1 host can starve — so the workers also consult the
+	// context directly every cancelPollChunks chunks as a backstop.
+	s.cancelled.Store(false)
+	s.runCtx = ctx
+	if ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return cancelErr(ctx)
+		}
+		stop := context.AfterFunc(ctx, func() { s.cancelled.Store(true) })
+		defer stop()
 	}
 	nt := s.args.NumThreads
 	s.stats.reset(nt)
@@ -50,6 +101,9 @@ func (s *Scheduler[In, Out]) run(in []In, out []Out, multi bool) error {
 	redMaps := make([]CombMap, nt)
 
 	for iter := 0; iter < s.args.NumIters; iter++ {
+		if s.cancelled.Load() || ctx.Err() != nil {
+			return cancelErr(ctx)
+		}
 		// Distribute the (local or, after the first iteration's global
 		// combination, global) combination map to each reduction map.
 		for t := range redMaps {
@@ -75,6 +129,9 @@ func (s *Scheduler[In, Out]) run(in []In, out []Out, multi bool) error {
 			redErr = s.reduceBlock(block, in, out, redMaps, multi, live, tracker)
 		})
 		if redErr != nil {
+			if errors.Is(redErr, errCancelled) {
+				return cancelErr(ctx)
+			}
 			return redErr
 		}
 		s.phaseEvent("reduction", redStart)
@@ -104,6 +161,11 @@ func (s *Scheduler[In, Out]) run(in []In, out []Out, multi bool) error {
 			return err
 		}
 
+		// A cancelled job must not enter the collective: peers would block
+		// on a rank that is about to abandon the communicator.
+		if s.cancelled.Load() || ctx.Err() != nil {
+			return cancelErr(ctx)
+		}
 		// Global combination: merge node combination maps across the
 		// communicator; every process ends up with the global map, which
 		// doubles as the "distribute global map" step of the next iteration.
@@ -209,6 +271,10 @@ func (s *Scheduler[In, Out]) processSplit(sp chunk.Split, in []In, out []Out,
 	// path and a per-chunk closure dispatch is measurable against the
 	// hand-coded baselines of Section 5.3.
 	for start := sp.Start; start < end; start += chunkSize {
+		if s.cancelled.Load() || (chunks&cancelPollMask == cancelPollMask && s.runCtx.Err() != nil) {
+			atomic.AddInt64(&s.stats.ChunksProcessed, chunks)
+			return errCancelled
+		}
 		length := chunkSize
 		if start+length > end {
 			length = end - start
@@ -285,12 +351,32 @@ func (s *Scheduler[In, Out]) consumeChunk(k int, c chunk.Chunk, in []In, out []O
 		// map never holds more than the window's worth of unfinished
 		// objects.
 		s.emit(k, obj, out)
+		if len(s.emitSubs) > 0 {
+			s.notifyEmit(k, out)
+		}
 		delete(redMap, k)
 		live.add(-1)
 		tracker.add(-int64(s.sizeOfRedObj(obj)))
 		atomic.AddInt64(&s.stats.EmittedEarly, 1)
 		s.met.earlyEmit.Inc()
 		cache.obj = nil
+	}
+}
+
+// notifyEmit forwards one freshly converted early emission to the emission
+// subscribers. It runs on the reduction worker that fired the trigger, so
+// subscribers must be safe for concurrent use.
+func (s *Scheduler[In, Out]) notifyEmit(key int, out []Out) {
+	if s.converter == nil || out == nil {
+		return
+	}
+	idx := key - s.args.OutBase
+	if idx < 0 || idx >= len(out) {
+		return
+	}
+	v := out[idx]
+	for _, fn := range s.emitSubs {
+		fn(key, v)
 	}
 }
 

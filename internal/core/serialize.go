@@ -3,18 +3,27 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // encodeMap serializes a combination map as
 // count | (key, len, payload)* with little-endian fixed-width framing.
 // This is the serialization the paper charges to global combination — the
 // price of keeping reduction objects in a flexible map rather than the
-// contiguous arrays of a hand-written MPI_Allreduce (Section 5.3).
+// contiguous arrays of a hand-written MPI_Allreduce (Section 5.3). Entries
+// are written in ascending key order, so equal maps encode byte-identically:
+// checkpoints of the same state round-trip bit-for-bit and global-combination
+// payloads are reproducible across runs.
 func encodeMap(m CombMap) ([]byte, error) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
 	buf := make([]byte, 0, 16+32*len(m))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
-	for k, obj := range m {
-		payload, err := obj.MarshalBinary()
+	for _, k := range keys {
+		payload, err := m[k].MarshalBinary()
 		if err != nil {
 			return nil, fmt.Errorf("core: marshal reduction object for key %d: %w", k, err)
 		}

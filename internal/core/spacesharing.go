@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -72,7 +73,7 @@ func (s *Scheduler[In, Out]) runShared(out []Out, multi bool) error {
 	// coordinating goroutine — so it reaches OnPhase/SubscribeSpans too.
 	s.phaseEvent("read", start)
 	defer item.mem.Free()
-	return s.run(item.data, out, multi)
+	return s.run(context.Background(), item.data, out, multi)
 }
 
 // BufferStats exposes the circular buffer's produced/consumed counters and

@@ -12,6 +12,7 @@
 package insitu
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -72,6 +73,16 @@ type TimeSharingConfig struct {
 // resources, returning per-step timings. In the zero-copy arrangement the
 // analytics receives the simulation's live buffer — Smart's read pointer.
 func TimeSharing(s sim.Simulation, analyze AnalyzeFn, cfg TimeSharingConfig) ([]StepTiming, error) {
+	return TimeSharingContext(context.Background(), s, analyze, cfg)
+}
+
+// TimeSharingContext is TimeSharing with cancellation: the context is
+// checked before every simulation step, so a cancelled driver stops at the
+// next step boundary with the timings gathered so far. Finer-grained
+// cancellation inside a step belongs to the analytics callback — pass the
+// same ctx into Scheduler.RunContext there and a cancelled job stops within
+// one chunk instead of one time-step.
+func TimeSharingContext(ctx context.Context, s sim.Simulation, analyze AnalyzeFn, cfg TimeSharingConfig) ([]StepTiming, error) {
 	if cfg.Steps <= 0 {
 		return nil, fmt.Errorf("insitu: steps must be positive")
 	}
@@ -98,6 +109,9 @@ func TimeSharing(s sim.Simulation, analyze AnalyzeFn, cfg TimeSharingConfig) ([]
 
 	timings := make([]StepTiming, 0, cfg.Steps)
 	for i := 0; i < cfg.Steps; i++ {
+		if ctx.Err() != nil {
+			return timings, fmt.Errorf("insitu: cancelled before step %d: %w", i, context.Cause(ctx))
+		}
 		t := StepTiming{MemSlowdown: 1}
 		start := time.Now()
 		if err := s.Step(); err != nil {

@@ -188,6 +188,23 @@ func (n *Node) Peak() int64 {
 // Capacity returns the node's virtual capacity.
 func (n *Node) Capacity() int64 { return n.capacity }
 
+// Utilization returns the fraction of capacity currently reserved.
+func (n *Node) Utilization() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return float64(n.used) / float64(n.capacity)
+}
+
+// Pressured reports whether reserved bytes exceed the high-water fraction —
+// the point where the thrash ramp starts. The serving layer uses this as its
+// admission signal: a node already paging gains nothing from accepting more
+// analytics work, so new jobs are rejected until the excursion ends.
+func (n *Node) Pressured() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return float64(n.used) > n.highWater*float64(n.capacity)
+}
+
 // SlowdownFactor returns the multiplicative compute slowdown implied by the
 // current memory pressure: 1.0 up to the high-water mark, ramping linearly
 // to the thrash factor at full capacity.

@@ -105,6 +105,23 @@ type Server struct {
 	srv *http.Server
 }
 
+// Handler returns an http.Handler exposing reg in both exposition formats:
+// paths ending in ".json" receive the JSON snapshot, everything else the
+// Prometheus text format. It lets other subsystems (the analytics job
+// service among them) mount the metrics endpoint on their own mux instead of
+// running a second listener.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, ".json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
 // Serve starts an HTTP metrics server for reg on addr (e.g. ":9090" or
 // "127.0.0.1:0"). It returns once the listener is bound; requests are
 // served on a background goroutine.
@@ -114,14 +131,9 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = reg.WriteJSON(w)
-	})
+	h := Handler(reg)
+	mux.Handle("/metrics", h)
+	mux.Handle("/metrics.json", h)
 	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "smart metrics endpoint: /metrics (Prometheus text), /metrics.json (snapshot)")
 	})

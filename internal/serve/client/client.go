@@ -1,0 +1,239 @@
+// Package client is the Go client for the smartd analytics job service. It
+// speaks the serve HTTP API, retrying overload responses (429, 503) with
+// exponential backoff — honoring the server's Retry-After hint — so callers
+// see admission control as latency, not failure, until the retry budget runs
+// out.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/scipioneer/smart/internal/serve"
+)
+
+// StatusError is a non-2xx response that was not retried away: the final
+// status code and the server's error message.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Message)
+}
+
+// retryable reports whether a status code signals transient overload.
+func retryable(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// Client talks to one smartd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	// retries is how many times an overloaded request is re-sent before the
+	// 429/503 surfaces as a StatusError.
+	retries int
+	// backoff is the first retry delay; it doubles per attempt up to maxBackoff.
+	backoff    time.Duration
+	maxBackoff time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets the overload retry budget (0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the initial and maximum retry delays.
+func WithBackoff(initial, max time.Duration) Option {
+	return func(c *Client) { c.backoff = initial; c.maxBackoff = max }
+}
+
+// New creates a client for the service at base (e.g. "http://127.0.0.1:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimSuffix(base, "/"),
+		hc:         &http.Client{},
+		retries:    5,
+		backoff:    50 * time.Millisecond,
+		maxBackoff: 2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// retryDelay picks the wait before retry attempt (0-based), preferring the
+// server's Retry-After header over the exponential schedule.
+func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				d := time.Duration(secs) * time.Second
+				if d > c.maxBackoff {
+					d = c.maxBackoff
+				}
+				return d
+			}
+		}
+	}
+	d := c.backoff << attempt
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	return d
+}
+
+// do sends one request, retrying overload responses, and decodes a 2xx body
+// into out (when non-nil). The request body is re-materialized per attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if resp.StatusCode < 300 {
+			defer resp.Body.Close()
+			if out == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				return nil
+			}
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return fmt.Errorf("client: decode %s %s: %w", method, path, err)
+			}
+			return nil
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		resp.Body.Close()
+		lastErr = &StatusError{Code: resp.StatusCode, Message: eb.Error}
+		if !retryable(resp.StatusCode) || attempt >= c.retries {
+			return lastErr
+		}
+		select {
+		case <-time.After(c.retryDelay(attempt, resp)):
+		case <-ctx.Done():
+			return fmt.Errorf("client: %w (last: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// Submit enqueues a job and returns its initial view (status "queued").
+func (c *Client) Submit(ctx context.Context, spec serve.JobSpec) (serve.JobView, error) {
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return serve.JobView{}, fmt.Errorf("client: encode spec: %w", err)
+	}
+	var view serve.JobView
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", buf, &view)
+	return view, err
+}
+
+// SubmitWait enqueues a job and blocks until it reaches a terminal status,
+// returning the final view (result included for successful jobs).
+func (c *Client) SubmitWait(ctx context.Context, spec serve.JobSpec) (serve.JobView, error) {
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return serve.JobView{}, fmt.Errorf("client: encode spec: %w", err)
+	}
+	var view serve.JobView
+	err = c.do(ctx, http.MethodPost, "/v1/jobs?wait=1", buf, &view)
+	return view, err
+}
+
+// Get returns a job's current view.
+func (c *Client) Get(ctx context.Context, id string) (serve.JobView, error) {
+	var view serve.JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &view)
+	return view, err
+}
+
+// List returns every job the server knows.
+func (c *Client) List(ctx context.Context) ([]serve.JobView, error) {
+	var body struct {
+		Jobs []serve.JobView `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &body)
+	return body.Jobs, err
+}
+
+// Cancel stops a job and returns its view after the cancel was filed.
+func (c *Client) Cancel(ctx context.Context, id string) (serve.JobView, error) {
+	var view serve.JobView
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &view)
+	return view, err
+}
+
+// Apps returns the server's registered application names.
+func (c *Client) Apps(ctx context.Context) ([]string, error) {
+	var body struct {
+		Apps []string `json:"apps"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/apps", nil, &body)
+	return body.Apps, err
+}
+
+// Stream attaches to a job's NDJSON stream and invokes fn for every record
+// — buffered replay first, then live — until the stream ends (the job
+// reached a terminal state), fn returns an error, or ctx is cancelled.
+func (c *Client) Stream(ctx context.Context, id string, fn func(serve.StreamRecord) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: stream %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return &StatusError{Code: resp.StatusCode, Message: eb.Error}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec serve.StreamRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("client: bad stream record %q: %w", sc.Text(), err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("client: stream %s: %w", id, err)
+	}
+	return nil
+}

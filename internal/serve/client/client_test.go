@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/scipioneer/smart/internal/obs"
+	"github.com/scipioneer/smart/internal/serve"
+)
+
+func newBackend(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.NewServer(serve.Config{
+		Workers: 2, Queue: 4,
+		Registry:      obs.NewRegistry(),
+		CheckpointDir: t.TempDir(),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Drain(0) })
+	return s, ts
+}
+
+func TestSubmitWaitReturnsResult(t *testing.T) {
+	_, ts := newBackend(t)
+	c := New(ts.URL)
+	view, err := c.SubmitWait(context.Background(), serve.JobSpec{App: "histogram", Elems: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != serve.StatusDone {
+		t.Fatalf("status = %q (error %q), want done", view.Status, view.Error)
+	}
+	if view.Result == nil {
+		t.Fatal("done job has no result")
+	}
+}
+
+func TestRetriesOverloadWithBackoff(t *testing.T) {
+	_, ts := newBackend(t)
+	// A gate in front of the real service: the first two attempts are
+	// turned away with 429 + Retry-After, the third passes through.
+	var attempts atomic.Int64
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"synthetic overload"}`))
+			return
+		}
+		resp, err := http.Get(ts.URL + r.URL.String())
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		// The gate only fronts GETs in this test.
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				_, _ = w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	defer gate.Close()
+
+	c := New(gate.URL, WithBackoff(time.Millisecond, 10*time.Millisecond))
+	apps, err := c.Apps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) == 0 {
+		t.Fatal("no apps after retries")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (two 429s + success)", got)
+	}
+}
+
+func TestNoRetriesSurfacesStatusError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"full"}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(0))
+	_, err := c.Submit(context.Background(), serve.JobSpec{App: "histogram"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want StatusError 429", err)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		attempts.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"draining"}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Submit(context.Background(), serve.JobSpec{App: "histogram"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want StatusError 503", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestBadSpecIsNotRetried(t *testing.T) {
+	_, ts := newBackend(t)
+	c := New(ts.URL)
+	_, err := c.Submit(context.Background(), serve.JobSpec{App: "no-such-app"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want StatusError 400", err)
+	}
+}
+
+func TestStreamDeliversRecords(t *testing.T) {
+	_, ts := newBackend(t)
+	c := New(ts.URL)
+	view, err := c.SubmitWait(context.Background(), serve.JobSpec{
+		App: "movingavg", Elems: 1024, Params: serve.Params{Window: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emits, results int
+	err = c.Stream(context.Background(), view.ID, func(rec serve.StreamRecord) error {
+		switch rec.Type {
+		case "emit":
+			emits++
+		case "result":
+			results++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emits == 0 || results != 1 {
+		t.Errorf("emits = %d, results = %d; want >0 emits and exactly one result", emits, results)
+	}
+}
+
+func TestCancelViaClient(t *testing.T) {
+	_, ts := newBackend(t)
+	c := New(ts.URL)
+	view, err := c.Submit(context.Background(), serve.JobSpec{
+		App: "kmeans", Steps: 10_000, Elems: 65536,
+		Params: serve.Params{K: 8, Dims: 4, Iters: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(context.Background(), view.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, err := c.Get(context.Background(), view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == serve.StatusCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after cancel", v.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,46 @@
+package serve
+
+import "github.com/scipioneer/smart/internal/obs"
+
+// serveMetrics is the service's instrumentation, registered alongside the
+// runtime's smart_core_*/smart_mem_* families so one scrape of the metrics
+// endpoint shows admission behaviour next to the reduction work it gates.
+type serveMetrics struct {
+	// queueDepth tracks jobs admitted but not yet picked up by a worker;
+	// its peak is the deepest backlog the server has seen.
+	queueDepth *obs.Gauge
+	// inflight tracks jobs currently executing on a worker.
+	inflight *obs.Gauge
+	// rejects counts admission failures by cause.
+	rejectsQueueFull *obs.Counter
+	rejectsPressure  *obs.Counter
+	rejectsDraining  *obs.Counter
+	// outcomes count finished jobs by terminal status.
+	jobsDone         *obs.Counter
+	jobsFailed       *obs.Counter
+	jobsCancelled    *obs.Counter
+	jobsCheckpointed *obs.Counter
+	// jobSeconds is the per-job run latency (admission to terminal state,
+	// excluding queue wait) and queueSeconds the admission-to-start wait.
+	jobSeconds   *obs.Histogram
+	queueSeconds *obs.Histogram
+	// streamDropped counts stream records lost to slow subscribers.
+	streamDropped *obs.Counter
+}
+
+func newServeMetrics(r *obs.Registry) serveMetrics {
+	return serveMetrics{
+		queueDepth:       r.Gauge("smart_serve_queue_depth"),
+		inflight:         r.Gauge("smart_serve_inflight_jobs"),
+		rejectsQueueFull: r.Counter(`smart_serve_admission_rejects_total{cause="queue_full"}`),
+		rejectsPressure:  r.Counter(`smart_serve_admission_rejects_total{cause="mem_pressure"}`),
+		rejectsDraining:  r.Counter(`smart_serve_admission_rejects_total{cause="draining"}`),
+		jobsDone:         r.Counter(`smart_serve_jobs_total{status="done"}`),
+		jobsFailed:       r.Counter(`smart_serve_jobs_total{status="failed"}`),
+		jobsCancelled:    r.Counter(`smart_serve_jobs_total{status="cancelled"}`),
+		jobsCheckpointed: r.Counter(`smart_serve_jobs_total{status="checkpointed"}`),
+		jobSeconds:       r.Histogram("smart_serve_job_seconds", obs.DurationBuckets),
+		queueSeconds:     r.Histogram("smart_serve_queue_wait_seconds", obs.DurationBuckets),
+		streamDropped:    r.Counter("smart_serve_stream_dropped_total"),
+	}
+}

@@ -1,0 +1,564 @@
+// Package serve runs Smart analytics as a multi-tenant service: clients
+// submit typed job specs over HTTP, a bounded queue with memmodel-backed
+// admission control decides whether a job may enter, a worker pool executes
+// admitted jobs on core.Scheduler with per-job deadlines and cancellation,
+// and results stream back as NDJSON — early emissions and phase spans while
+// the job runs, the final output when it converges. It is the service layer
+// the paper's in-situ runtime lacks: the same node that hosts the simulation
+// can answer ad-hoc analytics queries without being pushed into paging.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/core"
+	"github.com/scipioneer/smart/internal/insitu"
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/obs"
+	"github.com/scipioneer/smart/internal/sim"
+)
+
+// Params are the per-application knobs of a JobSpec. Unused fields are
+// ignored by applications that do not read them; zero values select
+// documented defaults.
+type Params struct {
+	// K and Dims parameterize k-means (clusters × dimensions) and logistic
+	// regression (feature dimensions).
+	K    int `json:"k,omitempty"`
+	Dims int `json:"dims,omitempty"`
+	// Iters is the iteration count per time-step for iterative applications
+	// (k-means, logistic regression).
+	Iters int `json:"iters,omitempty"`
+	// Buckets is the histogram/mutual-information bucket count.
+	Buckets int `json:"buckets,omitempty"`
+	// Lo and Hi bound the value range for bucketed applications.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Window is the window size of the four window-based applications.
+	Window int `json:"window,omitempty"`
+	// Order is the Savitzky–Golay polynomial order.
+	Order int `json:"order,omitempty"`
+	// GridSize is the grid-aggregation/moments cell size in elements.
+	GridSize int `json:"grid_size,omitempty"`
+	// Rate is the logistic-regression learning rate.
+	Rate float64 `json:"rate,omitempty"`
+	// Bandwidth is the kernel-density bandwidth (0 = triangular default).
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+}
+
+// JobSpec is a typed analytics job request: which registered application to
+// run, over how much emulated simulation data, with what resources.
+type JobSpec struct {
+	// App names a registered application (see Apps).
+	App string `json:"app"`
+	// Steps is the number of simulation time-steps to analyze (default 1).
+	Steps int `json:"steps,omitempty"`
+	// Elems is the number of float64 elements per time-step (default 65536).
+	Elems int `json:"elems,omitempty"`
+	// Seed makes the emulated data stream deterministic.
+	Seed uint64 `json:"seed,omitempty"`
+	// Threads is the scheduler's reduction thread count (default 2).
+	Threads int `json:"threads,omitempty"`
+	// DeadlineMS caps the job's wall-clock run time in milliseconds; zero
+	// uses the server default, negative means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Params carries the application knobs.
+	Params Params `json:"params,omitempty"`
+}
+
+// maxElems bounds a single time-step so one spec cannot ask the service to
+// materialize an absurd buffer.
+const maxElems = 1 << 24
+
+// normalize applies spec defaults in place and validates the shared fields.
+func (s *JobSpec) normalize() error {
+	if s.App == "" {
+		return fmt.Errorf("serve: spec missing app name")
+	}
+	if s.Steps == 0 {
+		s.Steps = 1
+	}
+	if s.Steps < 0 {
+		return fmt.Errorf("serve: steps must be positive")
+	}
+	if s.Elems == 0 {
+		s.Elems = 65536
+	}
+	if s.Elems < 0 || s.Elems > maxElems {
+		return fmt.Errorf("serve: elems must be in (0, %d]", maxElems)
+	}
+	if s.Threads == 0 {
+		s.Threads = 2
+	}
+	if s.Threads < 0 || s.Threads > 256 {
+		return fmt.Errorf("serve: threads must be in (0, 256]")
+	}
+	return nil
+}
+
+// jobProgram is a built, ready-to-run job: run executes it (emitting stream
+// records as it goes) and returns the final result; checkpoint, when
+// non-nil, persists the job's combination-map state so a drained server can
+// hand the job back to a future one. Applications whose state is reset every
+// time-step (the window filters) have nil checkpoint — there is nothing
+// durable to save mid-run.
+type jobProgram struct {
+	run        func(ctx context.Context, emit func(StreamRecord)) (any, error)
+	checkpoint func(path string) error
+}
+
+// builder constructs a jobProgram from a normalized spec, charging the
+// scheduler's data structures against mem. Construction performs full
+// validation: a builder error means the spec is bad (HTTP 400), never that
+// the server is overloaded.
+type builder func(spec JobSpec, mem *memmodel.Node) (*jobProgram, error)
+
+// builders is the typed job registry: the paper's evaluation applications
+// plus an example two-stage pipeline, keyed by the names clients submit.
+var builders = map[string]builder{
+	"histogram":     buildHistogram,
+	"gridagg":       buildGridAgg,
+	"moments":       buildMoments,
+	"mutualinfo":    buildMutualInfo,
+	"logreg":        buildLogReg,
+	"kmeans":        buildKMeans,
+	"movingavg":     buildWindow("movingavg"),
+	"movingmedian":  buildWindow("movingmedian"),
+	"kde":           buildWindow("kde"),
+	"savgol":        buildWindow("savgol"),
+	"pipeline-grid": buildGridHistPipeline,
+}
+
+// Apps returns the registered application names, sorted.
+func Apps() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// buildJob normalizes the spec and dispatches to its application's builder.
+func buildJob(spec JobSpec, mem *memmodel.Node) (JobSpec, *jobProgram, error) {
+	if err := spec.normalize(); err != nil {
+		return spec, nil, err
+	}
+	b, ok := builders[spec.App]
+	if !ok {
+		return spec, nil, fmt.Errorf("serve: unknown app %q (have %v)", spec.App, Apps())
+	}
+	prog, err := b(spec, mem)
+	return spec, prog, err
+}
+
+// rangeOr returns the spec's [lo, hi) value range, defaulting to ±4σ of the
+// emulator's standard-normal stream.
+func rangeOr(p Params) (lo, hi float64) {
+	if p.Hi > p.Lo {
+		return p.Lo, p.Hi
+	}
+	return -4, 4
+}
+
+// emulator builds the deterministic data source for a spec. dims > 1
+// switches the stream to labeled logistic-regression records.
+func emulator(spec JobSpec, dims int) (*sim.Emulator, error) {
+	return sim.NewEmulator(sim.EmulatorConfig{StepElems: spec.Elems, Seed: spec.Seed, Dims: dims})
+}
+
+// wireRunner couples a scheduler and a data source into a jobProgram run
+// function: every time-step the emulator produces is analyzed in place with
+// the job's context (so cancellation lands within one chunk), phase spans
+// and early emissions are forwarded to the job's stream, and the caller's
+// result extractor shapes the final payload.
+func wireRunner[Out any](sched *core.Scheduler[float64, Out], em *sim.Emulator,
+	spec JobSpec, mem *memmodel.Node, multiKey, resetPerStep bool, outLen int,
+	result func(out []Out) any) func(context.Context, func(StreamRecord)) (any, error) {
+
+	// emit is installed by run before the first time-step; the subscribers
+	// below only ever fire inside a Run, after that write. The guard keeps a
+	// scheduler built but never run (build-time validation) inert.
+	var emit func(StreamRecord)
+	sched.SubscribeSpans(func(sp obs.Span) {
+		if emit != nil {
+			emit(StreamRecord{Type: "span", Phase: sp.Name, DurNS: sp.Dur.Nanoseconds()})
+		}
+	})
+	sched.SubscribeEarlyEmits(func(key int, v Out) {
+		if emit != nil {
+			emit(StreamRecord{Type: "emit", Key: key, Value: v})
+		}
+	})
+	return func(ctx context.Context, e func(StreamRecord)) (any, error) {
+		emit = e
+		var out []Out
+		if outLen > 0 {
+			out = make([]Out, outLen)
+		}
+		step := 0
+		analyze := func(data []float64) error {
+			if resetPerStep {
+				sched.ResetCombinationMap()
+			}
+			var err error
+			if multiKey {
+				err = sched.Run2Context(ctx, data, out)
+			} else {
+				err = sched.RunContext(ctx, data, out)
+			}
+			if err != nil {
+				return err
+			}
+			emit(StreamRecord{Type: "step", Step: step})
+			step++
+			return nil
+		}
+		if _, err := insitu.TimeSharingContext(ctx, em, analyze, insitu.TimeSharingConfig{Steps: spec.Steps, Mem: mem}); err != nil {
+			return nil, err
+		}
+		return result(out), nil
+	}
+}
+
+func buildHistogram(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	p := spec.Params
+	lo, hi := rangeOr(p)
+	buckets := p.Buckets
+	if buckets == 0 {
+		buckets = 100
+	}
+	if buckets < 0 || buckets > spec.Elems {
+		return nil, fmt.Errorf("serve: histogram buckets must be in (0, elems]")
+	}
+	app := analytics.NewHistogram(lo, hi, buckets)
+	sched, err := core.NewScheduler[float64, int64](app, core.SchedArgs{
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulator(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := wireRunner(sched, em, spec, mem, false, false, buckets, func(out []int64) any {
+		return map[string]any{"buckets": out, "lo": lo, "hi": hi}
+	})
+	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+}
+
+func buildGridAgg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	gs := spec.Params.GridSize
+	if gs == 0 {
+		gs = 1000
+	}
+	if gs < 0 || gs > spec.Elems {
+		return nil, fmt.Errorf("serve: grid_size must be in (0, elems]")
+	}
+	cells := (spec.Elems + gs - 1) / gs
+	app := analytics.NewGridAgg(gs, 0)
+	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulator(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := wireRunner(sched, em, spec, mem, false, false, cells, func(out []float64) any {
+		return map[string]any{"cells": out, "grid_size": gs}
+	})
+	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+}
+
+func buildMoments(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	gs := spec.Params.GridSize
+	if gs == 0 {
+		gs = 1000
+	}
+	if gs < 0 || gs > spec.Elems {
+		return nil, fmt.Errorf("serve: grid_size must be in (0, elems]")
+	}
+	cells := (spec.Elems + gs - 1) / gs
+	app := analytics.NewMoments(gs, 0)
+	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulator(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := wireRunner(sched, em, spec, mem, false, false, cells, func(out []float64) any {
+		return map[string]any{"variance": out, "grid_size": gs}
+	})
+	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+}
+
+func buildMutualInfo(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	p := spec.Params
+	lo, hi := rangeOr(p)
+	buckets := p.Buckets
+	if buckets == 0 {
+		buckets = 64
+	}
+	if buckets < 0 || buckets > 4096 {
+		return nil, fmt.Errorf("serve: mutualinfo buckets must be in (0, 4096]")
+	}
+	spec.Elems = spec.Elems / 2 * 2 // element pairs
+	if spec.Elems == 0 {
+		return nil, fmt.Errorf("serve: mutualinfo needs at least one element pair")
+	}
+	app := analytics.NewMutualInfo(lo, hi, buckets, lo, hi, buckets)
+	sched, err := core.NewScheduler[float64, int64](app, core.SchedArgs{
+		NumThreads: spec.Threads, ChunkSize: 2, NumIters: 1, Mem: mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulator(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := wireRunner(sched, em, spec, mem, false, false, 0, func([]int64) any {
+		return map[string]any{"mutual_information": app.MI(sched.CombinationMap())}
+	})
+	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+}
+
+func buildLogReg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	p := spec.Params
+	dims := p.Dims
+	if dims == 0 {
+		dims = 8
+	}
+	if dims < 0 || dims > 1024 {
+		return nil, fmt.Errorf("serve: logreg dims must be in (0, 1024]")
+	}
+	iters := p.Iters
+	if iters == 0 {
+		iters = 3
+	}
+	if iters < 0 || iters > 1000 {
+		return nil, fmt.Errorf("serve: logreg iters must be in (0, 1000]")
+	}
+	rate := p.Rate
+	if rate == 0 {
+		rate = 0.1
+	}
+	rec := dims + 1
+	spec.Elems = spec.Elems / rec * rec // whole records only
+	if spec.Elems == 0 {
+		return nil, fmt.Errorf("serve: logreg needs at least one record (elems >= dims+1)")
+	}
+	app := analytics.NewLogReg(dims, rate)
+	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: spec.Threads, ChunkSize: rec, NumIters: iters, Mem: mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulator(spec, dims)
+	if err != nil {
+		return nil, err
+	}
+	run := wireRunner(sched, em, spec, mem, false, false, 0, func([]float64) any {
+		return map[string]any{"weights": app.Weights(sched.CombinationMap())}
+	})
+	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+}
+
+func buildKMeans(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	p := spec.Params
+	k, dims := p.K, p.Dims
+	if k == 0 {
+		k = 4
+	}
+	if dims == 0 {
+		dims = 4
+	}
+	if k < 0 || k > 4096 || dims < 0 || dims > 1024 {
+		return nil, fmt.Errorf("serve: kmeans k must be in (0, 4096], dims in (0, 1024]")
+	}
+	iters := p.Iters
+	if iters == 0 {
+		iters = 10
+	}
+	if iters < 0 || iters > 1000 {
+		return nil, fmt.Errorf("serve: kmeans iters must be in (0, 1000]")
+	}
+	spec.Elems = spec.Elems / dims * dims // whole points only
+	if spec.Elems == 0 {
+		return nil, fmt.Errorf("serve: kmeans needs at least one point (elems >= dims)")
+	}
+	lo, hi := rangeOr(p)
+	app := analytics.NewKMeans(k, dims)
+	sched, err := core.NewScheduler[float64, []float64](app, core.SchedArgs{
+		NumThreads: spec.Threads, ChunkSize: dims, NumIters: iters, Mem: mem,
+		Extra: initCentroids(k, dims, lo, hi),
+	})
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulator(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := wireRunner(sched, em, spec, mem, false, false, 0, func([][]float64) any {
+		return map[string]any{"centroids": app.Centroids(sched.CombinationMap())}
+	})
+	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+}
+
+// initCentroids spreads k deterministic starting centroids across [lo, hi]
+// on every dimension, mirroring the harness's initialization.
+func initCentroids(k, dims int, lo, hi float64) []float64 {
+	flat := make([]float64, k*dims)
+	for c := 0; c < k; c++ {
+		v := lo + (hi-lo)*float64(c)/float64(k)
+		for d := 0; d < dims; d++ {
+			flat[c*dims+d] = v
+		}
+	}
+	return flat
+}
+
+// buildWindow constructs one of the four window-based applications. They
+// run through the multi-key path (Run2), emit early (every window position
+// finalizes and streams as soon as its expected contributions arrive), and
+// reset per time-step — so they have no cross-step state to checkpoint.
+func buildWindow(kind string) builder {
+	return func(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+		p := spec.Params
+		win := p.Window
+		if win == 0 {
+			win = 25
+		}
+		if win < 0 || win > spec.Elems {
+			return nil, fmt.Errorf("serve: window must be in (0, elems]")
+		}
+		var app core.Analytics[float64, float64]
+		switch kind {
+		case "movingavg":
+			app = analytics.NewMovingAverage(win, spec.Elems, 0, true)
+		case "movingmedian":
+			app = analytics.NewMovingMedian(win, spec.Elems, 0, true)
+		case "kde":
+			app = analytics.NewKernelDensity(win, spec.Elems, 0, true, p.Bandwidth)
+		case "savgol":
+			order := p.Order
+			if order == 0 {
+				order = 2
+			}
+			if order < 0 || order >= win {
+				return nil, fmt.Errorf("serve: savgol order must be in (0, window)")
+			}
+			app = analytics.NewSavitzkyGolay(win, order, spec.Elems, 0, true)
+		default:
+			return nil, fmt.Errorf("serve: unknown window app %q", kind)
+		}
+		sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
+			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+		})
+		if err != nil {
+			return nil, err
+		}
+		em, err := emulator(spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		run := wireRunner(sched, em, spec, mem, true, true, spec.Elems, func(out []float64) any {
+			head := out
+			if len(head) > 32 {
+				head = head[:32]
+			}
+			return map[string]any{"len": len(out), "head": head}
+		})
+		return &jobProgram{run: run}, nil
+	}
+}
+
+// buildGridHistPipeline is the example two-stage Smart pipeline from the
+// registry: stage one grid-aggregates each time-step into cell means, stage
+// two histograms those means over their observed range. Both stages run on
+// the job's context, so cancellation stops either stage within one chunk.
+func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	p := spec.Params
+	gs := p.GridSize
+	if gs == 0 {
+		gs = 256
+	}
+	if gs < 0 || gs > spec.Elems {
+		return nil, fmt.Errorf("serve: grid_size must be in (0, elems]")
+	}
+	buckets := p.Buckets
+	if buckets == 0 {
+		buckets = 32
+	}
+	if buckets < 0 || buckets > 1<<16 {
+		return nil, fmt.Errorf("serve: buckets must be in (0, 65536]")
+	}
+	cells := (spec.Elems + gs - 1) / gs
+	stage1, err := core.NewScheduler[float64, float64](analytics.NewGridAgg(gs, 0), core.SchedArgs{
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	em, err := emulator(spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := func(ctx context.Context, emit func(StreamRecord)) (any, error) {
+		means := make([]float64, cells)
+		step := 0
+		analyze := func(data []float64) error {
+			stage1.ResetCombinationMap()
+			if err := stage1.RunContext(ctx, data, means); err != nil {
+				return err
+			}
+			emit(StreamRecord{Type: "step", Step: step})
+			step++
+			return nil
+		}
+		if _, err := insitu.TimeSharingContext(ctx, em, analyze, insitu.TimeSharingConfig{Steps: spec.Steps, Mem: mem}); err != nil {
+			return nil, err
+		}
+
+		// Stage two learns its bucket range from stage one's output — the
+		// cross-stage dependency that makes this a pipeline rather than two
+		// independent jobs.
+		lo, hi := means[0], means[0]
+		for _, v := range means {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+		stage2, err := core.NewScheduler[float64, int64](analytics.NewHistogram(lo, hi, buckets), core.SchedArgs{
+			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hist := make([]int64, buckets)
+		if err := stage2.RunContext(ctx, means, hist); err != nil {
+			return nil, err
+		}
+		return map[string]any{"cell_means": cells, "lo": lo, "hi": hi, "buckets": hist}, nil
+	}
+	return &jobProgram{run: run, checkpoint: stage1.WriteCheckpoint}, nil
+}

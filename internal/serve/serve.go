@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// Admission errors. Submit returns exactly one of these when a well-formed
+// job cannot be admitted; any other Submit error means the spec itself is
+// invalid (the HTTP layer maps the distinction to 429/503 versus 400).
+var (
+	// ErrQueueFull reports that the bounded job queue is at capacity.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrMemPressure reports that the memory node is above its high-water
+	// mark — the server refuses work rather than push the node into paging.
+	ErrMemPressure = errors.New("serve: node under memory pressure")
+	// ErrDraining reports that the server is shutting down.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// errDrainCheckpoint is the cancellation cause Drain uses when the grace
+// period expires: runJob recognizes it and checkpoints the job's state
+// instead of discarding it.
+var errDrainCheckpoint = errors.New("serve: drain grace expired, checkpointing")
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued: admitted, waiting for a worker.
+	StatusQueued Status = "queued"
+	// StatusRunning: executing on a worker.
+	StatusRunning Status = "running"
+	// StatusDone: finished successfully; Result holds the output.
+	StatusDone Status = "done"
+	// StatusFailed: the application returned an error.
+	StatusFailed Status = "failed"
+	// StatusCancelled: stopped by client cancel or deadline.
+	StatusCancelled Status = "cancelled"
+	// StatusCheckpointed: stopped by drain with its state persisted.
+	StatusCheckpointed Status = "checkpointed"
+	// StatusRejected: flushed from the queue by a drain before running.
+	StatusRejected Status = "rejected"
+)
+
+// terminal reports whether a status is final.
+func (st Status) terminal() bool {
+	return st != StatusQueued && st != StatusRunning
+}
+
+// Config configures a Server.
+type Config struct {
+	// Queue is the bounded job-queue capacity (default 16). A Submit that
+	// finds the queue full fails with ErrQueueFull instead of blocking.
+	Queue int
+	// Workers is the worker-pool size — how many jobs execute concurrently
+	// (default 2).
+	Workers int
+	// Mem, when non-nil, is the virtual memory node jobs charge their
+	// runtime structures against and the admission signal: submissions are
+	// rejected while the node is above its high-water mark.
+	Mem *memmodel.Node
+	// DefaultDeadline caps a job's execution time when its spec does not
+	// set one; zero means no default deadline.
+	DefaultDeadline time.Duration
+	// CheckpointDir receives <job-id>.ck files written when a drain
+	// interrupts a checkpointable job (default os.TempDir()).
+	CheckpointDir string
+	// Registry receives the service metrics (default obs.DefaultRegistry()).
+	Registry *obs.Registry
+}
+
+// Job is one submitted analytics job. All exported access goes through
+// View, Done and the Server methods; fields are guarded by mu.
+type Job struct {
+	id   string
+	spec JobSpec
+	prog *jobProgram
+	ctx  context.Context
+	// cancel cancels the job's context with a cause; runJob classifies the
+	// terminal status from it.
+	cancel context.CancelCauseFunc
+	// done closes when the job reaches a terminal status.
+	done chan struct{}
+	hub  *streamHub
+
+	mu         sync.Mutex
+	status     Status
+	result     any
+	errMsg     string
+	checkpoint string
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is the JSON shape of a job's state.
+type JobView struct {
+	ID         string  `json:"id"`
+	App        string  `json:"app"`
+	Status     Status  `json:"status"`
+	Spec       JobSpec `json:"spec"`
+	Submitted  string  `json:"submitted,omitempty"`
+	Started    string  `json:"started,omitempty"`
+	Finished   string  `json:"finished,omitempty"`
+	Result     any     `json:"result,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Checkpoint string  `json:"checkpoint,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{
+		ID:         j.id,
+		App:        j.spec.App,
+		Status:     j.status,
+		Spec:       j.spec,
+		Submitted:  rfc3339OrEmpty(j.submitted),
+		Started:    rfc3339OrEmpty(j.started),
+		Finished:   rfc3339OrEmpty(j.finished),
+		Result:     j.result,
+		Error:      j.errMsg,
+		Checkpoint: j.checkpoint,
+	}
+}
+
+// Server is the multi-tenant analytics job service: admission control in
+// Submit, a worker pool draining the bounded queue, per-job cancellation
+// through each job's context, and streaming results through per-job hubs.
+type Server struct {
+	cfg Config
+	met serveMetrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	draining bool
+	seq      int
+
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer creates the service and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.DefaultRegistry()
+	}
+	s := &Server{
+		cfg:   cfg,
+		met:   newServeMetrics(cfg.Registry),
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.Queue),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit builds the spec's job and admits it to the queue. It never blocks:
+// a full queue returns ErrQueueFull, a pressured memory node ErrMemPressure,
+// a draining server ErrDraining, and a bad spec the builder's error. On
+// success the job is queued and will run when a worker frees up.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	norm, prog, err := buildJob(spec, s.cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.rejectsDraining.Inc()
+		return nil, ErrDraining
+	}
+	if s.cfg.Mem != nil && s.cfg.Mem.Pressured() {
+		s.met.rejectsPressure.Inc()
+		return nil, ErrMemPressure
+	}
+	s.seq++
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j := &Job{
+		id:        fmt.Sprintf("job-%04d", s.seq),
+		spec:      norm,
+		prog:      prog,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		hub:       newStreamHub(),
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		cancel(ErrQueueFull)
+		s.met.rejectsQueueFull.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.met.queueDepth.Add(1)
+	return j, nil
+}
+
+// Get returns a job by id.
+func (s *Server) Get(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// List returns every job's view in submission order.
+func (s *Server) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].View())
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is finished immediately (the worker will
+// skip it), a running job's context is cancelled and the reduction stops
+// within one chunk per thread.
+func (s *Server) Cancel(id string, cause error) error {
+	j, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	if cause == nil {
+		cause = errors.New("serve: cancelled by client")
+	}
+	j.mu.Lock()
+	if j.status.terminal() {
+		j.mu.Unlock()
+		return nil
+	}
+	queued := j.status == StatusQueued
+	j.mu.Unlock()
+	j.cancel(cause)
+	if queued {
+		s.finish(j, StatusQueued, StatusCancelled, nil, cause.Error(), "")
+	}
+	return nil
+}
+
+// worker drains the queue until Drain closes quit.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.met.queueDepth.Add(-1)
+			s.runJob(j)
+		}
+	}
+}
+
+// deadlineFor resolves a job's execution deadline: spec override, server
+// default, or none.
+func (s *Server) deadlineFor(j *Job) time.Duration {
+	if j.spec.DeadlineMS > 0 {
+		return time.Duration(j.spec.DeadlineMS) * time.Millisecond
+	}
+	if j.spec.DeadlineMS < 0 {
+		return 0
+	}
+	return s.cfg.DefaultDeadline
+}
+
+// runJob executes one admitted job and classifies its terminal state.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		// Cancelled or drain-rejected while still in the queue channel.
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
+	j.mu.Unlock()
+	s.met.queueSeconds.Observe(queueWait.Seconds())
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	ctx := j.ctx
+	if d := s.deadlineFor(j); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	result, err := j.prog.run(ctx, j.hub.emit)
+	switch {
+	case err == nil:
+		s.finish(j, StatusRunning, StatusDone, result, "", "")
+	case context.Cause(j.ctx) == errDrainCheckpoint && j.prog.checkpoint != nil:
+		path := filepath.Join(s.checkpointDir(), j.id+".ck")
+		if ckErr := j.prog.checkpoint(path); ckErr != nil {
+			s.finish(j, StatusRunning, StatusFailed, nil,
+				fmt.Sprintf("drain checkpoint failed: %v (run: %v)", ckErr, err), "")
+			return
+		}
+		s.finish(j, StatusRunning, StatusCheckpointed, nil, err.Error(), path)
+	case ctx.Err() != nil:
+		s.finish(j, StatusRunning, StatusCancelled, nil, err.Error(), "")
+	default:
+		s.finish(j, StatusRunning, StatusFailed, nil, err.Error(), "")
+	}
+}
+
+func (s *Server) checkpointDir() string {
+	if s.cfg.CheckpointDir != "" {
+		return s.cfg.CheckpointDir
+	}
+	return "."
+}
+
+// finish moves j from an expected non-terminal status to a terminal one,
+// closing its done channel and stream hub and recording the outcome
+// metrics. It reports whether the transition applied; it is a no-op when
+// the job already left the expected status (e.g. a cancel raced a drain
+// flush).
+func (s *Server) finish(j *Job, from, to Status, result any, errMsg, ckpath string) bool {
+	j.mu.Lock()
+	if j.status != from {
+		j.mu.Unlock()
+		return false
+	}
+	j.status = to
+	j.result = result
+	j.errMsg = errMsg
+	j.checkpoint = ckpath
+	j.finished = time.Now()
+	started := j.started
+	j.mu.Unlock()
+
+	final := StreamRecord{Job: j.id}
+	switch to {
+	case StatusDone:
+		final.Type = "result"
+		final.Value = result
+		s.met.jobsDone.Inc()
+	case StatusFailed:
+		final.Type = "error"
+		final.Error = errMsg
+		s.met.jobsFailed.Inc()
+	case StatusCancelled:
+		final.Type = "cancelled"
+		final.Error = errMsg
+		s.met.jobsCancelled.Inc()
+	case StatusCheckpointed:
+		final.Type = "checkpointed"
+		final.Checkpoint = ckpath
+		s.met.jobsCheckpointed.Inc()
+	case StatusRejected:
+		final.Type = "rejected"
+		final.Error = errMsg
+	}
+	j.hub.close(final)
+	s.met.streamDropped.Add(j.hub.droppedCount())
+	if !started.IsZero() {
+		s.met.jobSeconds.Observe(time.Since(started).Seconds())
+	}
+	close(j.done)
+	return true
+}
+
+// Drain gracefully shuts the server down: new submissions are refused,
+// queued jobs that never started are rejected, and in-flight jobs get the
+// grace period to finish on their own. Jobs still running when it expires
+// are cancelled with a checkpoint cause — checkpointable applications
+// persist their combination map to CheckpointDir and finish as
+// StatusCheckpointed; the rest finish as StatusCancelled. Drain returns
+// once every job is terminal and the workers have exited.
+func (s *Server) Drain(grace time.Duration) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	// Flush the queue: anything a worker has not picked up is rejected.
+	// A worker may race us to a queued job — it then runs under the grace
+	// period like any other in-flight job.
+	for {
+		select {
+		case j := <-s.queue:
+			s.met.queueDepth.Add(-1)
+			if s.finish(j, StatusQueued, StatusRejected, nil, ErrDraining.Error(), "") {
+				s.met.rejectsDraining.Inc()
+			}
+		default:
+			goto flushed
+		}
+	}
+flushed:
+	close(s.quit)
+
+	s.mu.Lock()
+	var inflight []*Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		if !j.status.terminal() {
+			inflight = append(inflight, j)
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	allDone := make(chan struct{})
+	go func() {
+		for _, j := range inflight {
+			<-j.done
+		}
+		close(allDone)
+	}()
+	select {
+	case <-allDone:
+	case <-time.After(grace):
+		for _, j := range inflight {
+			j.cancel(errDrainCheckpoint)
+		}
+		<-allDone
+	}
+	s.wg.Wait()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// StreamRecord is one NDJSON line of a job's result stream. Records arrive
+// in emission order; Seq is a per-job sequence number so clients can detect
+// gaps (the hub drops records rather than block the reduction hot path when
+// a consumer falls behind).
+type StreamRecord struct {
+	// Type discriminates the record: "emit" (an early-emitted output value,
+	// core.Triggered), "span" (a completed runtime phase), "step" (one
+	// simulation time-step analyzed), "result" (the job's final output,
+	// last record of a successful stream), "error", "cancelled",
+	// "checkpointed", or "rejected".
+	Type string `json:"type"`
+	// Job is the emitting job's id.
+	Job string `json:"job"`
+	// Seq is the per-job sequence number, starting at 0.
+	Seq int64 `json:"seq"`
+	// Key and Value carry an early emission: the reduction key and the
+	// converted output value.
+	Key   int `json:"key,omitempty"`
+	Value any `json:"value,omitempty"`
+	// Phase and DurNS carry a phase span ("reduction", "local combine", ...).
+	Phase string `json:"phase,omitempty"`
+	DurNS int64  `json:"dur_ns,omitempty"`
+	// Step is the completed time-step index for "step" records.
+	Step int `json:"step,omitempty"`
+	// Error carries the failure message for "error"/"cancelled" records.
+	Error string `json:"error,omitempty"`
+	// Checkpoint is the checkpoint path for "checkpointed" records.
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
+// streamBufCap bounds the per-job replay buffer: a late-attaching stream
+// client sees at most this many of the job's most recent records (plus every
+// record from attach time on).
+const streamBufCap = 256
+
+// subChanCap is the per-subscriber channel depth; a subscriber this far
+// behind starts losing records instead of stalling the emitting reduction
+// worker.
+const subChanCap = 128
+
+// streamHub fans a job's records out to any number of attached stream
+// clients and keeps a bounded replay buffer for late attachers. Emit is
+// called from reduction worker goroutines (early emissions) and the job's
+// coordinating goroutine (spans, steps, terminal records); all methods are
+// safe for concurrent use.
+type streamHub struct {
+	mu      sync.Mutex
+	seq     int64
+	buf     []StreamRecord // ring, oldest first once full
+	start   int            // index of oldest record in buf
+	subs    map[int]chan StreamRecord
+	nextSub int
+	dropped int64
+	closed  bool
+}
+
+func newStreamHub() *streamHub {
+	return &streamHub{subs: make(map[int]chan StreamRecord)}
+}
+
+// emit stamps the record's sequence number, buffers it, and offers it to
+// every live subscriber without blocking.
+func (h *streamHub) emit(rec StreamRecord) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	rec.Seq = h.seq
+	h.seq++
+	if len(h.buf) < streamBufCap {
+		h.buf = append(h.buf, rec)
+	} else {
+		h.buf[h.start] = rec
+		h.start = (h.start + 1) % streamBufCap
+	}
+	for _, ch := range h.subs {
+		select {
+		case ch <- rec:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// subscribe registers a consumer: it returns a replay of the buffered
+// records, a channel delivering everything emitted after them (closed when
+// the job finishes), and a cancel function.
+func (h *streamHub) subscribe() (replay []StreamRecord, ch chan StreamRecord, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = make([]StreamRecord, 0, len(h.buf))
+	replay = append(replay, h.buf[h.start:]...)
+	replay = append(replay, h.buf[:h.start]...)
+	ch = make(chan StreamRecord, subChanCap)
+	if h.closed {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	id := h.nextSub
+	h.nextSub++
+	h.subs[id] = ch
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if c, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(c)
+		}
+	}
+}
+
+// close emits the terminal record and closes every subscriber channel; later
+// emits are ignored.
+func (h *streamHub) close(final StreamRecord) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	h.emit(final)
+	h.mu.Lock()
+	h.closed = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+	h.mu.Unlock()
+}
+
+// droppedCount reports records lost to slow subscribers.
+func (h *streamHub) droppedCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// rfc3339OrEmpty formats t for JobView, mapping the zero time to "".
+func rfc3339OrEmpty(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
