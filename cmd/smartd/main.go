@@ -100,6 +100,33 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
+	for _, line := range jobSummaries(srv.List()) {
+		fmt.Fprintln(out, line)
+	}
 	fmt.Fprintln(out, "smartd: drained, exiting")
 	return nil
+}
+
+// jobSummaries renders one closing log line per job the server saw, with the
+// runtime stats snapshot the serving layer embeds in completed results. The
+// snapshot is what makes this safe to print at drain time: it was copied out
+// of the scheduler with atomic loads when the job finished, so no drain-time
+// read races a worker.
+func jobSummaries(jobs []serve.JobView) []string {
+	lines := make([]string, 0, len(jobs))
+	for _, jv := range jobs {
+		line := fmt.Sprintf("smartd: job %s app=%s status=%s", jv.ID, jv.App, jv.Status)
+		if m, ok := jv.Result.(map[string]any); ok {
+			if st, ok := m["stats"].(map[string]any); ok {
+				line += fmt.Sprintf(" chunks=%v reduction_ns=%v local_combine_ns=%v global_combine_ns=%v serialized_bytes=%v",
+					st["chunks_processed"], st["reduction_ns"], st["local_combine_ns"],
+					st["global_combine_ns"], st["serialized_bytes"])
+			}
+		}
+		if jv.Error != "" {
+			line += " error=" + jv.Error
+		}
+		lines = append(lines, line)
+	}
+	return lines
 }

@@ -38,14 +38,18 @@ type MomentsObj struct {
 // Clone implements core.RedObj.
 func (m *MomentsObj) Clone() core.RedObj { cp := *m; return &cp }
 
-// MarshalBinary implements core.RedObj.
-func (m *MomentsObj) MarshalBinary() ([]byte, error) {
-	b := make([]byte, 0, 40)
+// AppendBinary implements core.Appender.
+func (m *MomentsObj) AppendBinary(b []byte) ([]byte, error) {
 	b = appendI64(b, m.N)
 	b = appendF64(b, m.Mean)
 	b = appendF64(b, m.M2)
 	b = appendF64(b, m.M3)
 	return appendF64(b, m.M4), nil
+}
+
+// MarshalBinary implements core.RedObj.
+func (m *MomentsObj) MarshalBinary() ([]byte, error) {
+	return m.AppendBinary(make([]byte, 0, 40))
 }
 
 // UnmarshalBinary implements core.RedObj.

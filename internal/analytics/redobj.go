@@ -82,8 +82,12 @@ type CountObj struct {
 // Clone implements core.RedObj.
 func (c *CountObj) Clone() core.RedObj { cp := *c; return &cp }
 
+// AppendBinary implements core.Appender: the MarshalBinary encoding,
+// appended in place so the serializer can reuse one buffer across objects.
+func (c *CountObj) AppendBinary(b []byte) ([]byte, error) { return appendI64(b, c.Count), nil }
+
 // MarshalBinary implements core.RedObj.
-func (c *CountObj) MarshalBinary() ([]byte, error) { return appendI64(nil, c.Count), nil }
+func (c *CountObj) MarshalBinary() ([]byte, error) { return c.AppendBinary(nil) }
 
 // UnmarshalBinary implements core.RedObj.
 func (c *CountObj) UnmarshalBinary(b []byte) error {
@@ -112,12 +116,15 @@ type SumCountObj struct {
 // Clone implements core.RedObj.
 func (o *SumCountObj) Clone() core.RedObj { cp := *o; return &cp }
 
-// MarshalBinary implements core.RedObj.
-func (o *SumCountObj) MarshalBinary() ([]byte, error) {
-	b := appendF64(nil, o.Sum)
+// AppendBinary implements core.Appender.
+func (o *SumCountObj) AppendBinary(b []byte) ([]byte, error) {
+	b = appendF64(b, o.Sum)
 	b = appendI64(b, o.Count)
 	return appendI64(b, o.Expected), nil
 }
+
+// MarshalBinary implements core.RedObj.
+func (o *SumCountObj) MarshalBinary() ([]byte, error) { return o.AppendBinary(nil) }
 
 // UnmarshalBinary implements core.RedObj.
 func (o *SumCountObj) UnmarshalBinary(b []byte) error {
@@ -156,13 +163,16 @@ type WeightedObj struct {
 // Clone implements core.RedObj.
 func (o *WeightedObj) Clone() core.RedObj { cp := *o; return &cp }
 
-// MarshalBinary implements core.RedObj.
-func (o *WeightedObj) MarshalBinary() ([]byte, error) {
-	b := appendF64(nil, o.WSum)
+// AppendBinary implements core.Appender.
+func (o *WeightedObj) AppendBinary(b []byte) ([]byte, error) {
+	b = appendF64(b, o.WSum)
 	b = appendF64(b, o.Weight)
 	b = appendI64(b, o.Count)
 	return appendI64(b, o.Expected), nil
 }
+
+// MarshalBinary implements core.RedObj.
+func (o *WeightedObj) MarshalBinary() ([]byte, error) { return o.AppendBinary(nil) }
 
 // UnmarshalBinary implements core.RedObj.
 func (o *WeightedObj) UnmarshalBinary(b []byte) error {
@@ -205,11 +215,15 @@ func (o *ValuesObj) Clone() core.RedObj {
 	return cp
 }
 
-// MarshalBinary implements core.RedObj.
-func (o *ValuesObj) MarshalBinary() ([]byte, error) {
-	b := make([]byte, 0, 8*(len(o.Values)+2))
+// AppendBinary implements core.Appender.
+func (o *ValuesObj) AppendBinary(b []byte) ([]byte, error) {
 	b = appendF64s(b, o.Values)
 	return appendI64(b, o.Expected), nil
+}
+
+// MarshalBinary implements core.RedObj.
+func (o *ValuesObj) MarshalBinary() ([]byte, error) {
+	return o.AppendBinary(make([]byte, 0, 8*(len(o.Values)+2)))
 }
 
 // UnmarshalBinary implements core.RedObj.
@@ -258,12 +272,16 @@ func (o *ClusterObj) Clone() core.RedObj {
 	}
 }
 
-// MarshalBinary implements core.RedObj.
-func (o *ClusterObj) MarshalBinary() ([]byte, error) {
-	b := make([]byte, 0, 8*(len(o.Centroid)+len(o.Sum)+3))
+// AppendBinary implements core.Appender.
+func (o *ClusterObj) AppendBinary(b []byte) ([]byte, error) {
 	b = appendF64s(b, o.Centroid)
 	b = appendF64s(b, o.Sum)
 	return appendI64(b, o.Size), nil
+}
+
+// MarshalBinary implements core.RedObj.
+func (o *ClusterObj) MarshalBinary() ([]byte, error) {
+	return o.AppendBinary(make([]byte, 0, 8*(len(o.Centroid)+len(o.Sum)+3)))
 }
 
 // UnmarshalBinary implements core.RedObj.
@@ -319,12 +337,16 @@ func (o *GradObj) Clone() core.RedObj {
 	}
 }
 
-// MarshalBinary implements core.RedObj.
-func (o *GradObj) MarshalBinary() ([]byte, error) {
-	b := make([]byte, 0, 8*(len(o.Weights)+len(o.Grad)+3))
+// AppendBinary implements core.Appender.
+func (o *GradObj) AppendBinary(b []byte) ([]byte, error) {
 	b = appendF64s(b, o.Weights)
 	b = appendF64s(b, o.Grad)
 	return appendI64(b, o.Count), nil
+}
+
+// MarshalBinary implements core.RedObj.
+func (o *GradObj) MarshalBinary() ([]byte, error) {
+	return o.AppendBinary(make([]byte, 0, 8*(len(o.Weights)+len(o.Grad)+3)))
 }
 
 // UnmarshalBinary implements core.RedObj.

@@ -44,9 +44,8 @@ func (o *TopKObj) Clone() core.RedObj {
 	return &TopKObj{K: o.K, Items: append([]Extreme(nil), o.Items...)}
 }
 
-// MarshalBinary implements core.RedObj.
-func (o *TopKObj) MarshalBinary() ([]byte, error) {
-	b := make([]byte, 0, 16+16*len(o.Items))
+// AppendBinary implements core.Appender.
+func (o *TopKObj) AppendBinary(b []byte) ([]byte, error) {
 	b = appendI64(b, int64(o.K))
 	b = appendI64(b, int64(len(o.Items)))
 	for _, it := range o.Items {
@@ -54,6 +53,11 @@ func (o *TopKObj) MarshalBinary() ([]byte, error) {
 		b = appendF64(b, it.Val)
 	}
 	return b, nil
+}
+
+// MarshalBinary implements core.RedObj.
+func (o *TopKObj) MarshalBinary() ([]byte, error) {
+	return o.AppendBinary(make([]byte, 0, 16+16*len(o.Items)))
 }
 
 // UnmarshalBinary implements core.RedObj.

@@ -22,13 +22,20 @@ var checkpointMagic = []byte("SMARTCK1")
 // checkpoint. Do not call while a Run is in progress; the map is read
 // without synchronization against the reduction workers.
 func (s *Scheduler[In, Out]) WriteCheckpoint(path string) error {
-	payload, err := encodeMap(s.comMap)
+	// The checkpoint image is serialized into a pooled buffer: its lifetime
+	// ends when the file write below returns, so the buffer goes straight
+	// back to the pool for the next checkpoint or global-combine round.
+	bufp, reused := getEncBuf()
+	if reused {
+		s.met.encBufReuse.Add(1)
+	}
+	defer putEncBuf(bufp)
+	buf := append(*bufp, checkpointMagic...)
+	buf, err := appendMap(buf, s.comMap)
+	*bufp = buf
 	if err != nil {
 		return fmt.Errorf("core: checkpoint encode: %w", err)
 	}
-	buf := make([]byte, 0, len(checkpointMagic)+len(payload))
-	buf = append(buf, checkpointMagic...)
-	buf = append(buf, payload...)
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -85,6 +92,7 @@ func (s *Scheduler[In, Out]) ReadCheckpoint(path string) error {
 		return fmt.Errorf("core: checkpoint decode: %w", err)
 	}
 	s.comMap = m
+	s.shardsFresh = false
 	s.stats = Stats{}
 	return nil
 }

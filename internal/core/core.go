@@ -164,6 +164,17 @@ type SchedArgs struct {
 	// sequential merge. The tree is asymptotically better (log P merge
 	// depth); the flag exists for the ablation benchmarks.
 	FlatGlobalCombine bool
+	// CombineShards is the shard count S of the combination pipeline. The
+	// key space is hash-partitioned into S shards so local combination, the
+	// per-iteration distribution step, conversion, and the global
+	// combination tree all run shard-parallel. Zero defaults to NumThreads;
+	// 1 recovers the serial single-map pipeline (the reference the
+	// equivalence tests and ablation benchmarks compare against). The
+	// encoded byte format and all results are independent of S. Ranks of one
+	// job should agree on S — differing counts stay correct (incoming
+	// entries are routed by key, not segment) but lose the one-segment-per-
+	// shard alignment of the streamed global combine.
+	CombineShards int
 	// PinThreads dedicates an OS thread to every reduction worker for the
 	// duration of its split (runtime.LockOSThread), the Go analogue of the
 	// paper's per-core thread binding; the OS scheduler then keeps each
@@ -199,9 +210,15 @@ func (a *SchedArgs) validate() error {
 	if a.NumIters <= 0 {
 		return errors.New("core: NumIters must be positive")
 	}
+	if a.CombineShards <= 0 {
+		return errors.New("core: CombineShards must be positive")
+	}
 	return nil
 }
 
+// withDefaults is the single place zero-valued SchedArgs fields acquire
+// their documented defaults; NewScheduler applies it exactly once before
+// validate, so every entry point sees identical effective arguments.
 func (a *SchedArgs) withDefaults() SchedArgs {
 	out := *a
 	if out.NumIters == 0 {
@@ -212,6 +229,9 @@ func (a *SchedArgs) withDefaults() SchedArgs {
 	}
 	if out.RedObjBytes == 0 {
 		out.RedObjBytes = 64
+	}
+	if out.CombineShards == 0 {
+		out.CombineShards = out.NumThreads
 	}
 	return out
 }
@@ -231,10 +251,22 @@ type Scheduler[In, Out any] struct {
 	args       SchedArgs
 	comMap     CombMap
 	globalComb bool
-	buf        *ringbuf.Buffer[feedItem[In]]
-	stats      Stats
-	obs        *obs.Observer
-	met        schedMetrics
+	// shards is the sharded view of comMap driving the parallel combination
+	// pipeline. It aliases comMap's objects; shardsFresh records whether the
+	// two views are currently in sync (application code — ProcessExtraData,
+	// PostCombine, arbitrary callers of CombinationMap between Runs — only
+	// ever mutates the flat view, so the scheduler reshards lazily at the
+	// phase boundaries that need the sharded form).
+	shards      *shardedMap
+	shardsFresh bool
+	// gcScratch is the reusable per-shard serialization buffer of the global
+	// combination phase: both transports copy payloads out during Send, so
+	// one buffer serves every segment of every round.
+	gcScratch []byte
+	buf       *ringbuf.Buffer[feedItem[In]]
+	stats     Stats
+	obs       *obs.Observer
+	met       schedMetrics
 	// spanSubs receives every phase span this scheduler emits from its
 	// coordinating goroutine; the OnPhase shim is the first subscriber.
 	// Append via SubscribeSpans before the first Run — the slice is read
@@ -269,9 +301,6 @@ type Scheduler[In, Out any] struct {
 // NewScheduler creates a scheduler for the given application and arguments.
 func NewScheduler[In, Out any](app Analytics[In, Out], args SchedArgs) (*Scheduler[In, Out], error) {
 	a := args.withDefaults()
-	if a.NumIters == 0 {
-		a.NumIters = 1
-	}
 	if err := a.validate(); err != nil {
 		return nil, err
 	}
@@ -279,6 +308,7 @@ func NewScheduler[In, Out any](app Analytics[In, Out], args SchedArgs) (*Schedul
 		app:        app,
 		args:       a,
 		comMap:     make(CombMap),
+		shards:     newShardedMap(a.CombineShards),
 		globalComb: true,
 		buf:        ringbuf.New[feedItem[In]](a.BufferCells),
 		obs:        a.Obs,
@@ -335,9 +365,18 @@ func (s *Scheduler[In, Out]) CombinationMap() CombMap { return s.comMap }
 // ResetCombinationMap clears accumulated state so the scheduler can be
 // reused for an unrelated time-step, mirroring Listing 1's fresh scheduler
 // per time-step without reallocating the runtime.
-func (s *Scheduler[In, Out]) ResetCombinationMap() { s.comMap = make(CombMap) }
+func (s *Scheduler[In, Out]) ResetCombinationMap() {
+	s.comMap = make(CombMap)
+	s.shardsFresh = false
+}
 
 // Stats returns counters describing the most recent Run.
+//
+// The returned pointer is the scheduler's live counter block: the run loop
+// mutates it (partly via atomics, partly plain stores), so reading through
+// it while a Run, RunShared, or a served job is in flight is a data race.
+// Use Stats().Snapshot() for a copy that is safe to read, serialize, or
+// report while the scheduler may still be running.
 func (s *Scheduler[In, Out]) Stats() *Stats { return &s.stats }
 
 // Observer returns the observability sink this scheduler reports into

@@ -21,6 +21,9 @@ func (c *countObj) Clone() RedObj { cp := *c; return &cp }
 func (c *countObj) MarshalBinary() ([]byte, error) {
 	return binary.LittleEndian.AppendUint64(nil, uint64(c.n)), nil
 }
+func (c *countObj) AppendBinary(b []byte) ([]byte, error) {
+	return binary.LittleEndian.AppendUint64(b, uint64(c.n)), nil
+}
 func (c *countObj) UnmarshalBinary(b []byte) error {
 	if len(b) != 8 {
 		return fmt.Errorf("countObj: bad length %d", len(b))

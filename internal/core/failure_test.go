@@ -58,13 +58,24 @@ func TestGlobalCombineMarshalErrorPropagates(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	// Global combination streams shard segments up the reduction tree, so
+	// only ranks that serialize (the senders) observe the marshal error
+	// directly; their peers see the aborted stream as a transport failure.
+	// Every rank must still fail, keep the phase context, and at least one
+	// rank must surface the injected error itself.
+	sawInjected := false
 	for r, err := range errs {
-		if !errors.Is(err, errMarshal) {
-			t.Errorf("rank %d: %v, want injected marshal failure", r, err)
+		if err == nil {
+			t.Errorf("rank %d: run succeeded despite injected marshal failure", r)
+			continue
 		}
-		if err != nil && !strings.Contains(err.Error(), "global combination") {
+		if !strings.Contains(err.Error(), "global combination") {
 			t.Errorf("rank %d: error lost its phase context: %v", r, err)
 		}
+		sawInjected = sawInjected || errors.Is(err, errMarshal)
+	}
+	if !sawInjected {
+		t.Errorf("no rank surfaced the injected marshal failure: %v", errs)
 	}
 }
 

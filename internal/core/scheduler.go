@@ -98,23 +98,34 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 	}
 
 	live := &liveCounter{}
-	redMaps := make([]CombMap, nt)
+	redMaps := make([]*shardedMap, nt)
+	// Application code may have mutated the combination map since the last
+	// sync point (between Runs, anything holding CombinationMap may write).
+	s.shardsFresh = false
 
 	for iter := 0; iter < s.args.NumIters; iter++ {
 		if s.cancelled.Load() || ctx.Err() != nil {
 			return cancelErr(ctx)
 		}
 		// Distribute the (local or, after the first iteration's global
-		// combination, global) combination map to each reduction map.
+		// combination, global) combination map to each reduction map,
+		// shard-parallel: each worker deep-clones its shard for every
+		// thread, so the per-iteration clone cost scales with cores instead
+		// of riding the coordinating goroutine.
+		s.syncShards()
 		for t := range redMaps {
-			redMaps[t] = make(CombMap, len(s.comMap))
-			for k, obj := range s.comMap {
-				c := obj.Clone()
-				redMaps[t][k] = c
-				live.add(1)
-				tracker.add(int64(s.sizeOfRedObj(c)))
-			}
+			redMaps[t] = newShardedMap(s.shards.n())
 		}
+		s.shards.forEachShard(s.phaseWorkers(), func(si int) {
+			for k, obj := range s.shards.shards[si] {
+				for t := range redMaps {
+					c := obj.Clone()
+					redMaps[t].shards[si][k] = c
+					live.add(1)
+					tracker.add(int64(s.sizeOfRedObj(c)))
+				}
+			}
+		})
 		if err := tracker.sync(); err != nil {
 			return err
 		}
@@ -136,26 +147,35 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 		}
 		s.phaseEvent("reduction", redStart)
 		for t := range redMaps {
-			s.met.redmapSize.Observe(float64(len(redMaps[t])))
+			s.met.redmapSize.Observe(float64(redMaps[t].size()))
 		}
 
 		// Local combination: merge every thread's reduction map into the
-		// combination map. Objects for unseen keys are moved; objects for
-		// existing keys are merged and die.
+		// combination map, shard-parallel — worker w merges shard w of every
+		// thread's map, so no two workers ever touch the same key and the
+		// merge needs no locks. Objects for unseen keys are moved; objects
+		// for existing keys are merged and die.
 		start := time.Now()
-		for t := range redMaps {
-			for k, obj := range redMaps[t] {
-				if com, ok := s.comMap[k]; ok {
-					s.app.Merge(obj, com)
-					tracker.add(-int64(s.sizeOfRedObj(obj)))
-				} else {
-					s.comMap[k] = obj
+		durs := s.shards.forEachShard(s.phaseWorkers(), func(si int) {
+			com := s.shards.shards[si]
+			for t := range redMaps {
+				for k, obj := range redMaps[t].shards[si] {
+					if dst, ok := com[k]; ok {
+						s.app.Merge(obj, dst)
+						tracker.add(-int64(s.sizeOfRedObj(obj)))
+					} else {
+						com[k] = obj
+					}
+					live.add(-1)
 				}
-				live.add(-1)
 			}
+		})
+		for t := range redMaps {
 			redMaps[t] = nil
 		}
+		s.syncFlat()
 		s.stats.LocalCombineTime += time.Since(start)
+		s.shardSpans("local combine shard", start, durs)
 		s.phaseEvent("local combine", start)
 		if err := tracker.sync(); err != nil {
 			return err
@@ -180,6 +200,9 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 		if s.postComb != nil {
 			pcStart := time.Now()
 			s.postComb.PostCombine(s.comMap)
+			// PostCombine may have inserted, erased, or replaced entries in
+			// the flat map; reshard before the next phase that needs shards.
+			s.shardsFresh = false
 			s.phaseEvent("post combine", pcStart)
 		}
 	}
@@ -204,11 +227,57 @@ func (s *Scheduler[In, Out]) phaseEvent(name string, start time.Time) {
 	}
 }
 
+// shardSpans records one observer span per shard of a shard-parallel phase,
+// carrying the shard index as an attribute. Like the producer-side "feed"
+// span, these go to the observer only, not to SubscribeSpans/OnPhase — the
+// subscribers get the single phase-level event, the trace gets the per-shard
+// breakdown (each span's Start is the phase start; Dur is that shard's own
+// processing time).
+func (s *Scheduler[In, Out]) shardSpans(name string, start time.Time, durs []time.Duration) {
+	if len(durs) <= 1 {
+		return
+	}
+	for si, d := range durs {
+		s.obs.RecordSpan(obs.Span{Cat: "core", Name: name, Start: start, Dur: d,
+			Attrs: map[string]any{"shard": si}})
+	}
+}
+
+// phaseWorkers is the goroutine budget of the shard-parallel phases: the
+// thread count, except under Sequential where every phase stays on the
+// coordinating goroutine (the replay simulator measures per-thread work on
+// hosts with fewer cores than simulated threads).
+func (s *Scheduler[In, Out]) phaseWorkers() int {
+	if s.args.Sequential {
+		return 1
+	}
+	return s.args.NumThreads
+}
+
+// syncShards rebuilds the sharded view from the flat combination map if
+// application code may have mutated the flat view since the last sync.
+func (s *Scheduler[In, Out]) syncShards() {
+	if s.shardsFresh {
+		return
+	}
+	s.shards.clearShards()
+	s.shards.insertFlat(s.comMap)
+	s.shardsFresh = true
+}
+
+// syncFlat rebuilds the flat combination map from the shards after a
+// shard-parallel phase mutated them. The flat map's identity is preserved —
+// holders of CombinationMap keep seeing the current state.
+func (s *Scheduler[In, Out]) syncFlat() {
+	s.shards.flattenInto(s.comMap)
+	s.shardsFresh = true
+}
+
 // reduceBlock partitions one block into per-thread splits and processes them
 // in parallel (or sequentially under SchedArgs.Sequential, timing each split
 // for the replay simulator).
 func (s *Scheduler[In, Out]) reduceBlock(block chunk.Split, in []In, out []Out,
-	redMaps []CombMap, multi bool, live *liveCounter, tracker *memTracker) error {
+	redMaps []*shardedMap, multi bool, live *liveCounter, tracker *memTracker) error {
 
 	nt := s.args.NumThreads
 	splits := chunk.Partition(block.Length, nt, s.args.ChunkSize)
@@ -256,7 +325,7 @@ func (s *Scheduler[In, Out]) reduceBlock(block chunk.Split, in []In, out []Out,
 // create the reduction object, accumulate, and — when the object's trigger
 // fires — emit it early (Algorithm 2).
 func (s *Scheduler[In, Out]) processSplit(sp chunk.Split, in []In, out []Out,
-	redMap CombMap, multi bool, live *liveCounter, tracker *memTracker) error {
+	redMap *shardedMap, multi bool, live *liveCounter, tracker *memTracker) error {
 
 	var keys []int
 	var chunks, touched int64
@@ -315,15 +384,17 @@ type chunkCache struct {
 // creating the reduction object on first touch and emitting it early when
 // its trigger fires (Algorithm 2).
 func (s *Scheduler[In, Out]) consumeChunk(k int, c chunk.Chunk, in []In, out []Out,
-	redMap CombMap, live *liveCounter, tracker *memTracker, cache *chunkCache) {
+	redMap *shardedMap, live *liveCounter, tracker *memTracker, cache *chunkCache) {
 
 	obj := cache.obj
+	var sh CombMap
 	if cache.key != k || obj == nil {
+		sh = redMap.shardFor(k)
 		var ok bool
-		obj, ok = redMap[k]
+		obj, ok = sh[k]
 		if !ok {
 			obj = s.app.NewRedObj()
-			redMap[k] = obj
+			sh[k] = obj
 			live.add(1)
 			tracker.add(int64(s.sizeOfRedObj(obj)))
 		}
@@ -354,7 +425,10 @@ func (s *Scheduler[In, Out]) consumeChunk(k int, c chunk.Chunk, in []In, out []O
 		if len(s.emitSubs) > 0 {
 			s.notifyEmit(k, out)
 		}
-		delete(redMap, k)
+		if sh == nil {
+			sh = redMap.shardFor(k)
+		}
+		delete(sh, k)
 		live.add(-1)
 		tracker.add(-int64(s.sizeOfRedObj(obj)))
 		atomic.AddInt64(&s.stats.EmittedEarly, 1)
@@ -392,14 +466,21 @@ func (s *Scheduler[In, Out]) emit(key int, obj RedObj, out []Out) {
 	}
 }
 
-// convert materializes the combination map into the output array.
+// convert materializes the combination map into the output array,
+// shard-parallel: every key owns a distinct output slot, so shards convert
+// concurrently without synchronization. Converter implementations must
+// therefore tolerate concurrent calls for distinct keys (all shipped
+// applications do — Convert reads the object and writes its slot).
 func (s *Scheduler[In, Out]) convert(out []Out) error {
 	if out == nil || s.converter == nil {
 		return nil
 	}
-	for k, obj := range s.comMap {
-		s.emit(k, obj, out)
-	}
+	s.syncShards()
+	s.shards.forEachShard(s.phaseWorkers(), func(si int) {
+		for k, obj := range s.shards.shards[si] {
+			s.emit(k, obj, out)
+		}
+	})
 	return nil
 }
 
@@ -419,6 +500,7 @@ func (s *Scheduler[In, Out]) DecodeCombinationMap(buf []byte) error {
 		return err
 	}
 	s.comMap = m
+	s.shardsFresh = false
 	return nil
 }
 
@@ -435,6 +517,7 @@ func (s *Scheduler[In, Out]) MergeCombinationMap(m CombMap) {
 			s.comMap[k] = obj
 		}
 	}
+	s.shardsFresh = false
 }
 
 // MergeEncodedCombinationMap decodes a map serialized with
@@ -473,39 +556,143 @@ func (s *Scheduler[In, Out]) GlobalCombine(out []Out) error {
 // reduction tree using the application's own Merge, then the result is
 // broadcast — the same structure as the paper's global combination followed
 // by the distribution of the global map at the next iteration.
+//
+// The tree operates per shard in decoded form (mpi.ReduceStream): a rank
+// serializes each of its shards exactly once — into a reusable scratch
+// buffer — when it sends to its parent, and merges incoming serialized
+// shards straight into its already-decoded local shards. The
+// decode-both-reencode cost the old whole-map reduce paid at every tree
+// level (the Section 5.3 serialization tax, log P times over) is gone; the
+// per-merge savings surface as smart_core_gc_decode_avoided_total.
 func (s *Scheduler[In, Out]) globalCombine() error {
 	start := time.Now()
-	payload, err := encodeMap(s.comMap)
-	if err != nil {
-		return fmt.Errorf("core: global combination encode: %w", err)
-	}
-	atomic.AddInt64(&s.stats.SerializedBytes, int64(len(payload)))
-	s.met.gcBytes.Add(int64(len(payload)))
-
 	comm := s.args.Comm
-	var merged []byte
 	if s.args.FlatGlobalCombine {
-		merged, err = s.flatCombine(payload)
-	} else {
-		merged, err = comm.Reduce(0, payload, func(a, b []byte) ([]byte, error) {
-			am, err := s.mergeEncoded(a, b)
-			if err != nil {
-				return nil, err
+		// Ablation baseline: whole-map gather at root, sequential
+		// decode-both-reencode merges — the paper's flat comparison point.
+		payload, err := encodeMap(s.comMap)
+		if err != nil {
+			return fmt.Errorf("core: global combination encode: %w", err)
+		}
+		atomic.AddInt64(&s.stats.SerializedBytes, int64(len(payload)))
+		s.met.gcBytes.Add(int64(len(payload)))
+		merged, err := s.flatCombine(payload)
+		if err != nil {
+			return fmt.Errorf("core: global combination reduce: %w", err)
+		}
+		global, err := comm.Bcast(0, merged)
+		if err != nil {
+			return fmt.Errorf("core: global combination bcast: %w", err)
+		}
+		s.comMap, err = decodeMap(global, s.app.NewRedObj)
+		if err != nil {
+			return fmt.Errorf("core: global combination decode: %w", err)
+		}
+		s.shardsFresh = false
+		s.stats.GlobalCombineTime += time.Since(start)
+		return nil
+	}
+
+	s.syncShards()
+	var sent int64
+	enc := func(seg int) ([]byte, error) {
+		if cap(s.gcScratch) > 0 {
+			s.met.encBufReuse.Add(1)
+		}
+		buf, err := appendMap(s.gcScratch[:0], s.shards.shards[seg])
+		if err != nil {
+			return nil, fmt.Errorf("core: global combination encode: %w", err)
+		}
+		s.gcScratch = buf
+		sent += int64(len(buf))
+		return buf, nil
+	}
+	// Incoming entries for keys this rank already holds are unmarshaled into
+	// one reusable scratch object and merged from there — no allocation.
+	// UnmarshalBinary fully replaces an object's state (the format fuzzer
+	// pins this), so scratch reuse across entries is sound; Merge must not
+	// retain its src, which the CombMap distribution contract already
+	// requires (local combination merges and drops objects the same way).
+	var scratch RedObj
+	merge := func(_ int, payload []byte) error {
+		s.met.gcDecodeAvoided.Inc()
+		return walkEntries(payload, func(k int, body []byte) error {
+			sh := s.shards.shardFor(k)
+			dst, ok := sh[k]
+			if !ok {
+				obj := s.app.NewRedObj()
+				if err := obj.UnmarshalBinary(body); err != nil {
+					return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
+				}
+				sh[k] = obj
+				return nil
 			}
-			return encodeMap(am)
+			if scratch == nil {
+				scratch = s.app.NewRedObj()
+			}
+			if err := scratch.UnmarshalBinary(body); err != nil {
+				return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
+			}
+			s.app.Merge(scratch, dst)
+			return nil
 		})
 	}
+	isRoot, err := comm.ReduceStream(0, s.shards.n(), enc, merge)
 	if err != nil {
 		return fmt.Errorf("core: global combination reduce: %w", err)
 	}
-	global, err := comm.Bcast(0, merged)
-	if err != nil {
-		return fmt.Errorf("core: global combination bcast: %w", err)
+
+	// Broadcast the global map. The root holds it decoded already — it
+	// serializes once into a pooled buffer (canonical sorted whole-map
+	// framing) and keeps its in-place merged shards; the other ranks decode
+	// the broadcast straight into their shards.
+	if isRoot {
+		buf, reused := getEncBuf()
+		if reused {
+			s.met.encBufReuse.Add(1)
+		}
+		b, err := appendSharded(*buf, s.shards)
+		if err != nil {
+			return fmt.Errorf("core: global combination encode: %w", err)
+		}
+		*buf = b
+		sent += int64(len(b))
+		if _, err := comm.Bcast(0, b); err != nil {
+			return fmt.Errorf("core: global combination bcast: %w", err)
+		}
+		putEncBuf(buf)
+	} else {
+		global, err := comm.Bcast(0, nil)
+		if err != nil {
+			return fmt.Errorf("core: global combination bcast: %w", err)
+		}
+		// Decode the global map over the local shards in place. The global
+		// key set is a superset of every rank's local one (merging never
+		// drops a key), so overwriting present objects and inserting the
+		// rest yields exactly the global state — without clearing the shards
+		// or allocating an object per already-known key.
+		err = walkEntries(global, func(k int, body []byte) error {
+			sh := s.shards.shardFor(k)
+			if dst, ok := sh[k]; ok {
+				if err := dst.UnmarshalBinary(body); err != nil {
+					return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
+				}
+				return nil
+			}
+			obj := s.app.NewRedObj()
+			if err := obj.UnmarshalBinary(body); err != nil {
+				return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
+			}
+			sh[k] = obj
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: global combination decode: %w", err)
+		}
 	}
-	s.comMap, err = decodeMap(global, s.app.NewRedObj)
-	if err != nil {
-		return fmt.Errorf("core: global combination decode: %w", err)
-	}
+	s.syncFlat()
+	atomic.AddInt64(&s.stats.SerializedBytes, sent)
+	s.met.gcBytes.Add(sent)
 	s.stats.GlobalCombineTime += time.Since(start)
 	return nil
 }

@@ -4,68 +4,174 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 )
 
-// encodeMap serializes a combination map as
-// count | (key, len, payload)* with little-endian fixed-width framing.
-// This is the serialization the paper charges to global combination — the
-// price of keeping reduction objects in a flexible map rather than the
-// contiguous arrays of a hand-written MPI_Allreduce (Section 5.3). Entries
-// are written in ascending key order, so equal maps encode byte-identically:
-// checkpoints of the same state round-trip bit-for-bit and global-combination
-// payloads are reproducible across runs.
-func encodeMap(m CombMap) ([]byte, error) {
+// Appender is an optional fast path on RedObj for the serialization hot
+// path: AppendBinary appends exactly the bytes MarshalBinary would return to
+// b and returns the extended slice. With it, the runtime serializes a whole
+// combination map into one pooled buffer without a per-object allocation —
+// the Section 5.3 serialization tax shrinks to the framing itself.
+// Implementations must keep AppendBinary and MarshalBinary byte-identical;
+// the analytics test suite pins this for every shipped reduction object.
+type Appender interface {
+	AppendBinary(b []byte) ([]byte, error)
+}
+
+// encBufPool recycles serialization buffers across checkpoint writes and
+// global-combination rounds. Both transports copy payloads out during Send,
+// so a buffer may be returned to the pool as soon as the send or file write
+// that used it completes.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getEncBuf draws a zero-length buffer from the pool; reused reports whether
+// it carries capacity from a previous round (the pooled-buffer reuse signal
+// surfaced via smart_core_enc_buf_reuse_total).
+func getEncBuf() (buf *[]byte, reused bool) {
+	buf = encBufPool.Get().(*[]byte)
+	reused = cap(*buf) > 0
+	*buf = (*buf)[:0]
+	return buf, reused
+}
+
+// putEncBuf returns a buffer to the pool.
+func putEncBuf(buf *[]byte) { encBufPool.Put(buf) }
+
+// appendObj appends one reduction object's key | len | payload frame,
+// preferring the Appender fast path over MarshalBinary.
+func appendObj(buf []byte, k int, obj RedObj) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(k)))
+	if ap, ok := obj.(Appender); ok {
+		// Reserve the length word, append in place, then patch it — one
+		// buffer, no per-object allocation.
+		lenOff := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		out, err := ap.AppendBinary(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: marshal reduction object for key %d: %w", k, err)
+		}
+		binary.LittleEndian.PutUint32(out[lenOff:], uint32(len(out)-lenOff-4))
+		return out, nil
+	}
+	payload, err := obj.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: marshal reduction object for key %d: %w", k, err)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...), nil
+}
+
+// appendMap serializes a combination map as
+// count | (key, len, payload)* with little-endian fixed-width framing,
+// appending to buf. This is the serialization the paper charges to global
+// combination — the price of keeping reduction objects in a flexible map
+// rather than the contiguous arrays of a hand-written MPI_Allreduce
+// (Section 5.3). Entries are written in ascending key order, so equal maps
+// encode byte-identically: checkpoints of the same state round-trip
+// bit-for-bit and global-combination payloads are reproducible across runs.
+func appendMap(buf []byte, m CombMap) ([]byte, error) {
 	keys := make([]int, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
-	buf := make([]byte, 0, 16+32*len(m))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m)))
+	var err error
 	for _, k := range keys {
-		payload, err := m[k].MarshalBinary()
-		if err != nil {
-			return nil, fmt.Errorf("core: marshal reduction object for key %d: %w", k, err)
+		if buf, err = appendObj(buf, k, m[k]); err != nil {
+			return nil, err
 		}
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(k)))
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
-		buf = append(buf, payload...)
+	}
+	return buf, nil
+}
+
+// encodeMap is appendMap into a fresh right-sized buffer.
+func encodeMap(m CombMap) ([]byte, error) {
+	return appendMap(make([]byte, 0, 16+32*len(m)), m)
+}
+
+// appendSharded serializes a sharded map in the exact encodeMap format: the
+// shards' keys are concatenated, re-sorted into one ascending sequence, and
+// framed identically — so the wire and checkpoint byte format is unchanged
+// by the sharded pipeline.
+func appendSharded(buf []byte, m *shardedMap) ([]byte, error) {
+	keys := make([]int, 0, m.size())
+	at := make(map[int]RedObj, m.size())
+	for _, sh := range m.shards {
+		for k, obj := range sh {
+			keys = append(keys, k)
+			at[k] = obj
+		}
+	}
+	sort.Ints(keys)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	var err error
+	for _, k := range keys {
+		if buf, err = appendObj(buf, k, at[k]); err != nil {
+			return nil, err
+		}
 	}
 	return buf, nil
 }
 
 // decodeMap reverses encodeMap, materializing objects with the factory.
 func decodeMap(buf []byte, factory func() RedObj) (CombMap, error) {
+	m := make(CombMap)
+	if err := decodeEntries(buf, factory, func(k int, obj RedObj) { m[k] = obj }); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// decodeEntries walks an encodeMap frame, materializing each object with the
+// factory and handing it to sink — shared by flat-map decoding and the
+// decode-once global-combination merge, which routes entries straight into
+// the local decoded shards instead of building an intermediate map.
+func decodeEntries(buf []byte, factory func() RedObj, sink func(k int, obj RedObj)) error {
+	return walkEntries(buf, func(k int, payload []byte) error {
+		obj := factory()
+		if err := obj.UnmarshalBinary(payload); err != nil {
+			return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
+		}
+		sink(k, obj)
+		return nil
+	})
+}
+
+// walkEntries streams an encodeMap frame entry by entry without
+// materializing anything: sink receives each key and its raw payload (a
+// sub-slice of buf, valid only during the call). The global-combination
+// paths build on this to unmarshal payloads into already-live objects —
+// merge scratch and broadcast updates — instead of allocating a fresh object
+// per entry.
+func walkEntries(buf []byte, sink func(k int, payload []byte) error) error {
 	if len(buf) < 4 {
-		return nil, fmt.Errorf("core: truncated map header")
+		return fmt.Errorf("core: truncated map header")
 	}
 	n := int(binary.LittleEndian.Uint32(buf))
 	buf = buf[4:]
 	// Every entry needs at least its 12-byte header; a count beyond that is
-	// a corrupt frame, and sizing the map from it would blow the heap.
+	// a corrupt frame, and trusting it would blow the heap.
 	if n < 0 || n > len(buf)/12 {
-		return nil, fmt.Errorf("core: implausible map entry count %d for %d bytes", n, len(buf))
+		return fmt.Errorf("core: implausible map entry count %d for %d bytes", n, len(buf))
 	}
-	m := make(CombMap, n)
 	for i := 0; i < n; i++ {
 		if len(buf) < 12 {
-			return nil, fmt.Errorf("core: truncated entry header %d", i)
+			return fmt.Errorf("core: truncated entry header %d", i)
 		}
 		k := int(int64(binary.LittleEndian.Uint64(buf)))
 		l := int(binary.LittleEndian.Uint32(buf[8:]))
 		buf = buf[12:]
 		if len(buf) < l {
-			return nil, fmt.Errorf("core: truncated entry payload %d", i)
+			return fmt.Errorf("core: truncated entry payload %d", i)
 		}
-		obj := factory()
-		if err := obj.UnmarshalBinary(buf[:l:l]); err != nil {
-			return nil, fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
+		if err := sink(k, buf[:l:l]); err != nil {
+			return err
 		}
-		m[k] = obj
 		buf = buf[l:]
 	}
 	if len(buf) != 0 {
-		return nil, fmt.Errorf("core: %d trailing bytes after map", len(buf))
+		return fmt.Errorf("core: %d trailing bytes after map", len(buf))
 	}
-	return m, nil
+	return nil
 }

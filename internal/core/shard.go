@@ -1,0 +1,128 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shardedMap is the combination pipeline's internal representation of a
+// reduction or combination map: the key space is hash-partitioned into S
+// shards so that local combination, the per-iteration distribution step,
+// conversion, and the per-shard global-combination tree all parallelize
+// over shards with no locks — two keys never share a shard across maps, so
+// a worker that owns shard i of every map touches a disjoint key set.
+//
+// The sharded form is a runtime detail: the application-facing CombMap
+// (GenKey's argument, CombinationMap's return, PostCombine's argument) stays
+// a plain map, and the scheduler resynchronizes the two views at the phase
+// boundaries where application code may have mutated the flat map.
+type shardedMap struct {
+	shards []CombMap
+}
+
+// shardIndex maps a key to its shard. The multiplicative mix (Fibonacci
+// hashing) spreads the dense sequential keys most applications generate, and
+// the multiply-shift range reduction avoids an integer division on the
+// per-chunk reduction hot path.
+func shardIndex(key, nshards int) int {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int((uint64(uint32(h>>32)) * uint64(nshards)) >> 32)
+}
+
+func newShardedMap(nshards int) *shardedMap {
+	m := &shardedMap{shards: make([]CombMap, nshards)}
+	for i := range m.shards {
+		m.shards[i] = make(CombMap)
+	}
+	return m
+}
+
+// n returns the shard count.
+func (m *shardedMap) n() int { return len(m.shards) }
+
+// shardFor returns the shard that owns key.
+func (m *shardedMap) shardFor(key int) CombMap {
+	return m.shards[shardIndex(key, len(m.shards))]
+}
+
+// size returns the total entry count across shards.
+func (m *shardedMap) size() int {
+	total := 0
+	for _, sh := range m.shards {
+		total += len(sh)
+	}
+	return total
+}
+
+// insertFlat reshards a flat map: every entry is inserted into its shard.
+// The objects are shared, not cloned — the sharded view aliases the flat one.
+func (m *shardedMap) insertFlat(flat CombMap) {
+	for k, obj := range flat {
+		m.shardFor(k)[k] = obj
+	}
+}
+
+// clearShards empties every shard in place.
+func (m *shardedMap) clearShards() {
+	for i := range m.shards {
+		clear(m.shards[i])
+	}
+}
+
+// flattenInto rebuilds a flat map from the shards, reusing dst's storage
+// (callers of CombinationMap may hold a reference to it, so identity is
+// preserved).
+func (m *shardedMap) flattenInto(dst CombMap) {
+	clear(dst)
+	for _, sh := range m.shards {
+		for k, obj := range sh {
+			dst[k] = obj
+		}
+	}
+}
+
+// forEachShard runs fn(shard index) for every shard on up to workers
+// goroutines and reports each shard's duration. With workers <= 1 the shards
+// run serially on the calling goroutine — the Sequential-mode and
+// single-thread path. The goroutine count is additionally clamped to
+// GOMAXPROCS: the shard work is pure CPU, so goroutines beyond the
+// schedulable parallelism only add handoff overhead (unlike the reduction
+// workers, whose count is part of the configured execution model).
+func (m *shardedMap) forEachShard(workers int, fn func(shard int)) []time.Duration {
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	durs := make([]time.Duration, len(m.shards))
+	if workers <= 1 || len(m.shards) == 1 {
+		for i := range m.shards {
+			start := time.Now()
+			fn(i)
+			durs[i] = time.Since(start)
+		}
+		return durs
+	}
+	if workers > len(m.shards) {
+		workers = len(m.shards)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.shards) {
+					return
+				}
+				start := time.Now()
+				fn(i)
+				durs[i] = time.Since(start)
+			}
+		}()
+	}
+	wg.Wait()
+	return durs
+}

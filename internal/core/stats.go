@@ -38,6 +38,30 @@ type Stats struct {
 	EmittedEarly int64
 }
 
+// Snapshot returns a copy of the stats that is safe to read while a Run may
+// still be mutating the original. The run loop updates ReductionTime,
+// SerializedBytes, ChunksProcessed, and EmittedEarly with atomic adds, so
+// those fields are loaded atomically here; SplitTimes is deep-copied. Use
+// this — not the raw pointer from Scheduler.Stats — whenever the reader is
+// on a different goroutine than the run (result reporting, serving,
+// monitoring).
+func (s *Stats) Snapshot() Stats {
+	out := Stats{
+		ReductionTime:     time.Duration(atomic.LoadInt64((*int64)(&s.ReductionTime))),
+		LocalCombineTime:  s.LocalCombineTime,
+		GlobalCombineTime: s.GlobalCombineTime,
+		SerializedBytes:   atomic.LoadInt64(&s.SerializedBytes),
+		ChunksProcessed:   atomic.LoadInt64(&s.ChunksProcessed),
+		MaxLiveRedObjs:    s.MaxLiveRedObjs,
+		EmittedEarly:      atomic.LoadInt64(&s.EmittedEarly),
+	}
+	if s.SplitTimes != nil {
+		out.SplitTimes = make([]time.Duration, len(s.SplitTimes))
+		copy(out.SplitTimes, s.SplitTimes)
+	}
+	return out
+}
+
 // reset clears per-Run counters.
 func (s *Stats) reset(threads int) {
 	if cap(s.SplitTimes) < threads {
@@ -76,6 +100,14 @@ type schedMetrics struct {
 	livePeak *obs.Gauge
 	// runs counts completed Run/RunShared executions.
 	runs *obs.Counter
+	// gcDecodeAvoided counts incoming global-combine segments merged directly
+	// into the decoded local shards — each one is a decode-both+re-encode
+	// cycle the legacy whole-map reduce would have paid.
+	gcDecodeAvoided *obs.Counter
+	// encBufReuse counts serialization rounds that ran in a recycled buffer
+	// (pooled checkpoint/broadcast encodes plus warm global-combine scratch)
+	// instead of a fresh allocation.
+	encBufReuse *obs.Counter
 }
 
 func (m *schedMetrics) init(r *obs.Registry) {
@@ -85,6 +117,8 @@ func (m *schedMetrics) init(r *obs.Registry) {
 	m.redmapSize = r.Histogram("smart_core_redmap_entries", obs.SizeBuckets)
 	m.livePeak = r.Gauge("smart_core_live_redobjs")
 	m.runs = r.Counter("smart_core_runs_total")
+	m.gcDecodeAvoided = r.Counter("smart_core_gc_decode_avoided_total")
+	m.encBufReuse = r.Counter("smart_core_enc_buf_reuse_total")
 }
 
 // liveCounter tracks the number of live reduction objects across threads and

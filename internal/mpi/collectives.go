@@ -19,7 +19,7 @@ type collectiveMetrics struct {
 var collMetrics = func() map[string]collectiveMetrics {
 	r := obs.DefaultRegistry()
 	m := make(map[string]collectiveMetrics)
-	for _, op := range []string{"barrier", "bcast", "reduce", "allreduce", "gather", "allgather", "scatter"} {
+	for _, op := range []string{"barrier", "bcast", "reduce", "reducestream", "allreduce", "gather", "allgather", "scatter"} {
 		m[op] = collectiveMetrics{
 			calls:   r.Counter(`smart_mpi_collective_total{op="` + op + `"}`),
 			seconds: r.Histogram(`smart_mpi_collective_seconds{op="`+op+`"}`, obs.DurationBuckets),
@@ -47,6 +47,7 @@ const (
 	opScatter
 	opReduce
 	opAllgather
+	opReduceStream
 	numOps
 )
 

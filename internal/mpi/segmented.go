@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ReduceStream is a segmented, streamed reduction to root along the same
+// binomial tree as Reduce, built for operands that are expensive to
+// re-serialize — combination maps. Where Reduce hands the reduce function
+// two opaque serialized payloads per tree level (forcing decode-both +
+// re-encode at every hop), ReduceStream keeps each rank's state decoded:
+//
+//   - a rank that receives takes its children's segments one message at a
+//     time and hands each to merge as it arrives, so communication of the
+//     next segment overlaps the merging of the previous one;
+//   - a rank that sends serializes each of its nseg segments exactly once
+//     via enc, immediately before the send.
+//
+// Segment counts may differ across ranks (each sender prefixes its own
+// count), so merge must route incoming entries by content rather than trust
+// the segment index to align with local segmentation. The buffer enc returns
+// is fully copied out by the transport before the next enc call, so callers
+// may serialize every segment into one reusable scratch buffer.
+//
+// ReduceStream returns true on the rank that holds the fully merged state
+// (root) and false elsewhere. Like every collective, it must be entered by
+// all ranks of the communicator in the same global order.
+func (c *Comm) ReduceStream(root int, nseg int,
+	enc func(seg int) ([]byte, error), merge func(seg int, payload []byte) error) (bool, error) {
+
+	if err := c.checkPeer(root); err != nil {
+		return false, err
+	}
+	if nseg < 0 {
+		return false, fmt.Errorf("mpi: reduce stream with negative segment count %d", nseg)
+	}
+	defer timeCollective("reducestream")()
+	defer c.lock()()
+	seq := c.seq.Add(1)
+	tag := c.ctag(opReduceStream, seq)
+
+	p := c.Size()
+	vr := (c.Rank() - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			// Send this rank's merged state up the tree: a count frame, then
+			// one message per segment, serialized on demand.
+			dst := (vr - mask + root) % p
+			var hdr [4]byte
+			binary.LittleEndian.PutUint32(hdr[:], uint32(nseg))
+			if err := c.t.Send(dst, tag, hdr[:]); err != nil {
+				return false, err
+			}
+			for seg := 0; seg < nseg; seg++ {
+				payload, err := enc(seg)
+				if err != nil {
+					return false, err
+				}
+				if err := c.t.Send(dst, tag, payload); err != nil {
+					return false, err
+				}
+			}
+			return false, nil
+		}
+		srcVR := vr | mask
+		if srcVR >= p {
+			continue
+		}
+		src := (srcVR + root) % p
+		hdr, err := c.t.Recv(src, tag)
+		if err != nil {
+			return false, err
+		}
+		if len(hdr) != 4 {
+			return false, fmt.Errorf("mpi: reduce stream: bad segment-count frame of %d bytes", len(hdr))
+		}
+		n := int(binary.LittleEndian.Uint32(hdr))
+		for seg := 0; seg < n; seg++ {
+			payload, err := c.t.Recv(src, tag)
+			if err != nil {
+				return false, err
+			}
+			if err := merge(seg, payload); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}

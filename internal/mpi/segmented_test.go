@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestReduceStreamSumsAllSegments drives ReduceStream across world sizes
+// with per-rank segment counts that differ, the case the count frame exists
+// for. Every rank contributes one uint64 per segment; the root must end up
+// with the sum of every contribution.
+func TestReduceStreamSumsAllSegments(t *testing.T) {
+	for p := 1; p <= 5; p++ {
+		p := p
+		t.Run(fmt.Sprintf("ranks=%d", p), func(t *testing.T) {
+			comms := NewWorld(p)
+			sums := make([]uint64, p)
+			roots := make([]bool, p)
+			var want uint64
+			for r := 0; r < p; r++ {
+				for seg := 0; seg <= r; seg++ {
+					want += uint64(100*r + seg)
+				}
+			}
+			var wg sync.WaitGroup
+			for r := 0; r < p; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer comms[r].Close()
+					// Rank r contributes r+1 segments valued 100r+seg. The
+					// local value is pre-merged into sums[r], mirroring how
+					// the scheduler keeps its own state decoded.
+					nseg := r + 1
+					for seg := 0; seg < nseg; seg++ {
+						sums[r] += uint64(100*r + seg)
+					}
+					isRoot, err := comms[r].ReduceStream(0, nseg,
+						func(seg int) ([]byte, error) {
+							// Senders ship their full merged state in segment
+							// 0 and zeroes after, exercising uneven payloads.
+							v := uint64(0)
+							if seg == 0 {
+								v = sums[r]
+							}
+							return binary.LittleEndian.AppendUint64(nil, v), nil
+						},
+						func(seg int, payload []byte) error {
+							if len(payload) != 8 {
+								return fmt.Errorf("bad payload %d bytes", len(payload))
+							}
+							sums[r] += binary.LittleEndian.Uint64(payload)
+							return nil
+						})
+					if err != nil {
+						t.Errorf("rank %d: %v", r, err)
+					}
+					roots[r] = isRoot
+				}()
+			}
+			wg.Wait()
+			if !roots[0] {
+				t.Fatal("root rank did not report holding the result")
+			}
+			for r := 1; r < p; r++ {
+				if roots[r] {
+					t.Fatalf("rank %d reported root", r)
+				}
+			}
+			if sums[0] != want {
+				t.Fatalf("root sum %d, want %d", sums[0], want)
+			}
+		})
+	}
+}
+
+// TestReduceStreamMatchesReduce checks the streamed tree agrees with the
+// classic payload-level Reduce for an associative sum.
+func TestReduceStreamMatchesReduce(t *testing.T) {
+	const p = 4
+	sumFn := func(a, b []byte) ([]byte, error) {
+		return binary.LittleEndian.AppendUint64(nil,
+			binary.LittleEndian.Uint64(a)+binary.LittleEndian.Uint64(b)), nil
+	}
+	run := func(streamed bool) uint64 {
+		comms := NewWorld(p)
+		var root uint64
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer comms[r].Close()
+				val := uint64(1) << r
+				if streamed {
+					acc := val
+					isRoot, err := comms[r].ReduceStream(0, 1,
+						func(int) ([]byte, error) {
+							return binary.LittleEndian.AppendUint64(nil, acc), nil
+						},
+						func(_ int, payload []byte) error {
+							acc += binary.LittleEndian.Uint64(payload)
+							return nil
+						})
+					if err != nil {
+						t.Errorf("rank %d: %v", r, err)
+					}
+					if isRoot {
+						root = acc
+					}
+					return
+				}
+				out, err := comms[r].Reduce(0, binary.LittleEndian.AppendUint64(nil, val), sumFn)
+				if err != nil {
+					t.Errorf("rank %d: %v", r, err)
+				}
+				if r == 0 {
+					root = binary.LittleEndian.Uint64(out)
+				}
+			}()
+		}
+		wg.Wait()
+		return root
+	}
+	if s, c := run(true), run(false); s != c {
+		t.Fatalf("streamed sum %d != classic sum %d", s, c)
+	}
+}
+
+func TestReduceStreamRejectsNegativeSegments(t *testing.T) {
+	comms := NewWorld(1)
+	defer comms[0].Close()
+	if _, err := comms[0].ReduceStream(0, -1, nil, nil); err == nil {
+		t.Fatal("negative segment count accepted")
+	}
+}

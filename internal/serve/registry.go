@@ -220,7 +220,27 @@ func wireRunner[Out any](sched *core.Scheduler[float64, Out], em *sim.Emulator,
 		if _, err := insitu.TimeSharingContext(ctx, em, analyze, insitu.TimeSharingConfig{Steps: spec.Steps, Mem: mem}); err != nil {
 			return nil, err
 		}
-		return result(out), nil
+		res := result(out)
+		if m, ok := res.(map[string]any); ok {
+			m["stats"] = statsView(sched.Stats().Snapshot())
+		}
+		return res, nil
+	}
+}
+
+// statsView shapes a stats snapshot into the JSON-friendly form embedded in
+// job results. It must be fed a Snapshot, never the live Stats pointer: the
+// serving layer reads results from goroutines the run loop knows nothing
+// about.
+func statsView(st core.Stats) map[string]any {
+	return map[string]any{
+		"reduction_ns":      st.ReductionTime.Nanoseconds(),
+		"local_combine_ns":  st.LocalCombineTime.Nanoseconds(),
+		"global_combine_ns": st.GlobalCombineTime.Nanoseconds(),
+		"serialized_bytes":  st.SerializedBytes,
+		"chunks_processed":  st.ChunksProcessed,
+		"max_live_redobjs":  st.MaxLiveRedObjs,
+		"emitted_early":     st.EmittedEarly,
 	}
 }
 
@@ -558,7 +578,13 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error
 		if err := stage2.RunContext(ctx, means, hist); err != nil {
 			return nil, err
 		}
-		return map[string]any{"cell_means": cells, "lo": lo, "hi": hi, "buckets": hist}, nil
+		return map[string]any{
+			"cell_means": cells, "lo": lo, "hi": hi, "buckets": hist,
+			"stats": map[string]any{
+				"stage1": statsView(stage1.Stats().Snapshot()),
+				"stage2": statsView(stage2.Stats().Snapshot()),
+			},
+		}, nil
 	}
 	return &jobProgram{run: run, checkpoint: stage1.WriteCheckpoint}, nil
 }

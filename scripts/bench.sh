@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# bench.sh — run the combination-pipeline benchmarks and emit
+# BENCH_combine.json with ns/op and allocs/op for the local combine
+# (serial reference vs sharded, at 1/4/8 threads) and the global combine
+# (legacy decode-both-reencode tree vs sharded decode-once streamed tree
+# on a 4-rank in-process world).
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=2s scripts/bench.sh   # longer, more stable timings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_combine.json}"
+benchtime="${BENCHTIME:-0.5s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/core/ -run '^$' -bench 'BenchmarkLocalCombine|BenchmarkGlobalCombine' \
+  -benchtime "$benchtime" | tee "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || echo 1)" -v benchtime="$benchtime" '
+/^Benchmark(Local|Global)Combine/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the -GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns != "" && allocs != "") {
+        entries[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"cores\": %s,\n", cores
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": {\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out"
