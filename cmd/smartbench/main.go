@@ -61,6 +61,7 @@ var experiments = []experiment{
 	{"11a", one(harness.Fig11a)},
 	{"11b", one(harness.Fig11b)},
 	{"ext1", one(harness.FigExt1)},
+	{"sched", one(harness.FigSched)},
 }
 
 func main() {

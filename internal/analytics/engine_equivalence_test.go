@@ -1,0 +1,286 @@
+package analytics
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/chunk"
+	"github.com/scipioneer/smart/internal/core"
+)
+
+// TestEngineByteIdentical is the cross-application equivalence test for the
+// execution engines: for each of the paper's nine applications, the static
+// schedule and the work-stealing schedule must produce byte-identical
+// EncodeCombinationMap output.
+//
+// Steals regroup a thread's range into extra segments, which is only visible
+// where the arithmetic is grouping-sensitive, so every case is configured so
+// its reductions are exact: integer counts (histogram, mutualinfo),
+// integer-valued sums (gridagg, kmeans, movingavg), per-grid-cell-constant
+// values (moments — every Welford delta is zero), dyadic features with zero
+// initial weights and a single iteration (logreg — every gradient term is a
+// multiple of 2⁻⁴), or order-preserved holistic appends (movingmedian).
+// The kernel-weighted apps (kde, savgol) have irrational weights, so their
+// stealing run uses Sequential mode, which the engine guarantees degenerates
+// to the exact static schedule; TestEngineForcedStealKDEWithinTolerance
+// covers their behavior under real steals.
+func TestEngineByteIdentical(t *testing.T) {
+	const n = 6000
+	vals := synth(n, func(i int) float64 { return float64((i*37)%200)/10 - 10 })
+	// Integer-valued samples: sums are exact however they are grouped.
+	ivals := synth(n, func(i int) float64 { return float64((i*37)%200 - 100) })
+	// Constant within each 100-element grid cell, so moments accumulate with
+	// zero deltas and merge exactly.
+	cellvals := synth(n, func(i int) float64 { return float64((i/100)%7 - 3) })
+	// Labeled records for logistic regression: 4 dyadic features (multiples
+	// of 1/8) + a 0/1 label. With zero initial weights every sigmoid is
+	// exactly 0.5, so gradient terms are multiples of 1/16 and their sums are
+	// exact at any grouping — but only for the first iteration.
+	recs := synth(n, func(i int) float64 {
+		if i%5 == 4 {
+			return float64(i % 2)
+		}
+		return float64((i*13)%16)/8 - 1
+	})
+
+	cases := []struct {
+		name string
+		// seqStealing runs the stealing side in Sequential mode (zero steals
+		// by construction) for apps whose arithmetic cannot be made exact.
+		seqStealing bool
+		encode      func(t *testing.T, a core.SchedArgs) []byte
+	}{
+		{"histogram", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[int64](t, NewHistogram(-10, 10, 64), a, vals, 64, false)
+		}},
+		{"gridagg", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewGridAgg(100, 0), a, ivals, 60, false)
+		}},
+		{"moments", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewMoments(100, 0), a, cellvals, 60, false)
+		}},
+		{"mutualinfo", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 2
+			return runAndEncode[int64](t, NewMutualInfo(-10, 10, 16, -10, 10, 16), a, vals, 0, false)
+		}},
+		{"logreg", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize, a.NumIters = 5, 1
+			return runAndEncode[float64](t, NewLogReg(4, 0.1), a, recs, 0, false)
+		}},
+		{"kmeans", false, func(t *testing.T, a core.SchedArgs) []byte {
+			// Integer coordinates: centroids after each PostCombine are a
+			// deterministic function of exact integer sums, so every
+			// iteration's assignments and sums agree across engines.
+			a.ChunkSize, a.NumIters, a.Extra = 4, 3, initCentroidsTest(4, 4)
+			return runAndEncode[[]float64](t, NewKMeans(4, 4), a, ivals, 0, false)
+		}},
+		{"movingavg", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewMovingAverage(25, n, 0, false), a, ivals, n, true)
+		}},
+		{"movingmedian", false, func(t *testing.T, a core.SchedArgs) []byte {
+			// Holistic: the object preserves every contribution. Front claims
+			// plus input-offset segment ordering keep each window's values in
+			// ascending chunk order, so even real steals cannot reorder them.
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewMovingMedian(25, n, 0, false), a, vals, n, true)
+		}},
+		{"kde", true, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewKernelDensity(25, n, 0, false, 1.5), a, vals, n, true)
+		}},
+		{"savgol", true, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewSavitzkyGolay(25, 2, n, 0, false), a, vals, n, true)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.encode(t, core.SchedArgs{NumThreads: 4, Engine: core.EngineStatic})
+			if len(ref) <= 4 {
+				t.Fatal("reference combination map is empty — the case tests nothing")
+			}
+			got := tc.encode(t, core.SchedArgs{
+				NumThreads: 4, Engine: core.EngineStealing, Sequential: tc.seqStealing,
+			})
+			if !bytes.Equal(got, ref) {
+				t.Errorf("stealing encoding differs from static (%d vs %d bytes)", len(got), len(ref))
+			}
+		})
+	}
+}
+
+// gateMedian wraps MovingMedian with the straggler gate of the core engine
+// tests: the worker holding chunk 0 parks until some worker reaches the
+// guard region, which only a thief can do while the owner is parked — so a
+// steal is guaranteed, deterministically, with no timing dependence.
+type gateMedian struct {
+	*MovingMedian
+	gate         chan struct{}
+	guard, limit int
+	once         sync.Once
+}
+
+func (g *gateMedian) AccumulateKeyed(key int, c chunk.Chunk, data []float64, obj core.RedObj) {
+	if c.Start >= g.guard && c.Start < g.limit {
+		g.once.Do(func() { close(g.gate) })
+	}
+	if c.Start == 0 {
+		<-g.gate
+	}
+	g.MovingMedian.AccumulateKeyed(key, c, data, obj)
+}
+
+// TestEngineForcedStealMedianByteIdentical pins the determinism claim that
+// matters most for stealing — per-key contribution order — on the holistic
+// application under a guaranteed steal: a moving median whose values arrive
+// through stolen segments must still encode byte-for-byte like the static
+// schedule, because segments merge in ascending input-offset order.
+func TestEngineForcedStealMedianByteIdentical(t *testing.T) {
+	const n = 6000
+	vals := synth(n, func(i int) float64 { return float64((i*37)%200)/10 - 10 })
+	app := &gateMedian{
+		MovingMedian: NewMovingMedian(25, n, 0, false),
+		gate:         make(chan struct{}),
+		guard:        3 * (n / 2) / 4, // past any front batch the parked owner claimed
+		limit:        n / 2,           // one past split 0 at nt=2
+	}
+	s := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: 2, ChunkSize: 1, Engine: core.EngineStealing,
+	})
+	out := make([]float64, n)
+	if err := s.Run2(vals, out); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats().Snapshot(); st.Steals == 0 {
+		t.Fatal("no steal recorded despite a parked straggler")
+	}
+	got, err := s.EncodeCombinationMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runAndEncode[float64](t, NewMovingMedian(25, n, 0, false),
+		core.SchedArgs{NumThreads: 2, ChunkSize: 1}, vals, n, true)
+	if !bytes.Equal(got, ref) {
+		t.Errorf("stolen-segment median encoding differs from static (%d vs %d bytes)", len(got), len(ref))
+	}
+}
+
+// gateKDE is the same straggler gate around the kernel density estimator.
+type gateKDE struct {
+	*KernelDensity
+	gate         chan struct{}
+	guard, limit int
+	once         sync.Once
+}
+
+func (g *gateKDE) AccumulateKeyed(key int, c chunk.Chunk, data []float64, obj core.RedObj) {
+	if c.Start >= g.guard && c.Start < g.limit {
+		g.once.Do(func() { close(g.gate) })
+	}
+	if c.Start == 0 {
+		<-g.gate
+	}
+	g.KernelDensity.AccumulateKeyed(key, c, data, obj)
+}
+
+// TestEngineForcedStealKDEWithinTolerance bounds the one divergence stealing
+// is allowed: the kernel density estimator sums irrational Gaussian weights,
+// so a steal boundary regroups a floating-point sum. Under a guaranteed
+// steal the outputs must still agree with the static schedule to rounding
+// error — a window sums at most 25 weighted terms.
+func TestEngineForcedStealKDEWithinTolerance(t *testing.T) {
+	const n = 6000
+	vals := synth(n, func(i int) float64 { return float64((i*37)%200)/10 - 10 })
+	app := &gateKDE{
+		KernelDensity: NewKernelDensity(25, n, 0, false, 1.5),
+		gate:          make(chan struct{}),
+		guard:         3 * (n / 2) / 4,
+		limit:         n / 2,
+	}
+	s := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: 2, ChunkSize: 1, Engine: core.EngineStealing,
+	})
+	got := make([]float64, n)
+	if err := s.Run2(vals, got); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats().Snapshot(); st.Steals == 0 {
+		t.Fatal("no steal recorded despite a parked straggler")
+	}
+	ref := core.MustNewScheduler[float64, float64](NewKernelDensity(25, n, 0, false, 1.5),
+		core.SchedArgs{NumThreads: 2, ChunkSize: 1})
+	want := make([]float64, n)
+	if err := ref.Run2(vals, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("position %d: stealing %v, static %v (diff %g)", i, got[i], want[i], d)
+		}
+	}
+}
+
+// TestEngineTriggeredEmissions pins early-emission semantics across engines
+// on a Triggered application. A window emits early exactly when one segment
+// sees all of its contributions, so the static schedule suppresses windows
+// straddling split boundaries and stealing may suppress more (steal
+// boundaries subdivide a split) — but every emission either engine produces
+// must carry the final value for its key, each key emits at most once, the
+// stealing run's emissions are a subset of the static run's (it has the same
+// split boundaries plus possibly more), and the final outputs are identical.
+// With zero steals the emission sets must match exactly.
+func TestEngineTriggeredEmissions(t *testing.T) {
+	const n = 6000
+	ivals := synth(n, func(i int) float64 { return float64((i*37)%200 - 100) })
+
+	run := func(engine string) (map[int]float64, []float64, int64) {
+		var mu sync.Mutex
+		emits := make(map[int]float64)
+		s := core.MustNewScheduler[float64, float64](NewMovingAverage(25, n, 0, true),
+			core.SchedArgs{NumThreads: 4, ChunkSize: 1, Engine: engine})
+		s.SubscribeEarlyEmits(func(key int, value float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := emits[key]; dup {
+				t.Errorf("%s: key %d emitted twice", engine, key)
+			}
+			emits[key] = value
+		})
+		out := make([]float64, n)
+		if err := s.Run2(ivals, out); err != nil {
+			t.Fatal(err)
+		}
+		return emits, out, s.Stats().Snapshot().Steals
+	}
+
+	staticEmits, staticOut, _ := run(core.EngineStatic)
+	stealEmits, stealOut, steals := run(core.EngineStealing)
+
+	if len(staticEmits) == 0 {
+		t.Fatal("static run emitted nothing early — the trigger test is vacuous")
+	}
+	for i := range staticOut {
+		if staticOut[i] != stealOut[i] {
+			t.Fatalf("position %d: final output %v (static) vs %v (stealing)", i, staticOut[i], stealOut[i])
+		}
+	}
+	for k, v := range stealEmits {
+		ref, ok := staticEmits[k]
+		if !ok {
+			t.Errorf("stealing emitted key %d which static suppressed", k)
+			continue
+		}
+		if v != ref || v != staticOut[k] {
+			t.Errorf("key %d: emitted %v (stealing) vs %v (static), final %v", k, v, ref, staticOut[k])
+		}
+	}
+	if steals == 0 && len(stealEmits) != len(staticEmits) {
+		t.Errorf("zero steals but %d emissions vs static's %d", len(stealEmits), len(staticEmits))
+	}
+}

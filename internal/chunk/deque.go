@@ -1,0 +1,142 @@
+package chunk
+
+import "sync/atomic"
+
+// BatchDeque coordinates one contiguous range of unit-chunk indices between
+// an owner thread and any number of thieves. The whole state is a single
+// packed atomic word — cursor in the high 32 bits, end in the low 32 — so
+// both ends synchronize with one CAS and the structure stays allocation-free
+// after construction.
+//
+// The owner claims batches from the front with PopFront, advancing the
+// cursor; this preserves ascending chunk order inside the range, which is
+// what keeps per-key accumulation order deterministic under work stealing.
+// A thief claims the back half of whatever remains with StealHalf, shrinking
+// end; the stolen units form a new contiguous range (typically registered as
+// a fresh BatchDeque so they can be stolen from in turn). Ranges only ever
+// shrink, so "every deque is empty" is a stable termination condition.
+type BatchDeque struct {
+	state atomic.Uint64
+}
+
+// maxUnit bounds unit indices so cursor and end each fit in 32 bits.
+const maxUnit = 1 << 31
+
+func packRange(cursor, end int) uint64 {
+	return uint64(cursor)<<32 | uint64(uint32(end))
+}
+
+func unpackRange(state uint64) (cursor, end int) {
+	return int(state >> 32), int(uint32(state))
+}
+
+// NewBatchDeque returns a deque over the unit-index range [start, end).
+func NewBatchDeque(start, end int) *BatchDeque {
+	d := &BatchDeque{}
+	d.Reset(start, end)
+	return d
+}
+
+// Reset replaces the deque's range with [start, end). Not safe to call while
+// owner or thieves are active.
+func (d *BatchDeque) Reset(start, end int) {
+	if start < 0 || end < start || end > maxUnit {
+		panic("chunk: invalid deque range")
+	}
+	d.state.Store(packRange(start, end))
+}
+
+// PopFront claims up to max units from the front of the range and returns
+// the first claimed unit index and the claim's size. A zero size means the
+// range is exhausted. Only the owner should call PopFront, but the CAS makes
+// it safe against concurrent thieves.
+func (d *BatchDeque) PopFront(max int) (start, n int) {
+	if max < 1 {
+		max = 1
+	}
+	for {
+		st := d.state.Load()
+		cursor, end := unpackRange(st)
+		rem := end - cursor
+		if rem <= 0 {
+			return 0, 0
+		}
+		n = max
+		if n > rem {
+			n = rem
+		}
+		if d.state.CompareAndSwap(st, packRange(cursor+n, end)) {
+			return cursor, n
+		}
+	}
+}
+
+// StealHalf claims the back half of the remaining range (rounding down) and
+// returns its first unit index and size. It fails with a zero size when
+// fewer than two units remain — a steal must leave the owner at least one
+// unit, or thieves and owner could live-lock trading an empty range.
+func (d *BatchDeque) StealHalf() (start, n int) {
+	for {
+		st := d.state.Load()
+		cursor, end := unpackRange(st)
+		rem := end - cursor
+		if rem < 2 {
+			return 0, 0
+		}
+		n = rem / 2
+		if d.state.CompareAndSwap(st, packRange(cursor, end-n)) {
+			return end - n, n
+		}
+	}
+}
+
+// Remaining reports how many units are still unclaimed.
+func (d *BatchDeque) Remaining() int {
+	cursor, end := unpackRange(d.state.Load())
+	if end < cursor {
+		return 0
+	}
+	return end - cursor
+}
+
+// AdaptiveBatch sizes the owner's next PopFront claim by guided
+// self-scheduling: half the remaining units divided evenly over the workers,
+// floored at min. Early claims are coarse (few deque operations while every
+// queue is full), late claims shrink toward min (fine-grained tail so a
+// straggler's leftover is stealable), which is the adaptivity rule the
+// stealing engine documents.
+func AdaptiveBatch(remaining, workers, min int) int {
+	if min < 1 {
+		min = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b := remaining / (2 * workers)
+	if b < min {
+		b = min
+	}
+	return b
+}
+
+// UnitRange maps the unit-chunk subrange [u, u+n) of the split to its
+// element span, truncating the final unit at the split's end exactly as
+// Chunks does. Unit u covers elements [Start+u*chunkSize, Start+(u+1)*chunkSize)
+// intersected with the split.
+func (s Split) UnitRange(chunkSize, u, n int) Split {
+	if chunkSize <= 0 {
+		panic("chunk: non-positive chunk size")
+	}
+	if u < 0 || n < 0 {
+		panic("chunk: negative unit range")
+	}
+	start := s.Start + u*chunkSize
+	end := start + n*chunkSize
+	if end > s.End() {
+		end = s.End()
+	}
+	if start > end {
+		start = end
+	}
+	return Split{Start: start, Length: end - start}
+}

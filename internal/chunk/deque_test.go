@@ -1,0 +1,189 @@
+package chunk
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchDequePopFrontOrder(t *testing.T) {
+	d := NewBatchDeque(3, 10)
+	var got []int
+	for {
+		start, n := d.PopFront(2)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, start+i)
+		}
+	}
+	want := []int{3, 4, 5, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("claimed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("claimed %v, want %v (front pops must preserve order)", got, want)
+		}
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after drain", d.Remaining())
+	}
+}
+
+func TestBatchDequeStealHalf(t *testing.T) {
+	d := NewBatchDeque(0, 10)
+	start, n := d.StealHalf()
+	if start != 5 || n != 5 {
+		t.Fatalf("StealHalf = (%d, %d), want (5, 5)", start, n)
+	}
+	if d.Remaining() != 5 {
+		t.Fatalf("Remaining = %d, want 5", d.Remaining())
+	}
+	// Stealing from a single remaining unit must fail: the owner keeps it.
+	d.Reset(7, 8)
+	if _, n := d.StealHalf(); n != 0 {
+		t.Fatalf("stole %d units from a 1-unit range", n)
+	}
+	if s, n := d.PopFront(4); s != 7 || n != 1 {
+		t.Fatalf("PopFront = (%d, %d), want (7, 1)", s, n)
+	}
+}
+
+func TestBatchDequeEmpty(t *testing.T) {
+	d := NewBatchDeque(4, 4)
+	if _, n := d.PopFront(1); n != 0 {
+		t.Fatal("PopFront on empty range claimed units")
+	}
+	if _, n := d.StealHalf(); n != 0 {
+		t.Fatal("StealHalf on empty range claimed units")
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+// TestBatchDequeConcurrent hammers one deque with an owner popping from the
+// front and thieves stealing halves, checking that every unit is claimed
+// exactly once. Run under -race this also exercises the CAS protocol.
+func TestBatchDequeConcurrent(t *testing.T) {
+	const units = 1 << 12
+	const thieves = 4
+	d := NewBatchDeque(0, units)
+	claimed := make([]atomic.Int32, units)
+	claim := func(start, n int) {
+		for i := 0; i < n; i++ {
+			claimed[start+i].Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1 + thieves)
+	go func() { // owner
+		defer wg.Done()
+		for {
+			start, n := d.PopFront(AdaptiveBatch(d.Remaining(), thieves+1, 1))
+			if n == 0 {
+				return
+			}
+			claim(start, n)
+		}
+	}()
+	for i := 0; i < thieves; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start, n := d.StealHalf()
+				if n == 0 {
+					if d.Remaining() == 0 {
+						return
+					}
+					continue
+				}
+				claim(start, n)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range claimed {
+		if c := claimed[i].Load(); c != 1 {
+			t.Fatalf("unit %d claimed %d times", i, c)
+		}
+	}
+}
+
+func TestAdaptiveBatch(t *testing.T) {
+	cases := []struct{ remaining, workers, min, want int }{
+		{1000, 4, 1, 125}, // coarse while the queue is full
+		{16, 4, 1, 2},     // shrinking as it drains
+		{3, 4, 1, 1},      // floored at min
+		{0, 4, 8, 8},      // min dominates an empty queue
+		{100, 0, 0, 50},   // degenerate workers/min clamp to 1
+	}
+	for _, c := range cases {
+		if got := AdaptiveBatch(c.remaining, c.workers, c.min); got != c.want {
+			t.Errorf("AdaptiveBatch(%d, %d, %d) = %d, want %d",
+				c.remaining, c.workers, c.min, got, c.want)
+		}
+	}
+	// Monotone shrink: batches never grow as the queue drains.
+	prev := AdaptiveBatch(1<<20, 8, 4)
+	for rem := 1 << 19; rem > 0; rem /= 2 {
+		b := AdaptiveBatch(rem, 8, 4)
+		if b > prev {
+			t.Fatalf("batch grew from %d to %d as remaining shrank to %d", prev, b, rem)
+		}
+		prev = b
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	sp := Split{Start: 100, Length: 25} // units of 4: [100,104) ... [124,125)
+	cases := []struct {
+		u, n  int
+		start int
+		len   int
+	}{
+		{0, 1, 100, 4},
+		{2, 3, 108, 12},
+		{5, 2, 120, 5},  // truncated tail unit
+		{6, 1, 124, 1},  // the lone tail element
+		{7, 3, 125, 0},  // past the end
+		{0, 0, 100, 0},  // empty claim
+		{5, 10, 120, 5}, // oversized claim clamps at the split end
+	}
+	for _, c := range cases {
+		got := sp.UnitRange(4, c.u, c.n)
+		if got.Start != c.start || got.Length != c.len {
+			t.Errorf("UnitRange(4, %d, %d) = %+v, want {%d %d}", c.u, c.n, got, c.start, c.len)
+		}
+	}
+}
+
+// TestUnitRangeMatchesChunks checks that walking a split unit by unit through
+// UnitRange visits exactly the chunks Chunks generates — the property the
+// stealing engine relies on to translate deque claims into element spans.
+func TestUnitRangeMatchesChunks(t *testing.T) {
+	f := func(start, length, chunkSize uint8) bool {
+		cs := int(chunkSize)%7 + 1
+		sp := Split{Start: int(start), Length: int(length)}
+		var fromChunks []Chunk
+		sp.Chunks(cs, func(c Chunk) bool {
+			fromChunks = append(fromChunks, c)
+			return true
+		})
+		for u, want := range fromChunks {
+			got := sp.UnitRange(cs, u, 1)
+			if got.Start != want.Start || got.Length != want.Length {
+				return false
+			}
+		}
+		// A multi-unit range must equal the concatenation of its units.
+		whole := sp.UnitRange(cs, 0, len(fromChunks))
+		return whole.Start == sp.Start && whole.Length == sp.Length
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

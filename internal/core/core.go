@@ -18,6 +18,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -175,6 +176,16 @@ type SchedArgs struct {
 	// entries are routed by key, not segment) but lose the one-segment-per-
 	// shard alignment of the streamed global combine.
 	CombineShards int
+	// Engine selects the reduction-phase execution engine. EngineStatic
+	// (the default) fixes one equal chunk-aligned split per thread up front
+	// — the paper's schedule, kept as the ablation baseline. EngineStealing
+	// starts from the same splits but lets threads claim adaptive chunk
+	// batches from per-range deques and steal the back half of a
+	// straggler's remainder, so skewed per-chunk costs no longer leave
+	// threads idle behind the slowest split. Results are semantically
+	// identical under both; see docs/ARCHITECTURE.md ("Execution engine")
+	// for the exact determinism guarantees.
+	Engine string
 	// PinThreads dedicates an OS thread to every reduction worker for the
 	// duration of its split (runtime.LockOSThread), the Go analogue of the
 	// paper's per-core thread binding; the OS scheduler then keeps each
@@ -213,6 +224,12 @@ func (a *SchedArgs) validate() error {
 	if a.CombineShards <= 0 {
 		return errors.New("core: CombineShards must be positive")
 	}
+	switch a.Engine {
+	case EngineStatic, EngineStealing:
+	default:
+		return fmt.Errorf("core: unknown engine %q (want %q or %q)",
+			a.Engine, EngineStatic, EngineStealing)
+	}
 	return nil
 }
 
@@ -232,6 +249,9 @@ func (a *SchedArgs) withDefaults() SchedArgs {
 	}
 	if out.CombineShards == 0 {
 		out.CombineShards = out.NumThreads
+	}
+	if out.Engine == "" {
+		out.Engine = EngineStatic
 	}
 	return out
 }
@@ -285,6 +305,8 @@ type Scheduler[In, Out any] struct {
 	// goroutine is starved. Written by the coordinating goroutine before
 	// workers spawn.
 	runCtx context.Context
+	// eng is the reduction-phase execution engine selected by args.Engine.
+	eng engine[In, Out]
 
 	// cached optional capabilities of app
 	multi     MultiKeyer[In]
@@ -338,6 +360,7 @@ func NewScheduler[In, Out any](app Analytics[In, Out], args SchedArgs) (*Schedul
 		s.posAcc = p
 	}
 	_, s.hasTrigger = app.NewRedObj().(Triggered)
+	s.eng = newEngine(s)
 	return s, nil
 }
 
@@ -382,6 +405,10 @@ func (s *Scheduler[In, Out]) Stats() *Stats { return &s.stats }
 // Observer returns the observability sink this scheduler reports into
 // (SchedArgs.Obs, or the process default).
 func (s *Scheduler[In, Out]) Observer() *obs.Observer { return s.obs }
+
+// Engine reports the effective execution engine name (EngineStatic or
+// EngineStealing) this scheduler runs its reduction phase on.
+func (s *Scheduler[In, Out]) Engine() string { return s.eng.name() }
 
 // SubscribeSpans registers fn to receive every phase span this scheduler
 // emits ("reduction", "local combine", "global combine", "post combine",

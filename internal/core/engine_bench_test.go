@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/chunk"
+)
+
+// spinApp is a histogram whose per-chunk cost is tunable: chunks below
+// heavyBelow spin heavyIters, the rest spin baseIters. A skewed profile
+// (heavy head) starves the static schedule — the thread owning the head
+// finishes last while the others idle — which is exactly the imbalance the
+// stealing engine exists to absorb.
+type spinApp struct {
+	bucketApp
+	heavyBelow int
+	heavyIters int
+	baseIters  int
+}
+
+func (a *spinApp) Accumulate(c chunk.Chunk, data []int, obj RedObj) {
+	iters := a.baseIters
+	if c.Start < a.heavyBelow {
+		iters = a.heavyIters
+	}
+	x := uint64(c.Start) | 1
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	if x == 0 { // never true; keeps the spin from being optimized away
+		panic("xorshift reached zero")
+	}
+	a.bucketApp.Accumulate(c, data, obj)
+}
+
+// benchEngine measures one full Run of the given engine over n unit chunks
+// with the given cost profile.
+func benchEngine(b *testing.B, engine string, n, heavyBelow int) {
+	b.Helper()
+	in := histInput(n)
+	app := &spinApp{bucketApp: bucketApp{width: 10},
+		heavyBelow: heavyBelow, heavyIters: 1600, baseIters: 100}
+	s := MustNewScheduler[int, int64](app, SchedArgs{
+		NumThreads: 4, ChunkSize: 1, Engine: engine,
+	})
+	out := make([]int64, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Stats().Snapshot()
+	b.ReportMetric(float64(st.Steals), "steals/run")
+	b.ReportMetric(float64(st.BatchesClaimed), "batches/run")
+}
+
+// BenchmarkEngineSkewed is the scheduler figure's headline workload: the
+// first eighth of the chunks cost 16× the rest, so the static equal-split
+// schedule leaves three of four threads idle while thread 0 grinds the head.
+// Stealing should approach the balanced runtime; on a single-core host both
+// engines serialize and the comparison measures scheduling overhead only.
+func BenchmarkEngineSkewed(b *testing.B) {
+	const n = 1 << 15
+	for _, engine := range []string{EngineStatic, EngineStealing} {
+		b.Run(fmt.Sprintf("engine=%s", engine), func(b *testing.B) {
+			benchEngine(b, engine, n, n/8)
+		})
+	}
+}
+
+// BenchmarkEngineUniform is the no-skew control: every chunk costs the same,
+// so stealing has nothing to win and must stay within a few percent of the
+// static schedule (the deque claims are its only extra cost).
+func BenchmarkEngineUniform(b *testing.B) {
+	const n = 1 << 15
+	for _, engine := range []string{EngineStatic, EngineStealing} {
+		b.Run(fmt.Sprintf("engine=%s", engine), func(b *testing.B) {
+			benchEngine(b, engine, n, 0)
+		})
+	}
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scipioneer/smart/internal/chunk"
+)
+
+func TestEngineSelection(t *testing.T) {
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{NumThreads: 2, ChunkSize: 1})
+	if s.Engine() != EngineStatic {
+		t.Fatalf("default engine = %q, want %q", s.Engine(), EngineStatic)
+	}
+	s = MustNewScheduler[int, int64](bucketApp{width: 10},
+		SchedArgs{NumThreads: 2, ChunkSize: 1, Engine: EngineStealing})
+	if s.Engine() != EngineStealing {
+		t.Fatalf("engine = %q, want %q", s.Engine(), EngineStealing)
+	}
+	if _, err := NewScheduler[int, int64](bucketApp{width: 10},
+		SchedArgs{NumThreads: 2, ChunkSize: 1, Engine: "fifo"}); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+}
+
+// runBoth runs the same input through a static and a stealing scheduler and
+// returns both schedulers plus their outputs.
+func runBoth(t *testing.T, args SchedArgs, n int) (st, sl *Scheduler[int, int64], outStatic, outStealing []int64) {
+	t.Helper()
+	in := histInput(n)
+	args.Engine = EngineStatic
+	st = MustNewScheduler[int, int64](bucketApp{width: 10}, args)
+	outStatic = make([]int64, 10)
+	if err := st.Run(in, outStatic); err != nil {
+		t.Fatal(err)
+	}
+	args.Engine = EngineStealing
+	sl = MustNewScheduler[int, int64](bucketApp{width: 10}, args)
+	outStealing = make([]int64, 10)
+	if err := sl.Run(in, outStealing); err != nil {
+		t.Fatal(err)
+	}
+	return st, sl, outStatic, outStealing
+}
+
+func TestStealingMatchesStatic(t *testing.T) {
+	for _, nt := range []int{1, 2, 4, 7} {
+		st, sl, a, b := runBoth(t, SchedArgs{NumThreads: nt, ChunkSize: 1}, 50_000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("nt=%d bucket %d: static %d, stealing %d", nt, i, a[i], b[i])
+			}
+		}
+		ea, err := st.EncodeCombinationMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := sl.EncodeCombinationMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ea, eb) {
+			t.Fatalf("nt=%d: encoded maps differ between engines", nt)
+		}
+		if got := sl.Stats().ChunksProcessed; got != 50_000 {
+			t.Fatalf("nt=%d: stealing processed %d chunks, want 50000", nt, got)
+		}
+	}
+}
+
+func TestStealingMatchesStaticWithBlocks(t *testing.T) {
+	args := SchedArgs{NumThreads: 4, ChunkSize: 1, BlockSize: 4096}
+	_, sl, a, b := runBoth(t, args, 30_000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bucket %d: static %d, stealing %d", i, a[i], b[i])
+		}
+	}
+	if sl.Stats().BatchesClaimed == 0 {
+		t.Fatal("stealing engine claimed no batches")
+	}
+}
+
+// gateApp forces a deterministic steal: the worker that owns chunk 0 blocks
+// on the gate, so its deque stays nearly full while the other worker drains
+// its own split and must steal the blocked range's back half. Only a thief
+// can reach the guard region of split 0 while the owner is parked, and its
+// first stolen chunk opens the gate.
+type gateApp struct {
+	bucketApp
+	gate  chan struct{}
+	guard int // first chunk of the region only a thief can reach
+	limit int // one past split 0 (chunks >= limit belong to other splits)
+	once  sync.Once
+}
+
+func (a *gateApp) Accumulate(c chunk.Chunk, data []int, obj RedObj) {
+	if c.Start >= a.guard && c.Start < a.limit {
+		a.once.Do(func() { close(a.gate) })
+	}
+	if c.Start == 0 {
+		<-a.gate
+	}
+	a.bucketApp.Accumulate(c, data, obj)
+}
+
+func TestStealingStealsFromStraggler(t *testing.T) {
+	const n = 4096 // two splits of 2048 units at nt=2
+	app := &gateApp{
+		bucketApp: bucketApp{width: 10},
+		gate:      make(chan struct{}),
+		guard:     3 * (n / 2) / 4, // past any front batch the parked owner claimed
+		limit:     n / 2,
+	}
+	s := MustNewScheduler[int, int64](app, SchedArgs{
+		NumThreads: 2, ChunkSize: 1, Engine: EngineStealing,
+	})
+	out := make([]int64, 10)
+	if err := s.Run(histInput(n), out); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats().Snapshot()
+	if st.Steals == 0 {
+		t.Fatal("no steal recorded despite a parked straggler")
+	}
+	if st.ChunksProcessed != n {
+		t.Fatalf("processed %d chunks, want %d", st.ChunksProcessed, n)
+	}
+	// The result must be unaffected by who processed what.
+	want := make([]int64, 10)
+	ref := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{NumThreads: 2, ChunkSize: 1})
+	if err := ref.Run(histInput(n), want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("bucket %d: stealing %d, static reference %d", i, out[i], want[i])
+		}
+	}
+}
+
+// TestStealingIterativeMatchesStatic runs the iterative k-means helper on
+// integer-valued coordinates (exact float sums, so grouping cannot show)
+// through both engines and requires identical centroids after every
+// PostCombine round — the distributed-state path (stolen segments must see
+// the iteration's centroids) is what this pins.
+func TestStealingIterativeMatchesStatic(t *testing.T) {
+	n := 12_000
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = float64((i*13)%97 + (i%3)*100)
+	}
+	run := func(engine string) []byte {
+		s := MustNewScheduler[float64, float64](kmeans1D{k: 3}, SchedArgs{
+			NumThreads: 4, ChunkSize: 1, NumIters: 4, Engine: engine,
+			Extra: []float64{10, 100, 250},
+		})
+		if err := s.Run(in, nil); err != nil {
+			t.Fatal(err)
+		}
+		enc, err := s.EncodeCombinationMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	if a, b := run(EngineStatic), run(EngineStealing); !bytes.Equal(a, b) {
+		t.Fatal("k-means combination maps differ between engines after 4 iterations")
+	}
+}
+
+// TestStealingCancelMidSteal cancels a stealing run while deques are still
+// full and checks the contract: the run stops within a batch per thread
+// (nothing near the full input is consumed) and no worker goroutine leaks.
+// Run under -race this also exercises the abort/steal interleaving.
+func TestStealingCancelMidSteal(t *testing.T) {
+	const n = 400_000
+	const cancelAt = 500
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	app := &cancellingApp{bucketApp: bucketApp{width: 10}, at: cancelAt, cancel: cancel}
+	s := MustNewScheduler[int, int64](app, SchedArgs{
+		NumThreads: 4, ChunkSize: 1, Engine: EngineStealing,
+	})
+	err := s.RunContext(ctx, histInput(n), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := s.Stats().ChunksProcessed; got >= n/2 {
+		t.Fatalf("run consumed %d of %d chunks after cancellation at %d", got, n, cancelAt)
+	}
+	// All reduction workers must have exited; give the runtime a moment to
+	// retire them before declaring a leak.
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d before run, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStealingSequentialBitIdentical pins the Sequential degeneration: with
+// one worker the stealing engine follows the static schedule exactly, so
+// even grouping-sensitive arithmetic cannot diverge.
+func TestStealingSequentialBitIdentical(t *testing.T) {
+	in := histInput(10_000)
+	enc := func(engine string) []byte {
+		s := MustNewScheduler[int, int64](bucketApp{width: 7}, SchedArgs{
+			NumThreads: 4, ChunkSize: 1, Sequential: true, Engine: engine,
+		})
+		if err := s.Run(in, nil); err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.EncodeCombinationMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := enc(EngineStatic), enc(EngineStealing); !bytes.Equal(a, b) {
+		t.Fatal("Sequential runs differ between engines")
+	}
+}
+
+// TestStealingPartsExceedUnits covers the degenerate schedule where there
+// are more threads than unit chunks: surplus deques are empty from the
+// start and their segments carry only distribution clones.
+func TestStealingPartsExceedUnits(t *testing.T) {
+	in := histInput(3)
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+		NumThreads: 8, ChunkSize: 1, Engine: EngineStealing,
+	})
+	out := make([]int64, 10)
+	if err := s.Run(in, out); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, v := range out {
+		total += v
+	}
+	if total != 3 {
+		t.Fatalf("counted %d elements, want 3", total)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+)
+
+// TestDrainFeedReleasesBufferedCells pins the space-sharing leak fix: cells
+// still sitting in the circular buffer when the consumer abandons the
+// stream hold memmodel allocations, and DrainFeed must free every one.
+func TestDrainFeedReleasesBufferedCells(t *testing.T) {
+	node := memmodel.NewNode(1 << 20)
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+		NumThreads: 1, ChunkSize: 1, Mem: node, BufferCells: 4,
+	})
+	for i := 0; i < 3; i++ {
+		if err := s.Feed(histInput(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if node.Used() == 0 {
+		t.Fatal("buffered cells carry no memmodel charge; the regression test is vacuous")
+	}
+	if n := s.DrainFeed(); n != 3 {
+		t.Fatalf("DrainFeed dropped %d steps, want 3", n)
+	}
+	if used := node.Used(); used != 0 {
+		t.Fatalf("%d bytes still charged after DrainFeed", used)
+	}
+	// Draining also closed the feed: the consumer sees end-of-stream, and a
+	// second drain finds nothing.
+	if err := s.RunShared(nil); !errors.Is(err, ErrFeedClosed) {
+		t.Fatalf("RunShared after DrainFeed = %v, want ErrFeedClosed", err)
+	}
+	if n := s.DrainFeed(); n != 0 {
+		t.Fatalf("second DrainFeed dropped %d steps, want 0", n)
+	}
+}
+
+// TestFeedPutErrorFreesAllocation pins the Put error path: a Feed rejected
+// by a closed buffer must free the cell allocation it just charged.
+func TestFeedPutErrorFreesAllocation(t *testing.T) {
+	node := memmodel.NewNode(1 << 20)
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+		NumThreads: 1, ChunkSize: 1, Mem: node, BufferCells: 2,
+	})
+	s.CloseFeed()
+	if err := s.Feed(histInput(64)); err == nil {
+		t.Fatal("Feed succeeded on a closed buffer")
+	}
+	if used := node.Used(); used != 0 {
+		t.Fatalf("%d bytes leaked by the rejected Feed", used)
+	}
+}
+
+// TestRunSharedFailureFreesCell pins the consumer error path: when the run
+// over a buffered time-step fails (here: the reduction maps blow the
+// virtual memory budget), the cell's allocation and the run's tracker must
+// both unwind, leaving the node's charge at zero.
+func TestRunSharedFailureFreesCell(t *testing.T) {
+	node := memmodel.NewNode(4096)
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+		NumThreads: 1, ChunkSize: 1, Mem: node,
+		// One reduction object nominally costs more than the node holds, so
+		// the first tracker sync inside the run reports OOM.
+		RedObjBytes: 1 << 20,
+	})
+	if err := s.Feed(histInput(64)); err != nil {
+		t.Fatal(err)
+	}
+	err := s.RunShared(nil)
+	if err == nil {
+		t.Fatal("RunShared succeeded past an OOM-sized reduction map")
+	}
+	var oom *memmodel.OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("want an OOM error, got %v", err)
+	}
+	if used := node.Used(); used != 0 {
+		t.Fatalf("%d bytes still charged after the failed RunShared", used)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,7 +97,7 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 	}
 
 	live := &liveCounter{}
-	redMaps := make([]*shardedMap, nt)
+	env := &runEnv[In, Out]{in: in, out: out, multi: multi, live: live, tracker: tracker}
 	// Application code may have mutated the combination map since the last
 	// sync point (between Runs, anything holding CombinationMap may write).
 	s.shardsFresh = false
@@ -108,36 +107,22 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 			return cancelErr(ctx)
 		}
 		// Distribute the (local or, after the first iteration's global
-		// combination, global) combination map to each reduction map,
-		// shard-parallel: each worker deep-clones its shard for every
-		// thread, so the per-iteration clone cost scales with cores instead
-		// of riding the coordinating goroutine.
+		// combination, global) combination map into the engine's segment
+		// reduction maps (shard-parallel deep clones; see distributeInto).
 		s.syncShards()
-		for t := range redMaps {
-			redMaps[t] = newShardedMap(s.shards.n())
-		}
-		s.shards.forEachShard(s.phaseWorkers(), func(si int) {
-			for k, obj := range s.shards.shards[si] {
-				for t := range redMaps {
-					c := obj.Clone()
-					redMaps[t].shards[si][k] = c
-					live.add(1)
-					tracker.add(int64(s.sizeOfRedObj(c)))
-				}
-			}
-		})
+		s.eng.distribute(env)
 		if err := tracker.sync(); err != nil {
 			return err
 		}
 
-		// Reduction phase, block by block.
+		// Reduction phase, block by block, scheduled by the engine.
 		redStart := time.Now()
 		var redErr error
 		chunk.Blocks(len(in), s.args.BlockSize, s.args.ChunkSize, func(block chunk.Split) {
 			if redErr != nil {
 				return
 			}
-			redErr = s.reduceBlock(block, in, out, redMaps, multi, live, tracker)
+			redErr = s.eng.reduceBlock(block, env)
 		})
 		if redErr != nil {
 			if errors.Is(redErr, errCancelled) {
@@ -146,20 +131,23 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 			return redErr
 		}
 		s.phaseEvent("reduction", redStart)
-		for t := range redMaps {
-			s.met.redmapSize.Observe(float64(redMaps[t].size()))
+		segs := s.eng.segments()
+		for _, m := range segs {
+			s.met.redmapSize.Observe(float64(m.size()))
 		}
 
-		// Local combination: merge every thread's reduction map into the
-		// combination map, shard-parallel — worker w merges shard w of every
-		// thread's map, so no two workers ever touch the same key and the
-		// merge needs no locks. Objects for unseen keys are moved; objects
-		// for existing keys are merged and die.
+		// Local combination: merge every segment the engine produced into
+		// the combination map, shard-parallel — worker w merges shard w of
+		// every segment, so no two workers ever touch the same key and the
+		// merge needs no locks. Segments arrive in ascending input-offset
+		// order (the engine contract), so each key's partials merge in input
+		// order no matter which thread produced them. Objects for unseen
+		// keys are moved; objects for existing keys are merged and die.
 		start := time.Now()
 		durs := s.shards.forEachShard(s.phaseWorkers(), func(si int) {
 			com := s.shards.shards[si]
-			for t := range redMaps {
-				for k, obj := range redMaps[t].shards[si] {
+			for _, seg := range segs {
+				for k, obj := range seg.shards[si] {
 					if dst, ok := com[k]; ok {
 						s.app.Merge(obj, dst)
 						tracker.add(-int64(s.sizeOfRedObj(obj)))
@@ -170,8 +158,8 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 				}
 			}
 		})
-		for t := range redMaps {
-			redMaps[t] = nil
+		for i := range segs {
+			segs[i] = nil
 		}
 		s.syncFlat()
 		s.stats.LocalCombineTime += time.Since(start)
@@ -271,54 +259,6 @@ func (s *Scheduler[In, Out]) syncShards() {
 func (s *Scheduler[In, Out]) syncFlat() {
 	s.shards.flattenInto(s.comMap)
 	s.shardsFresh = true
-}
-
-// reduceBlock partitions one block into per-thread splits and processes them
-// in parallel (or sequentially under SchedArgs.Sequential, timing each split
-// for the replay simulator).
-func (s *Scheduler[In, Out]) reduceBlock(block chunk.Split, in []In, out []Out,
-	redMaps []*shardedMap, multi bool, live *liveCounter, tracker *memTracker) error {
-
-	nt := s.args.NumThreads
-	splits := chunk.Partition(block.Length, nt, s.args.ChunkSize)
-	for i := range splits {
-		splits[i].Start += block.Start
-	}
-
-	if s.args.Sequential || nt == 1 {
-		for t, sp := range splits {
-			start := time.Now()
-			err := s.processSplit(sp, in, out, redMaps[t], multi, live, tracker)
-			d := time.Since(start)
-			s.stats.SplitTimes[t] += d
-			s.stats.ReductionTime += d
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var wg sync.WaitGroup
-	errs := make([]error, nt)
-	for t := 0; t < nt; t++ {
-		t := t
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if s.args.PinThreads {
-				runtime.LockOSThread()
-				defer runtime.UnlockOSThread()
-			}
-			start := time.Now()
-			errs[t] = s.processSplit(splits[t], in, out, redMaps[t], multi, live, tracker)
-			d := time.Since(start)
-			s.stats.SplitTimes[t] += d
-			atomic.AddInt64((*int64)(&s.stats.ReductionTime), int64(d))
-		}()
-	}
-	wg.Wait()
-	return errors.Join(errs...)
 }
 
 // processSplit consumes one split chunk by chunk: generate key(s), locate or

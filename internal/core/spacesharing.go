@@ -76,6 +76,31 @@ func (s *Scheduler[In, Out]) runShared(out []Out, multi bool) error {
 	return s.run(context.Background(), item.data, out, multi)
 }
 
+// DrainFeed closes the feed and discards every time-step still buffered,
+// releasing each cell's virtual memory allocation, and reports how many
+// steps were dropped. Call it when the consumer abandons a fed stream early
+// (an analytics error, a cancelled job): a consumed item's allocation is
+// always freed by RunShared — even when the run fails — but items still
+// sitting in the circular buffer would otherwise keep their memmodel charge
+// alive for the scheduler's lifetime. Closing first means a concurrent
+// producer cannot refill the buffer mid-drain; its Feed fails and frees its
+// own allocation on the Put error path.
+func (s *Scheduler[In, Out]) DrainFeed() int {
+	if s.buf == nil {
+		return 0
+	}
+	s.buf.Close()
+	n := 0
+	for {
+		item, err := s.buf.Get()
+		if err != nil {
+			return n
+		}
+		item.mem.Free()
+		n++
+	}
+}
+
 // BufferStats exposes the circular buffer's produced/consumed counters and
 // how often the producer blocked (zero values before the first Feed).
 func (s *Scheduler[In, Out]) BufferStats() (produced, consumed, producerWaits int) {

@@ -36,6 +36,12 @@ type Stats struct {
 	// EmittedEarly counts reduction objects converted and erased by the
 	// trigger mechanism during reduction.
 	EmittedEarly int64
+	// Steals counts ranges taken from another thread's deque by the
+	// stealing engine (always zero under the static engine).
+	Steals int64
+	// BatchesClaimed counts chunk batches claimed from the deques by the
+	// stealing engine; the static engine does not claim batches.
+	BatchesClaimed int64
 }
 
 // Snapshot returns a copy of the stats that is safe to read while a Run may
@@ -54,6 +60,8 @@ func (s *Stats) Snapshot() Stats {
 		ChunksProcessed:   atomic.LoadInt64(&s.ChunksProcessed),
 		MaxLiveRedObjs:    s.MaxLiveRedObjs,
 		EmittedEarly:      atomic.LoadInt64(&s.EmittedEarly),
+		Steals:            atomic.LoadInt64(&s.Steals),
+		BatchesClaimed:    atomic.LoadInt64(&s.BatchesClaimed),
 	}
 	if s.SplitTimes != nil {
 		out.SplitTimes = make([]time.Duration, len(s.SplitTimes))
@@ -78,6 +86,8 @@ func (s *Stats) reset(threads int) {
 	s.ChunksProcessed = 0
 	s.MaxLiveRedObjs = 0
 	s.EmittedEarly = 0
+	s.Steals = 0
+	s.BatchesClaimed = 0
 }
 
 // schedMetrics caches the scheduler's registry handles so the per-phase and
@@ -108,6 +118,14 @@ type schedMetrics struct {
 	// (pooled checkpoint/broadcast encodes plus warm global-combine scratch)
 	// instead of a fresh allocation.
 	encBufReuse *obs.Counter
+	// steals counts work-stealing engine range steals.
+	steals *obs.Counter
+	// batches counts chunk batches claimed from the stealing engine's deques.
+	batches *obs.Counter
+	// queueDepth samples the remaining units of the deque a worker just
+	// claimed from (gauge value = latest sample, gauge peak = deepest queue
+	// observed — the workload size at the start of a block).
+	queueDepth *obs.Gauge
 }
 
 func (m *schedMetrics) init(r *obs.Registry) {
@@ -119,6 +137,9 @@ func (m *schedMetrics) init(r *obs.Registry) {
 	m.runs = r.Counter("smart_core_runs_total")
 	m.gcDecodeAvoided = r.Counter("smart_core_gc_decode_avoided_total")
 	m.encBufReuse = r.Counter("smart_core_enc_buf_reuse_total")
+	m.steals = r.Counter("smart_core_steals_total")
+	m.batches = r.Counter("smart_core_batches_total")
+	m.queueDepth = r.Gauge("smart_core_queue_depth")
 }
 
 // liveCounter tracks the number of live reduction objects across threads and

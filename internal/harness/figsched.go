@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/scipioneer/smart/internal/analytics"
+	"github.com/scipioneer/smart/internal/chunk"
+	"github.com/scipioneer/smart/internal/core"
+)
+
+// spinHist is a histogram whose per-element cost is tunable by position: the
+// first heavyBelow elements spin heavyIters iterations, the rest baseIters.
+// The skew models an in-situ reality the paper's equal-split schedule cannot
+// see — regions of a time-step where the physics is busier cost more to
+// analyze — and it is the workload the work-stealing engine exists for.
+type spinHist struct {
+	buckets    int
+	heavyBelow int
+	heavyIters int
+	baseIters  int
+}
+
+func (h *spinHist) NewRedObj() core.RedObj { return &analytics.CountObj{} }
+
+func (h *spinHist) GenKey(c chunk.Chunk, data []float64, _ core.CombMap) int {
+	k := int(data[c.Start]) % h.buckets
+	if k < 0 {
+		k += h.buckets
+	}
+	return k
+}
+
+func (h *spinHist) Accumulate(c chunk.Chunk, _ []float64, obj core.RedObj) {
+	iters := h.baseIters
+	if c.Start < h.heavyBelow {
+		iters = h.heavyIters
+	}
+	x := uint64(c.Start) | 1
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	if x == 0 { // never true; keeps the spin from being optimized away
+		panic("xorshift reached zero")
+	}
+	obj.(*analytics.CountObj).Count++
+}
+
+func (h *spinHist) Merge(src, dst core.RedObj) {
+	dst.(*analytics.CountObj).Count += src.(*analytics.CountObj).Count
+}
+
+// FigSched is the execution-engine experiment (extension beyond the paper,
+// which fixes the equal-split schedule of Section 3.3): wall time of the
+// static and work-stealing engines over a skewed workload — the first eighth
+// of each time-step costs 16x the rest — and a uniform control, as the
+// thread count grows. On a multi-core host stealing should erase most of the
+// straggler's tail on the skewed workload and stay within a few percent of
+// static on the uniform one; on fewer cores than threads both engines
+// serialize and the figure measures scheduling overhead instead.
+func FigSched(scale Scale) (*Result, error) {
+	res := &Result{
+		Figure: "Sched",
+		Title:  "Static vs work-stealing engine: skewed and uniform workloads",
+		XLabel: "threads",
+		YLabel: "seconds per run",
+	}
+	elems := scale.pick(1<<14, 1<<17)
+	threads := []int{1, 2, 4, 8}
+
+	data := make([]float64, elems)
+	for i := range data {
+		data[i] = float64((i*37)%200) / 10
+	}
+
+	type variant struct {
+		name       string
+		heavyBelow int
+	}
+	variants := []variant{
+		{"skewed", elems / 8},
+		{"uniform", 0},
+	}
+	var lastSteals int64
+	for _, v := range variants {
+		for _, engine := range []string{core.EngineStatic, core.EngineStealing} {
+			for _, nt := range threads {
+				app := &spinHist{buckets: 64, heavyBelow: v.heavyBelow,
+					heavyIters: 1600, baseIters: 100}
+				s := core.MustNewScheduler[float64, int64](app, core.SchedArgs{
+					NumThreads: nt, ChunkSize: 1, Engine: engine,
+				})
+				d, err := bestOf(3, func() (time.Duration, error) {
+					s.ResetCombinationMap()
+					start := time.Now()
+					err := s.Run(data, nil)
+					return time.Since(start), err
+				})
+				if err != nil {
+					return nil, err
+				}
+				res.AddPoint(v.name+"/"+engine, float64(nt), seconds(d))
+				if engine == core.EngineStealing && v.name == "skewed" && nt == threads[len(threads)-1] {
+					lastSteals = s.Stats().Snapshot().Steals
+				}
+			}
+		}
+	}
+
+	maxT := float64(threads[len(threads)-1])
+	if st, sl := res.SeriesByName("skewed/"+core.EngineStatic), res.SeriesByName("skewed/"+core.EngineStealing); st != nil && sl != nil {
+		a, aok := st.YAt(maxT)
+		b, bok := sl.YAt(maxT)
+		if aok && bok && b > 0 {
+			res.Note("skewed at %d threads: stealing %.2fx vs static (%d steals in the last run)",
+				threads[len(threads)-1], a/b, lastSteals)
+		}
+	}
+	if st, sl := res.SeriesByName("uniform/"+core.EngineStatic), res.SeriesByName("uniform/"+core.EngineStealing); st != nil && sl != nil {
+		a, aok := st.YAt(maxT)
+		b, bok := sl.YAt(maxT)
+		if aok && bok && a > 0 {
+			res.Note("uniform at %d threads: stealing/static = %.3f (deque overhead)",
+				threads[len(threads)-1], b/a)
+		}
+	}
+	res.Note("host: %d CPU cores, GOMAXPROCS=%d — thread counts above the core count serialize",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	return res, nil
+}

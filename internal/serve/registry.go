@@ -65,6 +65,9 @@ type JobSpec struct {
 	// DeadlineMS caps the job's wall-clock run time in milliseconds; zero
 	// uses the server default, negative means no deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Engine selects the scheduler's execution engine ("static" or
+	// "stealing"); empty uses the scheduler default (static).
+	Engine string `json:"engine,omitempty"`
 	// Params carries the application knobs.
 	Params Params `json:"params,omitempty"`
 }
@@ -95,6 +98,12 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.Threads < 0 || s.Threads > 256 {
 		return fmt.Errorf("serve: threads must be in (0, 256]")
+	}
+	switch s.Engine {
+	case "", core.EngineStatic, core.EngineStealing:
+	default:
+		return fmt.Errorf("serve: unknown engine %q (have %q, %q)",
+			s.Engine, core.EngineStatic, core.EngineStealing)
 	}
 	return nil
 }
@@ -241,6 +250,8 @@ func statsView(st core.Stats) map[string]any {
 		"chunks_processed":  st.ChunksProcessed,
 		"max_live_redobjs":  st.MaxLiveRedObjs,
 		"emitted_early":     st.EmittedEarly,
+		"steals":            st.Steals,
+		"batches_claimed":   st.BatchesClaimed,
 	}
 }
 
@@ -256,7 +267,7 @@ func buildHistogram(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	}
 	app := analytics.NewHistogram(lo, hi, buckets)
 	sched, err := core.NewScheduler[float64, int64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -282,7 +293,7 @@ func buildGridAgg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	cells := (spec.Elems + gs - 1) / gs
 	app := analytics.NewGridAgg(gs, 0)
 	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -308,7 +319,7 @@ func buildMoments(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	cells := (spec.Elems + gs - 1) / gs
 	app := analytics.NewMoments(gs, 0)
 	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -339,7 +350,7 @@ func buildMutualInfo(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	}
 	app := analytics.NewMutualInfo(lo, hi, buckets, lo, hi, buckets)
 	sched, err := core.NewScheduler[float64, int64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 2, NumIters: 1, Mem: mem,
+		NumThreads: spec.Threads, ChunkSize: 2, NumIters: 1, Mem: mem, Engine: spec.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -381,7 +392,7 @@ func buildLogReg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	}
 	app := analytics.NewLogReg(dims, rate)
 	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: rec, NumIters: iters, Mem: mem,
+		NumThreads: spec.Threads, ChunkSize: rec, NumIters: iters, Mem: mem, Engine: spec.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -422,7 +433,7 @@ func buildKMeans(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	lo, hi := rangeOr(p)
 	app := analytics.NewKMeans(k, dims)
 	sched, err := core.NewScheduler[float64, []float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: dims, NumIters: iters, Mem: mem,
+		NumThreads: spec.Threads, ChunkSize: dims, NumIters: iters, Mem: mem, Engine: spec.Engine,
 		Extra: initCentroids(k, dims, lo, hi),
 	})
 	if err != nil {
@@ -486,7 +497,7 @@ func buildWindow(kind string) builder {
 			return nil, fmt.Errorf("serve: unknown window app %q", kind)
 		}
 		sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
 		})
 		if err != nil {
 			return nil, err
@@ -528,7 +539,7 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error
 	}
 	cells := (spec.Elems + gs - 1) / gs
 	stage1, err := core.NewScheduler[float64, float64](analytics.NewGridAgg(gs, 0), core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
 	})
 	if err != nil {
 		return nil, err
@@ -569,7 +580,7 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error
 			hi = lo + 1
 		}
 		stage2, err := core.NewScheduler[float64, int64](analytics.NewHistogram(lo, hi, buckets), core.SchedArgs{
-			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
 		})
 		if err != nil {
 			return nil, err

@@ -519,3 +519,47 @@ func TestJobsChargeSharedMemNode(t *testing.T) {
 		t.Errorf("node used = %d after job completion, want 0", node.Used())
 	}
 }
+
+// TestJobEngineSelection pins per-job execution-engine selection: a spec may
+// pick the work-stealing engine, its result stats then report the stealing
+// counters, the default spec keeps them at the static engine's zeros, and an
+// unknown engine name is rejected at submission (HTTP 400 territory), never
+// accepted and failed later.
+func TestJobEngineSelection(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+
+	stats := func(spec JobSpec) map[string]any {
+		t.Helper()
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitStatus(t, j, StatusDone, 30*time.Second)
+		res, ok := j.View().Result.(map[string]any)
+		if !ok {
+			t.Fatalf("result is %T, want map", j.View().Result)
+		}
+		st, ok := res["stats"].(map[string]any)
+		if !ok {
+			t.Fatalf("result carries no stats map: %v", res)
+		}
+		return st
+	}
+
+	st := stats(JobSpec{App: "histogram", Elems: 65536, Threads: 4, Engine: "stealing"})
+	if got, ok := st["batches_claimed"].(int64); !ok || got == 0 {
+		t.Errorf("stealing job claimed %v batches, want > 0", st["batches_claimed"])
+	}
+	if _, ok := st["steals"].(int64); !ok {
+		t.Errorf("stealing job stats missing steals counter: %v", st)
+	}
+
+	st = stats(JobSpec{App: "histogram", Elems: 4096, Threads: 4})
+	if got, _ := st["batches_claimed"].(int64); got != 0 {
+		t.Errorf("default (static) job claimed %d batches, want 0", got)
+	}
+
+	if _, err := s.Submit(JobSpec{App: "histogram", Engine: "fifo"}); err == nil {
+		t.Error("Submit accepted an unknown engine name")
+	}
+}

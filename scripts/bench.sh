@@ -3,7 +3,11 @@
 # BENCH_combine.json with ns/op and allocs/op for the local combine
 # (serial reference vs sharded, at 1/4/8 threads) and the global combine
 # (legacy decode-both-reencode tree vs sharded decode-once streamed tree
-# on a 4-rank in-process world).
+# on a 4-rank in-process world), then run the execution-engine benchmarks
+# (static vs work-stealing schedule on skewed and uniform workloads) and
+# emit BENCH_schedule.json with ns/op plus the per-run steal and batch
+# counters. Both files record the host's core count: engine speedups only
+# materialize with more cores than one.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh   # longer, more stable timings
@@ -42,3 +46,34 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out"
+
+sched_out="BENCH_schedule.json"
+go test ./internal/core/ -run '^$' -bench 'BenchmarkEngine' \
+  -benchtime "$benchtime" | tee "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || echo 1)" -v benchtime="$benchtime" '
+/^BenchmarkEngine/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the -GOMAXPROCS suffix
+    ns = ""; steals = ""; batches = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")       ns = $(i - 1)
+        if ($i == "steals/run")  steals = $(i - 1)
+        if ($i == "batches/run") batches = $(i - 1)
+    }
+    if (ns != "") {
+        entries[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"steals_per_run\": %s, \"batches_per_run\": %s}",
+                               name, ns, steals == "" ? 0 : steals, batches == "" ? 0 : batches)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"cores\": %s,\n", cores
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": {\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$raw" > "$sched_out"
+
+echo "wrote $sched_out"
