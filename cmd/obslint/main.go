@@ -1,0 +1,38 @@
+// Command obslint lints a Prometheus text exposition for the defects the
+// obs exporter could regress into: duplicate or malformed families,
+// duplicate series, bad label escapes, and broken histogram invariants.
+// It reads stdin (or a file argument) and exits non-zero on any problem,
+// so CI can pipe a live /metrics scrape straight through it.
+//
+// Usage:
+//
+//	curl -s localhost:9090/metrics | obslint
+//	obslint exposition.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 && os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obslint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := obs.LintExposition(in); err != nil {
+		fmt.Fprintln(os.Stderr, "obslint: exposition problems:")
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("obslint: exposition OK")
+}

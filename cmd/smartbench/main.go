@@ -70,6 +70,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each figure as CSV into this directory")
 	metricsFile := flag.String("metrics", "", "write a JSON snapshot of the runtime metrics to this file at exit")
 	traceFile := flag.String("trace", "", "stream runtime phase spans to this file as JSON lines")
+	chromeFile := flag.String("chrome-trace", "", "also convert the -trace JSONL into Chrome trace_event JSON at this path (open in Perfetto / chrome://tracing)")
 	flag.Parse()
 
 	scale, err := harness.ParseScale(*scaleName)
@@ -78,6 +79,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *chromeFile != "" && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "-chrome-trace requires -trace FILE to capture the spans first")
+		os.Exit(2)
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -90,6 +95,11 @@ func main() {
 			obs.Default().SetTraceWriter(nil)
 			w.Flush()
 			f.Close()
+			if *chromeFile != "" {
+				if err := convertChromeTrace(*chromeFile, *traceFile); err != nil {
+					fmt.Fprintf(os.Stderr, "chrome-trace: %v\n", err)
+				}
+			}
 		}()
 	}
 	if *metricsFile != "" {
@@ -127,6 +137,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure id %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// convertChromeTrace reads the JSONL span stream back and rewrites it as a
+// Chrome trace_event file, so a single-process bench run gets the same
+// viewer-ready artifact the cluster stitcher produces.
+func convertChromeTrace(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if err := obs.ConvertJSONLToChrome(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // writeMetrics snapshots the default registry as indented JSON.

@@ -7,9 +7,10 @@
 // Usage:
 //
 //	smartd [-addr :8080] [-queue 16] [-workers 2] [-mem-bytes 0]
-//	       [-deadline 0] [-grace 10s] [-ckdir DIR]
+//	       [-deadline 0] [-grace 10s] [-ckdir DIR] [-flight 256]
 //
-// SIGTERM or SIGINT triggers the drain.
+// SIGTERM or SIGINT triggers the drain. SIGQUIT dumps the flight recorder
+// (the last -flight spans and metric marks) to stderr without exiting.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/obs"
 	"github.com/scipioneer/smart/internal/serve"
 )
 
@@ -49,9 +51,17 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		deadline = fs.Duration("deadline", 0, "default per-job execution deadline (0 = none)")
 		grace    = fs.Duration("grace", 10*time.Second, "drain grace period before inflight jobs are checkpointed")
 		ckdir    = fs.String("ckdir", "", "checkpoint directory for drained jobs (default os temp dir)")
+		flight   = fs.Int("flight", 256, "flight-recorder capacity in events (0 = off); SIGQUIT dumps it to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *flight > 0 {
+		fr := obs.NewFlightRecorder(*flight)
+		obs.Default().SetFlightRecorder(fr)
+		stopDump := obs.DumpOnSignal(fr, syscall.SIGQUIT, os.Stderr)
+		defer stopDump()
 	}
 
 	cfg := serve.Config{

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/scipioneer/smart/internal/analytics"
@@ -37,6 +39,7 @@ type options struct {
 	trace       bool
 	metricsAddr string
 	linger      time.Duration
+	flight      int
 }
 
 func main() {
@@ -57,6 +60,7 @@ func main() {
 	flag.BoolVar(&o.trace, "trace", false, "print per-phase runtime timings")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live runtime metrics over HTTP on this address (e.g. :9090)")
 	flag.DurationVar(&o.linger, "metrics-linger", 0, "keep the metrics endpoint up this long after the run finishes")
+	flag.IntVar(&o.flight, "flight", 0, "flight-recorder capacity in events (0 = off); SIGQUIT dumps it to stderr")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -66,6 +70,12 @@ func main() {
 }
 
 func run(o options) error {
+	if o.flight > 0 {
+		fr := obs.NewFlightRecorder(o.flight)
+		obs.Default().SetFlightRecorder(fr)
+		stopDump := obs.DumpOnSignal(fr, syscall.SIGQUIT, os.Stderr)
+		defer stopDump()
+	}
 	if o.metricsAddr != "" {
 		srv, err := obs.Serve(o.metricsAddr, obs.DefaultRegistry())
 		if err != nil {
@@ -74,8 +84,17 @@ func run(o options) error {
 		fmt.Printf("metrics: http://%s/metrics (Prometheus text) and /metrics.json\n", srv.Addr())
 		defer func() {
 			if o.linger > 0 {
+				// Interruptible linger: ctrl-C (or SIGTERM) ends the wait
+				// early instead of leaving an unkillable sleep behind.
 				fmt.Printf("metrics endpoint stays up for %v (ctrl-C to stop)\n", o.linger)
-				time.Sleep(o.linger)
+				sig := make(chan os.Signal, 1)
+				signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+				select {
+				case <-time.After(o.linger):
+				case s := <-sig:
+					fmt.Printf("metrics linger interrupted by %v\n", s)
+				}
+				signal.Stop(sig)
 			}
 			srv.Close()
 		}()

@@ -4,22 +4,28 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/scipioneer/smart/internal/chunk"
 )
 
-// cancellingApp wraps bucketApp and cancels the run's context the first time
-// the reduction reaches chunk index at — a deterministic mid-run cancel.
+// cancellingApp wraps bucketApp and cancels the run's context on the at-th
+// GenKey call across all threads — a mid-run cancel that fires early no
+// matter which worker the runtime schedules first. (Keying on a fixed chunk
+// index is not early under work stealing on few cores: thieves take the
+// *back* halves of a starved owner's deque, so nearly the whole input can
+// drain before the owner ever touches its front chunk.)
 type cancellingApp struct {
 	bucketApp
-	at     int
+	at     int64
+	calls  atomic.Int64
 	cancel context.CancelFunc
 }
 
 func (a *cancellingApp) GenKey(c chunk.Chunk, data []int, m CombMap) int {
-	if c.Start == a.at {
+	if a.calls.Add(1) == a.at {
 		a.cancel()
 	}
 	return a.bucketApp.GenKey(c, data, m)

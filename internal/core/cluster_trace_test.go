@@ -1,0 +1,218 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// TestClusterTraceStitching is the end-to-end acceptance run for distributed
+// tracing: a 4-rank in-process world executes a global-combine job under a
+// root span started on rank 0. The trace context spreads to the other ranks
+// through the first collective's frames, every rank records its phase and
+// collective spans into its own JSONL buffer, and rank 0 stitches the four
+// streams into one tree — every span must walk its parent links back to the
+// single root, and the Chrome export must be valid trace_event JSON.
+func TestClusterTraceStitching(t *testing.T) {
+	const ranks = 4
+	comms := mpi.NewWorld(ranks)
+	full := histInput(1200)
+	per := len(full) / ranks
+
+	observers := make([]*obs.Observer, ranks)
+	bufs := make([]bytes.Buffer, ranks)
+	for r := range observers {
+		observers[r] = obs.New()
+		observers[r].SetTraceWriter(&bufs[r])
+	}
+
+	// Rank 0 opens the root job span and stamps its context on its
+	// communicator before any collective runs.
+	root := observers[0].StartSpan(obs.TraceContext{}, "job", "cluster-run")
+	root.SetRank(0)
+	comms[0].SetTraceContext(root.Context())
+	traceID := root.Context().TraceID
+
+	var (
+		wg       sync.WaitGroup
+		gatherMu sync.Mutex
+		cluster  *obs.ClusterSnapshot
+		perRank  = make([]int64, ranks)
+	)
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			comms[r].SetTracer(observers[r])
+			// The barrier carries the trace context from rank 0 to the rest
+			// of the world; afterwards every rank parents its scheduler
+			// phases under the root span it adopted.
+			if err := comms[r].Barrier(); err != nil {
+				t.Errorf("rank %d barrier: %v", r, err)
+				return
+			}
+			tc := comms[r].TraceContext()
+			if !tc.Valid() || tc.TraceID != traceID {
+				t.Errorf("rank %d did not adopt the trace: got %+v", r, tc)
+				return
+			}
+			s := MustNewScheduler[int, int64](bucketApp{width: 10},
+				SchedArgs{NumThreads: 2, ChunkSize: 1, NumIters: 1, Comm: comms[r], Obs: observers[r]})
+			s.SetTraceContext(tc)
+			out := make([]int64, 10)
+			if err := s.Run(full[r*per:(r+1)*per], out); err != nil {
+				t.Errorf("rank %d run: %v", r, err)
+				return
+			}
+			perRank[r] = observers[r].Registry().Counter(obs.SpanCounterName("reduction")).Value()
+			snap, err := obs.Gather(comms[r], observers[r].Registry())
+			if err != nil {
+				t.Errorf("rank %d gather: %v", r, err)
+				return
+			}
+			if r == 0 {
+				gatherMu.Lock()
+				cluster = snap
+				gatherMu.Unlock()
+				root.End()
+			} else if snap != nil {
+				t.Errorf("rank %d: non-root Gather returned a snapshot", r)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Cluster metrics: the merged counter must equal the per-rank sum.
+	if cluster == nil {
+		t.Fatal("rank 0 Gather returned no cluster snapshot")
+	}
+	if got := len(cluster.Ranks); got != ranks {
+		t.Fatalf("cluster snapshot has %d ranks, want %d", got, ranks)
+	}
+	var wantSum int64
+	for _, v := range perRank {
+		if v == 0 {
+			t.Fatal("a rank recorded zero reduction spans")
+		}
+		wantSum += v
+	}
+	if got := cluster.Merged.Counters[obs.SpanCounterName("reduction")]; got != wantSum {
+		t.Fatalf("merged reduction counter = %d, want per-rank sum %d", got, wantSum)
+	}
+
+	// Stitch the four JSONL streams into one tree.
+	events := make([][]obs.TraceEvent, ranks)
+	for r := range bufs {
+		evs, err := obs.ReadTraceJSONL(&bufs[r])
+		if err != nil {
+			t.Fatalf("rank %d trace parse: %v", r, err)
+		}
+		events[r] = evs
+	}
+	stitched := obs.StitchTraces(traceID, events...)
+	if len(stitched) == 0 {
+		t.Fatal("stitched trace is empty")
+	}
+
+	byID := make(map[uint64]obs.TraceEvent, len(stitched))
+	roots := 0
+	for _, ev := range stitched {
+		if ev.Trace != traceID {
+			t.Fatalf("event %s/%s has trace %x, want %x", ev.Cat, ev.Name, ev.Trace, traceID)
+		}
+		byID[ev.ID] = ev
+		if ev.Parent == 0 {
+			roots++
+			if ev.Name != "cluster-run" {
+				t.Fatalf("unexpected root span %s/%s", ev.Cat, ev.Name)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("stitched trace has %d roots, want exactly 1", roots)
+	}
+	// Every span must reach the root through resolvable parent links.
+	for _, ev := range stitched {
+		cur, hops := ev, 0
+		for cur.Parent != 0 {
+			next, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("span %s/%s (rank %d) has dangling parent %x", ev.Cat, ev.Name, ev.Rank, cur.Parent)
+			}
+			cur = next
+			if hops++; hops > len(stitched) {
+				t.Fatalf("parent cycle reached from span %s/%s", ev.Cat, ev.Name)
+			}
+		}
+		if cur.Name != "cluster-run" {
+			t.Fatalf("span %s/%s does not chain to the job root", ev.Cat, ev.Name)
+		}
+	}
+	// Every rank must have contributed collective child spans and its
+	// global-combine phase span.
+	for r := 0; r < ranks; r++ {
+		var mpiSpans, gc int
+		for _, ev := range stitched {
+			if ev.Rank != r {
+				continue
+			}
+			if ev.Cat == "mpi" {
+				mpiSpans++
+			}
+			if ev.Name == "global combine" {
+				gc++
+			}
+		}
+		if mpiSpans == 0 {
+			t.Errorf("rank %d contributed no collective spans", r)
+		}
+		if gc == 0 {
+			t.Errorf("rank %d contributed no global combine span", r)
+		}
+	}
+
+	// The Chrome export must be valid trace_event JSON with process metadata
+	// for each rank and one complete ("X") event per stitched span.
+	var chrome bytes.Buffer
+	if err := obs.WriteChromeTrace(&chrome, stitched); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	pids := make(map[int]bool)
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			pids[ev.PID] = true
+		default:
+			t.Fatalf("unexpected chrome phase %q", ev.Ph)
+		}
+	}
+	if complete != len(stitched) {
+		t.Fatalf("chrome trace has %d X events, want %d", complete, len(stitched))
+	}
+	if meta < ranks || len(pids) != ranks {
+		t.Fatalf("chrome trace covers %d pids with %d metadata events, want %d ranks", len(pids), meta, ranks)
+	}
+}

@@ -307,6 +307,15 @@ type Scheduler[In, Out any] struct {
 	runCtx context.Context
 	// eng is the reduction-phase execution engine selected by args.Engine.
 	eng engine[In, Out]
+	// traceCtx, when valid, is the distributed-trace context every phase
+	// span of this scheduler parents under (SetTraceContext). Written
+	// between runs by the coordinating goroutine.
+	traceCtx obs.TraceContext
+	// pprofLabels gates wrapping the engines' reduction workers in
+	// runtime/pprof labels (phase, engine) so CPU profiles attribute
+	// samples to phases. Off by default: label push/pop is cheap but not
+	// free, and the bench harness measures the unlabeled hot path.
+	pprofLabels bool
 
 	// cached optional capabilities of app
 	multi     MultiKeyer[In]
@@ -405,6 +414,29 @@ func (s *Scheduler[In, Out]) Stats() *Stats { return &s.stats }
 // Observer returns the observability sink this scheduler reports into
 // (SchedArgs.Obs, or the process default).
 func (s *Scheduler[In, Out]) Observer() *obs.Observer { return s.obs }
+
+// SetTraceContext places this scheduler's phase spans in a distributed
+// trace: every phase span records tc.TraceID as its trace and tc.SpanID as
+// its parent (conventionally the job's root span, started on rank 0 with
+// Observer.StartSpan and spread to the other ranks by the first collective
+// — read it off the communicator with Comm.TraceContext after a barrier).
+// During global combination the scheduler temporarily re-points the
+// communicator's context at the phase's own span, so collective spans nest
+// under the phase rather than the root. Passing the zero context disables
+// tracing again. Call between runs, not mid-run; as a convenience it also
+// attaches the scheduler's observer as the communicator's collective tracer.
+func (s *Scheduler[In, Out]) SetTraceContext(tc obs.TraceContext) {
+	s.traceCtx = tc
+	if s.args.Comm != nil && tc.Valid() {
+		s.args.Comm.SetTracer(s.obs)
+	}
+}
+
+// SetPprofLabels toggles runtime/pprof labels ("phase", "engine") around the
+// reduction worker goroutines, letting CPU and goroutine profiles attribute
+// samples per phase and engine. Job-level labels (job, tenant, app) are the
+// caller's to set via pprof.Do around Run — worker goroutines inherit them.
+func (s *Scheduler[In, Out]) SetPprofLabels(on bool) { s.pprofLabels = on }
 
 // Engine reports the effective execution engine name (EngineStatic or
 // EngineStealing) this scheduler runs its reduction phase on.

@@ -72,11 +72,14 @@ func (e *staticEngine[In, Out]) reduceBlock(block chunk.Split, env *runEnv[In, O
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
 			}
-			start := time.Now()
-			errs[t] = s.processSplit(splits[t], env.in, env.out, e.redMaps[t], env.multi, env.live, env.tracker)
-			d := time.Since(start)
-			s.stats.SplitTimes[t] += d
-			atomic.AddInt64((*int64)(&s.stats.ReductionTime), int64(d))
+			work := func() {
+				start := time.Now()
+				errs[t] = s.processSplit(splits[t], env.in, env.out, e.redMaps[t], env.multi, env.live, env.tracker)
+				d := time.Since(start)
+				s.stats.SplitTimes[t] += d
+				atomic.AddInt64((*int64)(&s.stats.ReductionTime), int64(d))
+			}
+			s.labelWorker(EngineStatic, work)
 		}()
 	}
 	wg.Wait()

@@ -134,7 +134,9 @@ func (e *stealingEngine[In, Out]) reduceBlock(block chunk.Split, env *runEnv[In,
 				runtime.LockOSThread()
 				defer runtime.UnlockOSThread()
 			}
-			errs[t] = e.runWorker(t, block, own[t], e.primary[t].m, reg, &abort, env)
+			s.labelWorker(EngineStealing, func() {
+				errs[t] = e.runWorker(t, block, own[t], e.primary[t].m, reg, &abort, env)
+			})
 		}()
 	}
 	wg.Wait()

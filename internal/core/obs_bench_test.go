@@ -1,0 +1,51 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// benchSchedObs measures one full scheduler Run with the given observability
+// configuration; the disabled/tracing pair is the scheduler-overhead number
+// recorded in BENCH_obs.json (the disabled path must stay within noise of
+// the pre-tracing scheduler).
+func benchSchedObs(b *testing.B, traced bool, flight bool) {
+	b.Helper()
+	in := histInput(1 << 14)
+	o := obs.New()
+	if traced {
+		o.SetTraceWriter(io.Discard)
+	}
+	if flight {
+		o.SetFlightRecorder(obs.NewFlightRecorder(256))
+	}
+	s := MustNewScheduler[int, int64](bucketApp{width: 10}, SchedArgs{
+		NumThreads: 4, ChunkSize: 1, NumIters: 1, Obs: o,
+	})
+	if traced {
+		root := o.StartSpan(obs.TraceContext{}, "job", "bench")
+		defer root.End()
+		s.SetTraceContext(root.Context())
+	}
+	out := make([]int64, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedObsDisabled is the baseline: metrics only, no trace writer,
+// no trace context, no flight recorder — the default production path.
+func BenchmarkSchedObsDisabled(b *testing.B) { benchSchedObs(b, false, false) }
+
+// BenchmarkSchedObsTracing runs the same job with full distributed tracing:
+// every phase span carries trace identity and is encoded to the JSONL sink.
+func BenchmarkSchedObsTracing(b *testing.B) { benchSchedObs(b, true, false) }
+
+// BenchmarkSchedObsFlight adds the flight-recorder ring to the baseline.
+func BenchmarkSchedObsFlight(b *testing.B) { benchSchedObs(b, false, true) }

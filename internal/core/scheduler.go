@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -179,10 +180,13 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 		// doubles as the "distribute global map" step of the next iteration.
 		if s.globalComb && s.args.Comm != nil && s.args.Comm.Size() > 1 {
 			gcStart := time.Now()
-			if err := s.globalCombine(); err != nil {
+			gcID, restore := s.pushPhaseTrace()
+			err := s.globalCombine()
+			restore()
+			if err != nil {
 				return err
 			}
-			s.phaseEvent("global combine", gcStart)
+			s.phaseEventID("global combine", gcStart, gcID)
 		}
 
 		if s.postComb != nil {
@@ -208,11 +212,49 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 // the observer, then the scheduler's subscribers (the OnPhase shim among
 // them). Called only from the coordinating goroutine.
 func (s *Scheduler[In, Out]) phaseEvent(name string, start time.Time) {
+	s.phaseEventID(name, start, 0)
+}
+
+// phaseEventID is phaseEvent for phases whose span ID was pre-allocated so
+// child work (collectives during global combination) could parent under the
+// phase before the phase span itself is recorded. id 0 allocates on demand.
+func (s *Scheduler[In, Out]) phaseEventID(name string, start time.Time, id uint64) {
 	sp := obs.Span{Cat: "core", Name: name, Start: start, Dur: time.Since(start)}
+	if tc := s.traceCtx; tc.Valid() {
+		if id == 0 {
+			id = obs.NewID()
+		}
+		sp.Trace, sp.ID, sp.Parent, sp.Rank = tc.TraceID, id, tc.SpanID, s.rank()
+	}
 	s.obs.RecordSpan(sp)
 	for _, fn := range s.spanSubs {
 		fn(sp)
 	}
+}
+
+// rank is this scheduler's mpi rank, 0 without a communicator.
+func (s *Scheduler[In, Out]) rank() int {
+	if s.args.Comm != nil {
+		return s.args.Comm.Rank()
+	}
+	return 0
+}
+
+// pushPhaseTrace allocates the span ID of a phase that is about to run
+// collectives and re-points the communicator's trace context at it, so the
+// collective child spans recorded by mpi nest under the phase span instead
+// of the job root. The returned restore puts the previous context back; the
+// returned id goes to phaseEventID. With tracing off both are no-ops.
+func (s *Scheduler[In, Out]) pushPhaseTrace() (id uint64, restore func()) {
+	tc := s.traceCtx
+	if !tc.Valid() || s.args.Comm == nil {
+		return 0, func() {}
+	}
+	id = obs.NewID()
+	comm := s.args.Comm
+	prev := comm.TraceContext()
+	comm.SetTraceContext(obs.TraceContext{TraceID: tc.TraceID, SpanID: id})
+	return id, func() { comm.SetTraceContext(prev) }
 }
 
 // shardSpans records one observer span per shard of a shard-parallel phase,
@@ -229,6 +271,20 @@ func (s *Scheduler[In, Out]) shardSpans(name string, start time.Time, durs []tim
 		s.obs.RecordSpan(obs.Span{Cat: "core", Name: name, Start: start, Dur: d,
 			Attrs: map[string]any{"shard": si}})
 	}
+}
+
+// labelWorker runs one engine worker body, under runtime/pprof labels
+// attributing its samples to the reduction phase and engine when
+// SetPprofLabels is on. Worker goroutines inherit the coordinating
+// goroutine's labels (job, tenant, app — set by the serve layer), so the
+// phase/engine labels compose with rather than replace them.
+func (s *Scheduler[In, Out]) labelWorker(engine string, work func()) {
+	if !s.pprofLabels {
+		work()
+		return
+	}
+	pprof.Do(s.runCtx, pprof.Labels("phase", "reduction", "engine", engine),
+		func(context.Context) { work() })
 }
 
 // phaseWorkers is the goroutine budget of the shard-parallel phases: the
@@ -481,9 +537,14 @@ func (s *Scheduler[In, Out]) MergeEncodedCombinationMap(buf []byte) error {
 // accumulated state through the per-iteration distribution step.)
 func (s *Scheduler[In, Out]) GlobalCombine(out []Out) error {
 	if s.globalComb && s.args.Comm != nil && s.args.Comm.Size() > 1 {
-		if err := s.globalCombine(); err != nil {
+		gcStart := time.Now()
+		gcID, restore := s.pushPhaseTrace()
+		err := s.globalCombine()
+		restore()
+		if err != nil {
 			return err
 		}
+		s.phaseEventID("global combine", gcStart, gcID)
 	}
 	if s.postComb != nil {
 		s.postComb.PostCombine(s.comMap)

@@ -29,13 +29,42 @@ var collMetrics = func() map[string]collectiveMetrics {
 }()
 
 // timeCollective starts timing one collective call; the returned closer
-// records its latency. Usage: defer c.timeCollective("bcast")().
-func timeCollective(op string) func() {
+// records its latency. Usage: defer c.timeCollective("bcast")(). Beyond the
+// metrics, it brackets the call on the endpoint's stall watch (so a
+// watchdog can name a rank wedged inside) and, when a tracer is attached
+// and a trace is active, records the call as a child span of the
+// endpoint's current trace context. The context is read at close time, not
+// entry: a rank that adopts a trace from the first message it receives
+// inside this very collective still parents its span correctly.
+func (c *Comm) timeCollective(op string) func() {
 	met := collMetrics[op]
 	start := time.Now()
+	watch := c.obs.watch.Load()
+	var token uint64
+	if watch != nil {
+		token = watch.Enter(c.Rank(), op)
+	}
 	return func() {
+		if watch != nil {
+			watch.Exit(token)
+		}
+		dur := time.Since(start)
 		met.calls.Inc()
-		met.seconds.Observe(time.Since(start).Seconds())
+		met.seconds.Observe(dur.Seconds())
+		if tracer := c.obs.tracer.Load(); tracer != nil {
+			if tc := c.TraceContext(); tc.Valid() {
+				tracer.RecordSpan(obs.Span{
+					Cat:    "mpi",
+					Name:   op,
+					Start:  start,
+					Dur:    dur,
+					Trace:  tc.TraceID,
+					ID:     obs.NewID(),
+					Parent: tc.SpanID,
+					Rank:   c.Rank(),
+				})
+			}
+		}
 	}
 }
 
@@ -65,7 +94,7 @@ type ReduceFunc func(a, b []byte) ([]byte, error)
 
 // Barrier blocks until all ranks of the communicator have entered it.
 func (c *Comm) Barrier() error {
-	defer timeCollective("barrier")()
+	defer c.timeCollective("barrier")()
 	_, err := c.allreduce(nil, func(a, b []byte) ([]byte, error) { return nil, nil })
 	if err != nil {
 		return fmt.Errorf("mpi: barrier: %w", err)
@@ -79,7 +108,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
-	defer timeCollective("bcast")()
+	defer c.timeCollective("bcast")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	return c.bcast(root, data, c.ctag(opBcast, seq))
@@ -94,7 +123,7 @@ func (c *Comm) bcast(root int, data []byte, tag int) ([]byte, error) {
 		if vr&mask != 0 {
 			src := (vr - mask + root) % p
 			var err error
-			data, err = c.t.Recv(src, tag)
+			data, err = c.trecv(src, tag)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +136,7 @@ func (c *Comm) bcast(root int, data []byte, tag int) ([]byte, error) {
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if vr+mask < p {
 			dst := (vr + mask + root) % p
-			if err := c.t.Send(dst, tag, data); err != nil {
+			if err := c.tsend(dst, tag, data); err != nil {
 				return nil, err
 			}
 		}
@@ -121,7 +150,7 @@ func (c *Comm) Reduce(root int, data []byte, fn ReduceFunc) ([]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
-	defer timeCollective("reduce")()
+	defer c.timeCollective("reduce")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	return c.reduce(root, data, fn, c.ctag(opReduce, seq))
@@ -135,7 +164,7 @@ func (c *Comm) reduce(root int, data []byte, fn ReduceFunc, tag int) ([]byte, er
 		if vr&mask == 0 {
 			srcVR := vr | mask
 			if srcVR < p {
-				other, err := c.t.Recv((srcVR+root)%p, tag)
+				other, err := c.trecv((srcVR+root)%p, tag)
 				if err != nil {
 					return nil, err
 				}
@@ -146,7 +175,7 @@ func (c *Comm) reduce(root int, data []byte, fn ReduceFunc, tag int) ([]byte, er
 			}
 		} else {
 			dst := (vr - mask + root) % p
-			if err := c.t.Send(dst, tag, acc); err != nil {
+			if err := c.tsend(dst, tag, acc); err != nil {
 				return nil, err
 			}
 			return nil, nil
@@ -158,7 +187,7 @@ func (c *Comm) reduce(root int, data []byte, fn ReduceFunc, tag int) ([]byte, er
 // Allreduce combines every rank's data with fn and returns the result on all
 // ranks (reduce to rank 0, then broadcast).
 func (c *Comm) Allreduce(data []byte, fn ReduceFunc) ([]byte, error) {
-	defer timeCollective("allreduce")()
+	defer c.timeCollective("allreduce")()
 	return c.allreduce(data, fn)
 }
 
@@ -180,7 +209,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
-	defer timeCollective("gather")()
+	defer c.timeCollective("gather")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	return c.gather(root, data, c.ctag(opGather, seq))
@@ -188,7 +217,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 
 func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
 	if c.Rank() != root {
-		return nil, c.t.Send(root, tag, data)
+		return nil, c.tsend(root, tag, data)
 	}
 	out := make([][]byte, c.Size())
 	out[root] = data
@@ -196,7 +225,7 @@ func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
 		if r == root {
 			continue
 		}
-		buf, err := c.t.Recv(r, tag)
+		buf, err := c.trecv(r, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +236,7 @@ func (c *Comm) gather(root int, data []byte, tag int) ([][]byte, error) {
 
 // Allgather collects every rank's payload on all ranks, indexed by rank.
 func (c *Comm) Allgather(data []byte) ([][]byte, error) {
-	defer timeCollective("allgather")()
+	defer c.timeCollective("allgather")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	parts, err := c.gather(0, data, c.ctag(opGather, seq))
@@ -231,7 +260,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 	if err := c.checkPeer(root); err != nil {
 		return nil, err
 	}
-	defer timeCollective("scatter")()
+	defer c.timeCollective("scatter")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	tag := c.ctag(opScatter, seq)
@@ -243,13 +272,13 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 			if r == root {
 				continue
 			}
-			if err := c.t.Send(r, tag, part); err != nil {
+			if err := c.tsend(r, tag, part); err != nil {
 				return nil, err
 			}
 		}
 		return parts[root], nil
 	}
-	return c.t.Recv(root, tag)
+	return c.trecv(root, tag)
 }
 
 // packParts frames a slice of byte slices into one payload.

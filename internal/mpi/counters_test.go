@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// collectiveOps is every op name registered in collMetrics, i.e. every value
+// timeCollective is ever called with.
+var collectiveOps = []string{"barrier", "bcast", "reduce", "reducestream", "allreduce", "gather", "allgather", "scatter"}
+
+func collectiveCounts() map[string]int64 {
+	out := make(map[string]int64, len(collectiveOps))
+	for _, op := range collectiveOps {
+		out[op] = obs.DefaultRegistry().Counter(`smart_mpi_collective_total{op="` + op + `"}`).Value()
+	}
+	return out
+}
+
+// onWorld runs body on every rank of a fresh in-process world and joins.
+func onWorld(t *testing.T, ranks int, body func(c *Comm)) {
+	t.Helper()
+	comms := NewWorld(ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		c := comms[r]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer c.Close()
+			body(c)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCollectiveCountersPinned pins the accounting contract of every public
+// collective: one call on an N-rank world bumps exactly that op's counter by
+// N — internal reuse (Barrier over allreduce, Allreduce over reduce+bcast,
+// ReduceStream's per-segment tree exchanges) must not double-count, because
+// dashboards divide these counters into the latency histograms for
+// per-operation means. The counters live in the process-global registry, so
+// everything is asserted as deltas.
+func TestCollectiveCountersPinned(t *testing.T) {
+	const ranks = 4
+	sum := func(a, b []byte) ([]byte, error) {
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out,
+			binary.LittleEndian.Uint64(a)+binary.LittleEndian.Uint64(b))
+		return out, nil
+	}
+	payload := func() []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, 1)
+		return b
+	}
+
+	cases := []struct {
+		op   string
+		body func(c *Comm)
+	}{
+		{"barrier", func(c *Comm) {
+			if err := c.Barrier(); err != nil {
+				t.Errorf("barrier: %v", err)
+			}
+		}},
+		{"bcast", func(c *Comm) {
+			if _, err := c.Bcast(0, payload()); err != nil {
+				t.Errorf("bcast: %v", err)
+			}
+		}},
+		{"reduce", func(c *Comm) {
+			if _, err := c.Reduce(0, payload(), sum); err != nil {
+				t.Errorf("reduce: %v", err)
+			}
+		}},
+		{"allreduce", func(c *Comm) {
+			if _, err := c.Allreduce(payload(), sum); err != nil {
+				t.Errorf("allreduce: %v", err)
+			}
+		}},
+		{"gather", func(c *Comm) {
+			if _, err := c.Gather(0, payload()); err != nil {
+				t.Errorf("gather: %v", err)
+			}
+		}},
+		{"allgather", func(c *Comm) {
+			if _, err := c.Allgather(payload()); err != nil {
+				t.Errorf("allgather: %v", err)
+			}
+		}},
+		{"scatter", func(c *Comm) {
+			var parts [][]byte
+			if c.Rank() == 0 {
+				for i := 0; i < ranks; i++ {
+					parts = append(parts, payload())
+				}
+			}
+			if _, err := c.Scatter(0, parts); err != nil {
+				t.Errorf("scatter: %v", err)
+			}
+		}},
+		{"reducestream", func(c *Comm) {
+			// 3 segments exercise the per-segment tree exchange; the call
+			// must still count as ONE reducestream per rank no matter how
+			// many send/recv legs the binomial tree takes.
+			enc := func(seg int) ([]byte, error) { return payload(), nil }
+			merge := func(seg int, data []byte) error { return nil }
+			isRoot, err := c.ReduceStream(0, 3, enc, merge)
+			if err != nil {
+				t.Errorf("reducestream: %v", err)
+			}
+			if isRoot != (c.Rank() == 0) {
+				t.Errorf("rank %d: reducestream root flag = %v", c.Rank(), isRoot)
+			}
+		}},
+	}
+
+	for _, tc := range cases {
+		before := collectiveCounts()
+		onWorld(t, ranks, tc.body)
+		after := collectiveCounts()
+		for _, op := range collectiveOps {
+			want := int64(0)
+			if op == tc.op {
+				want = ranks
+			}
+			if got := after[op] - before[op]; got != want {
+				t.Errorf("%s: counter %q moved by %d, want %d", tc.op, op, got, want)
+			}
+		}
+	}
+}

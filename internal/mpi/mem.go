@@ -60,23 +60,23 @@ func NewWorld(size int) []*Comm {
 func (t *memTransport) Rank() int { return t.rank }
 func (t *memTransport) Size() int { return len(t.boxes) }
 
-func (t *memTransport) Send(dst, tag int, payload []byte) error {
+func (t *memTransport) Send(dst, tag int, payload []byte, tc obs.TraceContext) error {
 	// Copy so that the sender may immediately reuse its buffer, matching
 	// MPI's buffered-send semantics that the runtime relies on.
 	buf := make([]byte, len(payload))
 	copy(buf, payload)
 	memMetrics.sendMsgs.Inc()
 	memMetrics.sendBytes.Add(int64(len(payload)))
-	return t.boxes[dst].put(message{src: t.rank, tag: tag, payload: buf})
+	return t.boxes[dst].put(message{src: t.rank, tag: tag, payload: buf, tc: tc})
 }
 
-func (t *memTransport) Recv(src, tag int) ([]byte, error) {
-	payload, err := t.boxes[t.rank].get(src, tag)
+func (t *memTransport) Recv(src, tag int) ([]byte, obs.TraceContext, error) {
+	payload, tc, err := t.boxes[t.rank].get(src, tag)
 	if err == nil {
 		memMetrics.recvMsgs.Inc()
 		memMetrics.recvBytes.Add(int64(len(payload)))
 	}
-	return payload, err
+	return payload, tc, err
 }
 
 func (t *memTransport) Close() error {

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/scipioneer/smart/internal/obs"
 )
 
 // ErrClosed is returned by operations on a closed communicator.
@@ -36,13 +38,14 @@ type Transport interface {
 	Rank() int
 	// Size returns the number of ranks in the world.
 	Size() int
-	// Send delivers payload to rank dst with the given tag. Send may block
-	// until the destination has buffer space but never until the matching
-	// Recv (eager protocol with bounded buffering).
-	Send(dst, tag int, payload []byte) error
+	// Send delivers payload to rank dst with the given tag, carrying the
+	// sender's trace context alongside (zero when no trace is active). Send
+	// may block until the destination has buffer space but never until the
+	// matching Recv (eager protocol with bounded buffering).
+	Send(dst, tag int, payload []byte, tc obs.TraceContext) error
 	// Recv blocks until a message from rank src with the given tag is
-	// available and returns its payload.
-	Recv(src, tag int) ([]byte, error)
+	// available and returns its payload plus the sender's trace context.
+	Recv(src, tag int) ([]byte, obs.TraceContext, error)
 	// Close tears the endpoint down; blocked operations return ErrClosed.
 	Close() error
 }
@@ -60,22 +63,83 @@ type Comm struct {
 	// serialize, when non-nil, is held for the duration of every operation,
 	// modeling the "only one thread inside MPI at a time" funneling cost.
 	serialize *sync.Mutex
+	// obs is the endpoint's observability state (trace context, tracer,
+	// stall watch), shared with Serialized views like seq.
+	obs *commObs
+}
+
+// commObs holds a communicator's observability attachments. All fields are
+// atomics: the trace context is written by the scheduler on one goroutine
+// and read on every send, and adopted from incoming messages on receives.
+type commObs struct {
+	trace  atomic.Pointer[obs.TraceContext]
+	tracer atomic.Pointer[obs.Observer]
+	watch  atomic.Pointer[obs.StallWatch]
 }
 
 // NewComm wraps a transport in a communicator.
-func NewComm(t Transport) *Comm { return &Comm{t: t, seq: new(atomic.Uint64)} }
+func NewComm(t Transport) *Comm {
+	return &Comm{t: t, seq: new(atomic.Uint64), obs: new(commObs)}
+}
 
 // Serialized returns a view of c in which every operation is funneled
 // through a single mutex, as required when concurrent tasks (simulation and
 // analytics in space sharing mode) share one MPI endpoint with
 // MPI_THREAD_MULTIPLE-style serialization. The returned Comm shares the
-// transport and collective sequence with c.
+// transport, collective sequence and observability state with c.
 func (c *Comm) Serialized() *Comm {
 	mu := c.serialize
 	if mu == nil {
 		mu = new(sync.Mutex)
 	}
-	return &Comm{t: c.t, seq: c.seq, serialize: mu}
+	return &Comm{t: c.t, seq: c.seq, serialize: mu, obs: c.obs}
+}
+
+// SetTraceContext pins the trace context this endpoint stamps onto every
+// outgoing message (and under which its collective spans are recorded).
+// Pass the zero context to clear it; a cleared endpoint adopts the first
+// traced context it receives, which is how a job's trace spreads from rank 0
+// to the whole world through the first collective.
+func (c *Comm) SetTraceContext(tc obs.TraceContext) {
+	if !tc.Valid() {
+		c.obs.trace.Store(nil)
+		return
+	}
+	c.obs.trace.Store(&tc)
+}
+
+// TraceContext returns the endpoint's current trace context (zero if none).
+func (c *Comm) TraceContext() obs.TraceContext {
+	if p := c.obs.trace.Load(); p != nil {
+		return *p
+	}
+	return obs.TraceContext{}
+}
+
+// SetTracer attaches an observer that records one child span per collective
+// call (cat "mpi", name = operation, parented under the endpoint's current
+// trace context). nil detaches.
+func (c *Comm) SetTracer(o *obs.Observer) { c.obs.tracer.Store(o) }
+
+// SetStallWatch attaches the watch that collective calls bracket with
+// Enter/Exit, letting a watchdog name ranks wedged in a collective. nil
+// detaches. All ranks of an in-process world should share one watch.
+func (c *Comm) SetStallWatch(w *obs.StallWatch) { c.obs.watch.Store(w) }
+
+// tsend is the internal send: stamps the current trace context.
+func (c *Comm) tsend(dst, tag int, payload []byte) error {
+	return c.t.Send(dst, tag, payload, c.TraceContext())
+}
+
+// trecv is the internal receive: adopts the sender's trace context when this
+// endpoint has none, propagating a trace across the world without any
+// out-of-band setup.
+func (c *Comm) trecv(src, tag int) ([]byte, error) {
+	payload, tc, err := c.t.Recv(src, tag)
+	if err == nil && tc.Valid() {
+		c.obs.trace.CompareAndSwap(nil, &tc)
+	}
+	return payload, err
 }
 
 func (c *Comm) lock() func() {
@@ -104,7 +168,7 @@ func (c *Comm) Send(dst, tag int, payload []byte) error {
 		return fmt.Errorf("mpi: user tag %d out of range [0,%d)", tag, maxUserTag)
 	}
 	defer c.lock()()
-	return c.t.Send(dst, tag, payload)
+	return c.tsend(dst, tag, payload)
 }
 
 // Recv blocks for a message from src with the given user tag.
@@ -116,7 +180,7 @@ func (c *Comm) Recv(src, tag int) ([]byte, error) {
 		return nil, fmt.Errorf("mpi: user tag %d out of range [0,%d)", tag, maxUserTag)
 	}
 	defer c.lock()()
-	return c.t.Recv(src, tag)
+	return c.trecv(src, tag)
 }
 
 func (c *Comm) checkPeer(rank int) error {
@@ -126,10 +190,11 @@ func (c *Comm) checkPeer(rank int) error {
 	return nil
 }
 
-// message is an in-flight tagged payload.
+// message is an in-flight tagged payload plus the sender's trace context.
 type message struct {
 	src, tag int
 	payload  []byte
+	tc       obs.TraceContext
 }
 
 // mailbox holds undelivered messages for one rank and matches them to
@@ -163,21 +228,21 @@ func (m *mailbox) put(msg message) error {
 	return nil
 }
 
-func (m *mailbox) get(src, tag int) ([]byte, error) {
+func (m *mailbox) get(src, tag int) ([]byte, obs.TraceContext, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		for i, msg := range m.queue {
 			if msg.src == src && msg.tag == tag {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg.payload, nil
+				return msg.payload, msg.tc, nil
 			}
 		}
 		if m.closed {
-			return nil, ErrClosed
+			return nil, obs.TraceContext{}, ErrClosed
 		}
 		if m.down[src] {
-			return nil, fmt.Errorf("mpi: %w: peer %d disconnected", ErrClosed, src)
+			return nil, obs.TraceContext{}, fmt.Errorf("mpi: %w: peer %d disconnected", ErrClosed, src)
 		}
 		m.cond.Wait()
 	}

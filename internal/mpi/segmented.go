@@ -35,7 +35,7 @@ func (c *Comm) ReduceStream(root int, nseg int,
 	if nseg < 0 {
 		return false, fmt.Errorf("mpi: reduce stream with negative segment count %d", nseg)
 	}
-	defer timeCollective("reducestream")()
+	defer c.timeCollective("reducestream")()
 	defer c.lock()()
 	seq := c.seq.Add(1)
 	tag := c.ctag(opReduceStream, seq)
@@ -49,7 +49,7 @@ func (c *Comm) ReduceStream(root int, nseg int,
 			dst := (vr - mask + root) % p
 			var hdr [4]byte
 			binary.LittleEndian.PutUint32(hdr[:], uint32(nseg))
-			if err := c.t.Send(dst, tag, hdr[:]); err != nil {
+			if err := c.tsend(dst, tag, hdr[:]); err != nil {
 				return false, err
 			}
 			for seg := 0; seg < nseg; seg++ {
@@ -57,7 +57,7 @@ func (c *Comm) ReduceStream(root int, nseg int,
 				if err != nil {
 					return false, err
 				}
-				if err := c.t.Send(dst, tag, payload); err != nil {
+				if err := c.tsend(dst, tag, payload); err != nil {
 					return false, err
 				}
 			}
@@ -68,7 +68,7 @@ func (c *Comm) ReduceStream(root int, nseg int,
 			continue
 		}
 		src := (srcVR + root) % p
-		hdr, err := c.t.Recv(src, tag)
+		hdr, err := c.trecv(src, tag)
 		if err != nil {
 			return false, err
 		}
@@ -77,7 +77,7 @@ func (c *Comm) ReduceStream(root int, nseg int,
 		}
 		n := int(binary.LittleEndian.Uint32(hdr))
 		for seg := 0; seg < n; seg++ {
-			payload, err := c.t.Recv(src, tag)
+			payload, err := c.trecv(src, tag)
 			if err != nil {
 				return false, err
 			}

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
 
 // subTagStride spaces each sub-communicator's tag band. The parent's user
 // and internal collective tags all fall below one stride, so traffic on a
@@ -61,16 +65,16 @@ func (c *Comm) SubComm(worldRanks []int, band int) (*Comm, error) {
 func (t *subTransport) Rank() int { return t.myRank }
 func (t *subTransport) Size() int { return len(t.worldRanks) }
 
-func (t *subTransport) Send(dst, tag int, payload []byte) error {
-	return t.parent.Send(t.worldRanks[dst], tag+t.tagOffset, payload)
+func (t *subTransport) Send(dst, tag int, payload []byte, tc obs.TraceContext) error {
+	return t.parent.Send(t.worldRanks[dst], tag+t.tagOffset, payload, tc)
 }
 
-func (t *subTransport) Recv(src, tag int) ([]byte, error) {
-	buf, err := t.parent.Recv(t.worldRanks[src], tag+t.tagOffset)
+func (t *subTransport) Recv(src, tag int) ([]byte, obs.TraceContext, error) {
+	buf, tc, err := t.parent.Recv(t.worldRanks[src], tag+t.tagOffset)
 	if err != nil {
-		return nil, err
+		return nil, obs.TraceContext{}, err
 	}
-	return buf, nil
+	return buf, tc, nil
 }
 
 // Close is a no-op: the parent endpoint owns the resources.

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"github.com/scipioneer/smart/internal/obs"
 )
 
 // tcpTransport is the networked transport: each rank owns a listener, a full
@@ -26,35 +28,40 @@ type tcpConn struct {
 	c  net.Conn
 }
 
-// frame header: src(4) tag(8) len(4), little endian. tag is int64 because
-// internal collective tags exceed 32 bits of useful range headroom.
-const frameHeaderLen = 16
+// frame header: src(4) tag(8) len(4) traceID(8) spanID(8), little endian.
+// tag is int64 because internal collective tags exceed 32 bits of useful
+// range headroom; the trailing 16 bytes are the sender's trace context
+// (zero when no trace is active), which is how a distributed trace rides
+// the same frames as the data it describes.
+const frameHeaderLen = 16 + obs.TraceContextWireLen
 
-func writeFrame(tc *tcpConn, src, tag int, payload []byte) error {
-	var hdr [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(src))
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(tag))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
+func writeFrame(tc *tcpConn, src, tag int, payload []byte, trace obs.TraceContext) error {
+	hdr := make([]byte, 0, frameHeaderLen)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(src))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(tag))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	hdr = trace.AppendWire(hdr)
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if _, err := tc.c.Write(hdr[:]); err != nil {
+	if _, err := tc.c.Write(hdr); err != nil {
 		return err
 	}
 	_, err := tc.c.Write(payload)
 	return err
 }
 
-func readFrame(r io.Reader) (src, tag int, payload []byte, err error) {
+func readFrame(r io.Reader) (src, tag int, payload []byte, trace obs.TraceContext, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, obs.TraceContext{}, err
 	}
 	src = int(binary.LittleEndian.Uint32(hdr[0:]))
 	tag = int(binary.LittleEndian.Uint64(hdr[4:]))
 	n := int(binary.LittleEndian.Uint32(hdr[12:]))
+	trace = obs.TraceContextFromWire(hdr[16:])
 	payload = make([]byte, n)
 	_, err = io.ReadFull(r, payload)
-	return src, tag, payload, err
+	return src, tag, payload, trace, err
 }
 
 // NewTCPWorld creates a world of size ranks connected over TCP loopback and
@@ -160,7 +167,7 @@ func NewTCPWorld(size int) ([]*Comm, error) {
 
 func (t *tcpTransport) readLoop(peer int, tc *tcpConn) {
 	for {
-		src, tag, payload, err := readFrame(tc.c)
+		src, tag, payload, trace, err := readFrame(tc.c)
 		if err != nil {
 			// The peer closed its endpoint (or the local Close tore the
 			// connection down). Already-delivered messages stay receivable;
@@ -175,7 +182,7 @@ func (t *tcpTransport) readLoop(peer int, tc *tcpConn) {
 			t.box.close()
 			return
 		}
-		if t.box.put(message{src: src, tag: tag, payload: payload}) != nil {
+		if t.box.put(message{src: src, tag: tag, payload: payload, tc: trace}) != nil {
 			return
 		}
 	}
@@ -184,28 +191,28 @@ func (t *tcpTransport) readLoop(peer int, tc *tcpConn) {
 func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
 
-func (t *tcpTransport) Send(dst, tag int, payload []byte) error {
+func (t *tcpTransport) Send(dst, tag int, payload []byte, trace obs.TraceContext) error {
 	tcpMetrics.sendMsgs.Inc()
 	tcpMetrics.sendBytes.Add(int64(len(payload)))
 	if dst == t.rank {
 		buf := make([]byte, len(payload))
 		copy(buf, payload)
-		return t.box.put(message{src: t.rank, tag: tag, payload: buf})
+		return t.box.put(message{src: t.rank, tag: tag, payload: buf, tc: trace})
 	}
 	tc := t.conns[dst]
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection from %d to %d", t.rank, dst)
 	}
-	return writeFrame(tc, t.rank, tag, payload)
+	return writeFrame(tc, t.rank, tag, payload, trace)
 }
 
-func (t *tcpTransport) Recv(src, tag int) ([]byte, error) {
-	payload, err := t.box.get(src, tag)
+func (t *tcpTransport) Recv(src, tag int) ([]byte, obs.TraceContext, error) {
+	payload, trace, err := t.box.get(src, tag)
 	if err == nil {
 		tcpMetrics.recvMsgs.Inc()
 		tcpMetrics.recvBytes.Add(int64(len(payload)))
 	}
-	return payload, err
+	return payload, trace, err
 }
 
 func (t *tcpTransport) Close() error {

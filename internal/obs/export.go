@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -16,9 +18,14 @@ import (
 // WriteJSON writes a one-shot JSON snapshot of the registry, indented for
 // human reading. This is what `smartbench -metrics <file>` emits.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(s)
 }
 
 // splitName separates an optional inline label set from a metric name:
@@ -54,11 +61,20 @@ func promLine(w io.Writer, family, labels, extra string, value any) {
 // additionally expose a <family>_peak high-water sample), histograms as
 // cumulative _bucket/_sum/_count families.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	s := r.Snapshot()
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus writes the snapshot in the text exposition format. It also
+// serializes merged cluster snapshots (see MergeSnapshots), which is why it
+// lives on Snapshot rather than Registry.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
 	typed := map[string]bool{}
 	writeType := func(family, kind string) {
 		if !typed[family] {
 			typed[family] = true
+			if help := s.Help[family]; help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(help))
+			}
 			fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
 		}
 	}
@@ -91,6 +107,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// escapeHelp escapes help text per the exposition format (backslash and
+// newline; quotes are legal in help).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
 func formatFloat(v float64) string {
 	if math.IsInf(v, 1) {
 		return "+Inf"
@@ -98,11 +120,17 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// Server is a live metrics endpoint: GET /metrics serves the Prometheus
-// text format, GET /metrics.json the JSON snapshot. Close shuts it down.
+// Server is a live observability endpoint: GET /metrics serves the
+// Prometheus text format, GET /metrics.json the JSON snapshot, and
+// /debug/pprof/* the standard Go profiles (so CPU profiles of a rank can be
+// taken mid-run and filtered by the runtime's pprof labels). Close shuts it
+// down and waits for the serving goroutines to exit, so a port freed by
+// Close can be rebound immediately — including by a subsequent test.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln     net.Listener
+	srv    *http.Server
+	cancel context.CancelFunc
+	done   chan struct{}
 }
 
 // Handler returns an http.Handler exposing reg in both exposition formats:
@@ -124,8 +152,15 @@ func Handler(reg *Registry) http.Handler {
 
 // Serve starts an HTTP metrics server for reg on addr (e.g. ":9090" or
 // "127.0.0.1:0"). It returns once the listener is bound; requests are
-// served on a background goroutine.
+// served on a background goroutine until Close.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeContext(context.Background(), addr, reg)
+}
+
+// ServeContext is Serve bound to a context: when ctx is cancelled the server
+// shuts down exactly as if Close had been called. Close (or Done) can still
+// be used to wait for the teardown to finish.
+func ServeContext(ctx context.Context, addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -134,19 +169,52 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	h := Handler(reg)
 	mux.Handle("/metrics", h)
 	mux.Handle("/metrics.json", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "smart metrics endpoint: /metrics (Prometheus text), /metrics.json (snapshot)")
+		fmt.Fprintln(w, "smart metrics endpoint: /metrics (Prometheus text), /metrics.json (snapshot), /debug/pprof/ (profiles)")
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{ln: ln, srv: srv}, nil
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Server{ln: ln, srv: srv, cancel: cancel, done: make(chan struct{})}
+
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		_ = srv.Serve(ln)
+	}()
+	go func() {
+		defer close(s.done)
+		<-sctx.Done()
+		// Graceful drain with a bound: a client sitting on a streaming
+		// profile must not wedge Close forever.
+		shCtx, shCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer shCancel()
+		if srv.Shutdown(shCtx) != nil {
+			_ = srv.Close()
+		}
+		<-served
+	}()
+	return s, nil
 }
 
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.srv.Close() }
+// Done is closed once the server has fully shut down (after Close or
+// context cancellation), with the port released.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Close stops the server and waits until the listener and all serving
+// goroutines are gone. It is idempotent and safe to call concurrently.
+func (s *Server) Close() error {
+	s.cancel()
+	<-s.done
+	return nil
+}
 
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))

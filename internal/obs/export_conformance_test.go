@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// conformanceRegistry builds a registry exercising every exposition feature:
+// plain and labeled counters, label values needing all three escapes, help
+// text, gauges (with their _peak companion), and histograms.
+func conformanceRegistry() *Registry {
+	r := NewRegistry()
+	r.SetHelp("smart_jobs_total", "Jobs admitted, by application.")
+	r.SetHelp("smart_queue_depth", `Queue depth; help with backslash \ intact.`)
+	r.Counter("smart_jobs_total").Add(7)
+	r.Counter(Label("smart_jobs_total", "app", "kmeans")).Add(3)
+	r.Counter(Label("smart_jobs_total", "app", `we"ird\name`+"\n")).Add(1)
+	r.Gauge("smart_queue_depth").Set(4)
+	g := r.Gauge(Label("smart_queue_depth", "rank", "1"))
+	g.Set(9)
+	g.Set(2)
+	h := r.Histogram("smart_job_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	return r
+}
+
+// TestPrometheusConformance feeds the exporter's own output to the lint:
+// escaping, HELP/TYPE ordering, histogram invariants — the exporter must be
+// its own cleanest customer.
+func TestPrometheusConformance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := conformanceRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exporter output fails its own lint:\n%v\n--- exposition ---\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		"# HELP smart_jobs_total Jobs admitted, by application.\n# TYPE smart_jobs_total counter",
+		`# HELP smart_queue_depth Queue depth; help with backslash \\ intact.`,
+		`smart_jobs_total{app="we\"ird\\name\n"} 1`,
+		`smart_job_seconds_bucket{le="+Inf"} 4`,
+		"smart_job_seconds_count 4",
+		"smart_queue_depth_peak 4",
+		`smart_queue_depth_peak{rank="1"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition bytes so accidental format
+// drift (ordering, float rendering, escaping) is caught, not just schema
+// violations. Regenerate with: go test ./internal/obs -run Golden -update
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := conformanceRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestMergedSnapshotExposesCleanly runs a merged cluster snapshot (gauge
+// rank labels, merged histograms) through the exporter and the lint.
+func TestMergedSnapshotExposesCleanly(t *testing.T) {
+	var ranks []Snapshot
+	for r := 0; r < 3; r++ {
+		reg := NewRegistry()
+		reg.Counter("c_total").Add(int64(r))
+		reg.Gauge("depth").Set(int64(r * 5))
+		reg.Histogram("lat_seconds", []float64{1}).Observe(float64(r))
+		ranks = append(ranks, reg.Snapshot())
+	}
+	merged := MergeSnapshots(ranks)
+	var buf bytes.Buffer
+	if err := merged.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("merged exposition fails lint:\n%v\n%s", err, buf.String())
+	}
+}
+
+func TestLintExposition(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error, "" = must pass
+	}{
+		{"clean", "# TYPE a_total counter\na_total 1\n", ""},
+		{"clean labeled", "# TYPE a_total counter\na_total{x=\"1\"} 1\na_total{x=\"2\"} 2\n", ""},
+		{"duplicate type", "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n", "duplicate TYPE"},
+		{"duplicate help", "# HELP a_total x\n# HELP a_total y\n# TYPE a_total counter\na_total 1\n", "duplicate HELP"},
+		{"bad kind", "# TYPE a_total widget\na_total 1\n", "invalid TYPE kind"},
+		{"no type", "a_total 1\n", "no preceding TYPE"},
+		{"duplicate series", "# TYPE a_total counter\na_total{x=\"1\"} 1\na_total{x=\"1\"} 2\n", "duplicate series"},
+		{"duplicate series reordered labels", "# TYPE a_total counter\na_total{a=\"1\",b=\"2\"} 1\na_total{b=\"2\",a=\"1\"} 2\n", "duplicate series"},
+		{"malformed name", "# TYPE a_total counter\na_total 1\n0bad 2\n", "malformed metric name"},
+		{"bad value", "# TYPE a_total counter\na_total one\n", "bad value"},
+		{"unquoted label", "# TYPE a_total counter\na_total{x=1} 1\n", "unquoted value"},
+		{"non-cumulative buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "not cumulative"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n", "missing le=\"+Inf\""},
+		{"count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n", "_count 4 != +Inf bucket 5"},
+		{"missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n", "missing _sum"},
+		{"bad le", "# TYPE h histogram\nh_bucket{le=\"wat\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", "unparsable le"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintExposition(strings.NewReader(tc.in))
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("clean input flagged: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestServerRestartSamePort is the shutdown-semantics regression test: Close
+// must leave the port immediately rebindable, repeatedly, and the context
+// cancellation path must tear down just as completely.
+func TestServerRestartSamePort(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	body := httpGet(t, "http://"+addr+"/metrics")
+	if !strings.Contains(body, "up_total 1") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebind the exact port several times in a row; any leaked listener or
+	// straggling accept goroutine turns this into "address already in use".
+	for i := 0; i < 3; i++ {
+		s2, err := Serve(addr, reg)
+		if err != nil {
+			t.Fatalf("restart %d on %s: %v", i, addr, err)
+		}
+		httpGet(t, "http://"+addr+"/metrics")
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Close is idempotent.
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerContextCancelReleasesPort(t *testing.T) {
+	reg := NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := ServeContext(ctx, "127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cancel()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down after context cancel")
+	}
+	s2, err := Serve(addr, reg)
+	if err != nil {
+		t.Fatalf("rebind after cancel: %v", err)
+	}
+	s2.Close()
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b)
+}
+
+// TestServeHandlerHasPprof confirms the standalone metrics server mounts the
+// profiling endpoints next to /metrics.
+func TestServeHandlerHasPprof(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body := httpGet(t, fmt.Sprintf("http://%s/debug/pprof/cmdline", srv.Addr()))
+	if body == "" {
+		t.Fatal("pprof cmdline endpoint returned nothing")
+	}
+}

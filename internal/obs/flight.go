@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one entry in the flight recorder: a completed span, a
+// watchdog mark, or a sampled batch of metric deltas.
+type FlightEvent struct {
+	Time   time.Time `json:"ts"`
+	Kind   string    `json:"kind"` // "span", "mark", "metrics"
+	Rank   int       `json:"rank,omitempty"`
+	Name   string    `json:"name,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+	DurNS  int64     `json:"dur_ns,omitempty"`
+}
+
+// FlightRecorder is a bounded in-memory ring of recent events, the "black
+// box" a stalled or crashed rank can dump after the fact: the full JSONL
+// trace may be disabled or unflushed, but the ring always holds the last N
+// completed spans and metric deltas at a few hundred bytes each. All methods
+// are safe for concurrent use and safe on a nil receiver.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	buf     []FlightEvent
+	next    int    // ring write cursor
+	total   uint64 // events ever added
+	dumping bool
+}
+
+// NewFlightRecorder creates a recorder retaining the most recent capacity
+// events (minimum 16).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &FlightRecorder{buf: make([]FlightEvent, 0, capacity)}
+}
+
+// Add appends one event, evicting the oldest when full.
+func (f *FlightRecorder) Add(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[f.next] = ev
+	}
+	f.next = (f.next + 1) % cap(f.buf)
+	f.total++
+	f.mu.Unlock()
+}
+
+// Mark records a point event (kind "mark"), used by the watchdog and signal
+// handlers to timestamp why a dump happened.
+func (f *FlightRecorder) Mark(rank int, name, detail string) {
+	f.Add(FlightEvent{Time: time.Now(), Kind: "mark", Rank: rank, Name: name, Detail: detail})
+}
+
+// Events returns a chronological copy of the retained events.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := make([]FlightEvent, len(f.buf))
+	if len(f.buf) < cap(f.buf) {
+		copy(out, f.buf)
+	} else {
+		n := copy(out, f.buf[f.next:])
+		copy(out[n:], f.buf[:f.next])
+	}
+	f.mu.Unlock()
+	// Ring order is insertion order already; sorting by time additionally
+	// interleaves events recorded by concurrent goroutines sensibly.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := uint64(cap(f.buf)); f.total > n {
+		return f.total - n
+	}
+	return 0
+}
+
+// countingWriter tracks bytes written so WriteTo can honor its contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo dumps the ring as a header line followed by one JSON line per
+// event, oldest first.
+func (f *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
+	if f == nil {
+		return 0, nil
+	}
+	events := f.Events()
+	cw := &countingWriter{w: w}
+	if _, err := fmt.Fprintf(cw, "# flight recorder: %d events retained, %d dropped\n", len(events), f.Dropped()); err != nil {
+		return cw.n, err
+	}
+	enc := json.NewEncoder(cw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// SampleCounters records the counter families whose values changed since
+// prev as one "metrics" event and returns the new snapshot for the next
+// call. It is the watchdog's periodic metric-delta sampler.
+func (f *FlightRecorder) SampleCounters(reg *Registry, prev map[string]int64) map[string]int64 {
+	if reg == nil {
+		return prev
+	}
+	cur := reg.Snapshot().Counters
+	if f == nil {
+		return cur
+	}
+	var deltas []string
+	for _, name := range sortedKeys(cur) {
+		if d := cur[name] - prev[name]; d != 0 {
+			deltas = append(deltas, fmt.Sprintf("%s +%d", name, d))
+		}
+	}
+	if len(deltas) > 0 {
+		const maxDetail = 512
+		detail := strings.Join(deltas, ", ")
+		if len(detail) > maxDetail {
+			detail = detail[:maxDetail] + "..."
+		}
+		f.Add(FlightEvent{Time: time.Now(), Kind: "metrics", Name: "counter deltas", Detail: detail})
+	}
+	return cur
+}
+
+// DumpOnSignal installs a handler that dumps the recorder to w every time
+// sig arrives (conventionally SIGQUIT, mirroring the Go runtime's own
+// thread-dump signal). The returned stop function uninstalls it. Dumps are
+// serialized; the signal is not forwarded.
+func DumpOnSignal(f *FlightRecorder, sig os.Signal, w io.Writer) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sig)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				fmt.Fprintf(w, "# flight dump on %v at %s\n", sig, time.Now().UTC().Format(time.RFC3339Nano))
+				_, _ = f.WriteTo(w)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 40; i++ {
+		f.Add(FlightEvent{Time: time.Unix(int64(i), 0), Kind: "span", Name: fmt.Sprintf("ev%d", i)})
+	}
+	evs := f.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want capacity 16", len(evs))
+	}
+	if evs[0].Name != "ev24" || evs[15].Name != "ev39" {
+		t.Fatalf("ring retained [%s..%s], want [ev24..ev39]", evs[0].Name, evs[15].Name)
+	}
+	if got := f.Dropped(); got != 24 {
+		t.Fatalf("dropped = %d, want 24", got)
+	}
+
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# flight recorder: 16 events retained, 24 dropped\n") {
+		t.Fatalf("dump header wrong:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 17 {
+		t.Fatalf("dump has %d lines, want header + 16 events", lines)
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	f.Add(FlightEvent{})
+	f.Mark(0, "x", "y")
+	if f.Events() != nil || f.Dropped() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	if n, err := f.WriteTo(&bytes.Buffer{}); n != 0 || err != nil {
+		t.Fatalf("nil WriteTo = (%d, %v)", n, err)
+	}
+}
+
+func TestObserverFeedsFlightRecorder(t *testing.T) {
+	o := New()
+	f := NewFlightRecorder(16)
+	o.SetFlightRecorder(f)
+	o.RecordSpan(Span{Cat: "core", Name: "reduction", Start: time.Now(), Dur: time.Millisecond, Rank: 2})
+	evs := f.Events()
+	if len(evs) != 1 || evs[0].Kind != "span" || evs[0].Name != "core/reduction" || evs[0].Rank != 2 {
+		t.Fatalf("flight events = %+v", evs)
+	}
+	if o.FlightRecorder() != f {
+		t.Fatal("accessor does not return the attached recorder")
+	}
+	o.SetFlightRecorder(nil)
+	o.RecordSpan(Span{Cat: "core", Name: "reduction", Start: time.Now()})
+	if len(f.Events()) != 1 {
+		t.Fatal("detached recorder still receiving spans")
+	}
+}
+
+func TestSampleCounters(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Add(5)
+	f := NewFlightRecorder(16)
+	prev := f.SampleCounters(reg, nil)
+	if len(f.Events()) != 1 {
+		t.Fatalf("first sample recorded %d events, want 1", len(f.Events()))
+	}
+	// No movement: no event.
+	prev = f.SampleCounters(reg, prev)
+	if len(f.Events()) != 1 {
+		t.Fatal("unchanged counters still produced a metrics event")
+	}
+	reg.Counter("a_total").Add(3)
+	f.SampleCounters(reg, prev)
+	evs := f.Events()
+	last := evs[len(evs)-1]
+	if last.Kind != "metrics" || !strings.Contains(last.Detail, "a_total +3") {
+		t.Fatalf("delta event = %+v, want a_total +3", last)
+	}
+}
+
+// lockedWriter guards a buffer shared between the signal goroutine and the
+// test.
+type lockedWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *lockedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestDumpOnSignal(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Mark(1, "checkpoint", "before signal")
+	var out lockedWriter
+	stop := DumpOnSignal(f, syscall.SIGUSR1, &out)
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := out.String()
+		if strings.Contains(s, "# flight dump on") && strings.Contains(s, "checkpoint") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no dump after signal; buffer:\n%s", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}

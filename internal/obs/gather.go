@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label builds a registry metric name with an inline label set, escaping
+// values per the Prometheus text exposition rules (backslash, quote,
+// newline). Pairs are alternating key, value:
+//
+//	Label("smart_job_seconds", "app", "kmeans", "tenant", "acme")
+//	// -> smart_job_seconds{app="kmeans",tenant="acme"}
+func Label(family string, pairs ...string) string {
+	if len(pairs) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// withLabel returns name with one more label appended to its inline label
+// set (creating the set if absent). It is how the merge stamps rank= onto
+// per-rank gauge entries.
+func withLabel(name, key, value string) string {
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	if strings.HasSuffix(name, "}") {
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			inner := name[i+1 : len(name)-1]
+			if inner == "" {
+				return name[:i] + "{" + pair + "}"
+			}
+			return name[:len(name)-1] + "," + pair + "}"
+		}
+	}
+	return name + "{" + pair + "}"
+}
+
+// GatherComm is the slice of a communicator the metrics gather needs. It is
+// satisfied by *mpi.Comm; obs cannot import mpi (mpi's instrumentation
+// imports obs), so the dependency points this way structurally.
+type GatherComm interface {
+	Rank() int
+	Size() int
+	Gather(root int, data []byte) ([][]byte, error)
+}
+
+// ClusterSnapshot is the outcome of a metrics gather at rank 0: every rank's
+// raw snapshot plus the cluster-wide merge.
+type ClusterSnapshot struct {
+	// Ranks holds each rank's snapshot, indexed by rank.
+	Ranks []Snapshot `json:"ranks"`
+	// Merged is the cluster view: counters summed, gauges max with
+	// rank-labeled per-rank entries, histograms bucket-merged.
+	Merged Snapshot `json:"merged"`
+}
+
+// Gather is a collective over c: every rank snapshots reg and sends it to
+// rank 0, which merges and returns the cluster snapshot. Non-zero ranks
+// return (nil, nil). Like any collective it must be entered by all ranks in
+// the same order.
+func Gather(c GatherComm, reg *Registry) (*ClusterSnapshot, error) {
+	payload, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("obs: gather encode: %w", err)
+	}
+	parts, err := c.Gather(0, payload)
+	if err != nil {
+		return nil, fmt.Errorf("obs: gather: %w", err)
+	}
+	if c.Rank() != 0 {
+		return nil, nil
+	}
+	cs := &ClusterSnapshot{Ranks: make([]Snapshot, len(parts))}
+	for r, part := range parts {
+		if err := json.Unmarshal(part, &cs.Ranks[r]); err != nil {
+			return nil, fmt.Errorf("obs: gather decode rank %d: %w", r, err)
+		}
+	}
+	cs.Merged = MergeSnapshots(cs.Ranks)
+	return cs, nil
+}
+
+// MergeSnapshots merges per-rank snapshots into one cluster view:
+//
+//   - counters: summed under the unchanged name (totals are additive);
+//   - gauges: the unchanged name holds the max across ranks (a cluster
+//     high-water is the interesting cluster fact) and each rank's value is
+//     kept under the name with a rank="<r>" label appended;
+//   - histograms: buckets merged by upper bound, counts and sums added.
+func MergeSnapshots(ranks []Snapshot) Snapshot {
+	m := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]GaugeSnapshot),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	seenGauge := make(map[string]bool)
+	histBuckets := make(map[string]map[float64]int64)
+	for r, s := range ranks {
+		for name, v := range s.Counters {
+			m.Counters[name] += v
+		}
+		for name, g := range s.Gauges {
+			m.Gauges[withLabel(name, "rank", strconv.Itoa(r))] = g
+			if !seenGauge[name] {
+				seenGauge[name] = true
+				m.Gauges[name] = g
+				continue
+			}
+			base := m.Gauges[name]
+			if g.Value > base.Value {
+				base.Value = g.Value
+			}
+			if g.Peak > base.Peak {
+				base.Peak = g.Peak
+			}
+			m.Gauges[name] = base
+		}
+		for name, h := range s.Histograms {
+			agg := m.Histograms[name]
+			agg.Count += h.Count
+			agg.Sum += h.Sum
+			buckets := histBuckets[name]
+			if buckets == nil {
+				buckets = make(map[float64]int64)
+				histBuckets[name] = buckets
+			}
+			for _, b := range h.Buckets {
+				buckets[b.UpperBound] += b.Count
+			}
+			m.Histograms[name] = agg
+		}
+	}
+	for name, buckets := range histBuckets {
+		bounds := make([]float64, 0, len(buckets))
+		for ub := range buckets {
+			bounds = append(bounds, ub)
+		}
+		sort.Float64s(bounds)
+		agg := m.Histograms[name]
+		agg.Buckets = make([]BucketSnapshot, 0, len(bounds))
+		for _, ub := range bounds {
+			agg.Buckets = append(agg.Buckets, BucketSnapshot{UpperBound: ub, Count: buckets[ub]})
+		}
+		// Guarantee the +Inf tail even if no input snapshot had one.
+		if n := len(agg.Buckets); n == 0 || !math.IsInf(agg.Buckets[n-1].UpperBound, 1) {
+			agg.Buckets = append(agg.Buckets, BucketSnapshot{UpperBound: math.Inf(1)})
+		}
+		m.Histograms[name] = agg
+	}
+	return m
+}

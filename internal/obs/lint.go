@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintExposition checks a Prometheus text-format stream for the malformations
+// a hand-rolled exporter is most likely to produce: duplicate or missing
+// TYPE/HELP lines, duplicate series, malformed names, labels or values,
+// non-monotonic histogram buckets, and histograms missing the +Inf bucket or
+// whose _count disagrees with it. It returns nil for a clean exposition and
+// all problems joined into one error otherwise. The CI smoke job pipes a
+// live smartd scrape through it (via cmd/obslint).
+func LintExposition(r io.Reader) error {
+	var probs []error
+	addf := func(line int, format string, args ...any) {
+		probs = append(probs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	typeOf := map[string]string{} // family -> kind
+	helpSeen := map[string]bool{} // family
+	seriesSeen := map[string]bool{}
+	type histState struct {
+		lastCum  int64
+		hasInf   bool
+		infCum   int64
+		hasSum   bool
+		count    int64
+		hasCount bool
+		line     int
+	}
+	hists := map[string]*histState{} // family + sorted non-le labels
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				family := fields[2]
+				if !validMetricName(family) {
+					addf(lineNo, "%s for malformed family name %q", fields[1], family)
+					continue
+				}
+				if fields[1] == "TYPE" {
+					if _, dup := typeOf[family]; dup {
+						addf(lineNo, "duplicate TYPE for family %q", family)
+						continue
+					}
+					kind := ""
+					if len(fields) == 4 {
+						kind = fields[3]
+					}
+					switch kind {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						addf(lineNo, "invalid TYPE kind %q for family %q", kind, family)
+					}
+					typeOf[family] = kind
+				} else {
+					if helpSeen[family] {
+						addf(lineNo, "duplicate HELP for family %q", family)
+					}
+					helpSeen[family] = true
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf(lineNo, "%v", err)
+			continue
+		}
+		if !validMetricName(name) {
+			addf(lineNo, "malformed metric name %q", name)
+			continue
+		}
+		series := name + "{" + canonicalLabels(labels) + "}"
+		if seriesSeen[series] {
+			addf(lineNo, "duplicate series %s", series)
+		}
+		seriesSeen[series] = true
+
+		family, sampleKind := name, ""
+		if kind, ok := typeOf[name]; ok {
+			sampleKind = kind
+		} else {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && typeOf[base] == "histogram" {
+					family, sampleKind = base, "histogram"
+					break
+				}
+			}
+		}
+		if sampleKind == "" {
+			addf(lineNo, "sample %q has no preceding TYPE line", name)
+			continue
+		}
+
+		if sampleKind == "histogram" {
+			key := family + "{" + canonicalLabelsExcept(labels, "le") + "}"
+			st := hists[key]
+			if st == nil {
+				st = &histState{line: lineNo}
+				hists[key] = st
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, hasLE := labelValue(labels, "le")
+				if !hasLE {
+					addf(lineNo, "histogram bucket %s without le label", name)
+					continue
+				}
+				cum := int64(value)
+				if cum < st.lastCum {
+					addf(lineNo, "histogram %s buckets not cumulative: %d after %d", key, cum, st.lastCum)
+				}
+				st.lastCum = cum
+				if le == "+Inf" {
+					st.hasInf = true
+					st.infCum = cum
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					addf(lineNo, "histogram %s has unparsable le=%q", key, le)
+				}
+			case strings.HasSuffix(name, "_sum"):
+				st.hasSum = true
+			case strings.HasSuffix(name, "_count"):
+				st.hasCount = true
+				st.count = int64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: lint read: %w", err)
+	}
+
+	for key, st := range hists {
+		if !st.hasInf {
+			probs = append(probs, fmt.Errorf("histogram %s missing le=\"+Inf\" bucket", key))
+			continue
+		}
+		if !st.hasCount {
+			probs = append(probs, fmt.Errorf("histogram %s missing _count", key))
+		} else if st.count != st.infCum {
+			probs = append(probs, fmt.Errorf("histogram %s _count %d != +Inf bucket %d", key, st.count, st.infCum))
+		}
+		if !st.hasSum {
+			probs = append(probs, fmt.Errorf("histogram %s missing _sum", key))
+		}
+	}
+	return errors.Join(probs...)
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+func validMetricName(name string) bool { return metricNameRE.MatchString(name) }
+
+type labelPair struct{ k, v string }
+
+// parseSample splits one sample line into name, parsed labels and value.
+func parseSample(line string) (string, []labelPair, float64, error) {
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		return "", nil, 0, fmt.Errorf("sample without value: %q", line)
+	}
+	name := rest[:nameEnd]
+	var labels []labelPair
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	valStr := rest
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		valStr = rest[:i] // an optional timestamp may follow
+	}
+	val, err := parseValue(valStr)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	return name, labels, val, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels consumes `k="v",...}` (after the opening brace) honoring the
+// \\, \" and \n escapes, returning the pairs and the unconsumed tail.
+func parseLabels(s string) ([]labelPair, string, error) {
+	var labels []labelPair
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '=' near %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !labelNameRE.MatchString(key) {
+			return nil, "", fmt.Errorf("malformed label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("unquoted value for label %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return nil, "", fmt.Errorf("unterminated value for label %q", key)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if s == "" {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				e := s[0]
+				s = s[1:]
+				switch e {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", e, key)
+				}
+				continue
+			}
+			val.WriteByte(c)
+		}
+		labels = append(labels, labelPair{k: key, v: val.String()})
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+func labelValue(labels []labelPair, key string) (string, bool) {
+	for _, lp := range labels {
+		if lp.k == key {
+			return lp.v, true
+		}
+	}
+	return "", false
+}
+
+func canonicalLabels(labels []labelPair) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels []labelPair, drop string) string {
+	parts := make([]string, 0, len(labels))
+	for _, lp := range labels {
+		if lp.k == drop {
+			continue
+		}
+		parts = append(parts, lp.k+`="`+escapeLabelValue(lp.v)+`"`)
+	}
+	// Stable series identity regardless of label order.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -135,6 +135,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	helps    map[string]string
 }
 
 // NewRegistry creates an empty registry.
@@ -143,7 +144,16 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		helps:    make(map[string]string),
 	}
+}
+
+// SetHelp records the help text for a metric family (the name without its
+// inline label set); the Prometheus exporter emits it as a # HELP line.
+func (r *Registry) SetHelp(family, text string) {
+	r.mu.Lock()
+	r.helps[family] = text
+	r.mu.Unlock()
 }
 
 // defaultRegistry backs Default(); package-level instrumentation (ringbuf,
@@ -259,6 +269,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]GaugeSnapshot     `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Help       map[string]string            `json:"help,omitempty"`
 }
 
 // Snapshot copies the registry's current state.
@@ -269,6 +280,12 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	if len(r.helps) > 0 {
+		s.Help = make(map[string]string, len(r.helps))
+		for family, text := range r.helps {
+			s.Help[family] = text
+		}
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()

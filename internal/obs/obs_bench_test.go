@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// BenchmarkRecordSpanMetricsOnly is the disabled-tracing hot path: counter
+// plus histogram update, no writer, no flight ring, no subscribers.
+func BenchmarkRecordSpanMetricsOnly(b *testing.B) {
+	o := New()
+	sp := Span{Cat: "core", Name: "reduction", Start: time.Now(), Dur: time.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.RecordSpan(sp)
+	}
+}
+
+// BenchmarkRecordSpanTraced is the trace-write cost: one JSONL encode per
+// span, identity fields populated, sink discarded.
+func BenchmarkRecordSpanTraced(b *testing.B) {
+	o := New()
+	o.SetTraceWriter(io.Discard)
+	sp := Span{Cat: "core", Name: "reduction", Start: time.Now(), Dur: time.Millisecond,
+		Trace: 0xabc, ID: 0xdef, Parent: 0xabc, Rank: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.RecordSpan(sp)
+	}
+}
+
+// BenchmarkRecordSpanFlight measures the flight-recorder ring append on top
+// of the metrics-only path.
+func BenchmarkRecordSpanFlight(b *testing.B) {
+	o := New()
+	o.SetFlightRecorder(NewFlightRecorder(256))
+	sp := Span{Cat: "core", Name: "reduction", Start: time.Now(), Dur: time.Millisecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.RecordSpan(sp)
+	}
+}

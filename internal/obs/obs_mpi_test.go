@@ -1,0 +1,192 @@
+// Tests coupling obs to the mpi substrate live in the external test package:
+// mpi imports obs for trace propagation, so obs's own test binary is the only
+// place the two can meet without an import cycle.
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// lockedBuffer is an io.Writer the watchdog goroutine and the test goroutine
+// can share under -race.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestWatchdogNamesStalledRank wedges one rank of a 4-rank world outside a
+// barrier and checks the watchdog names both sides within the deadline: the
+// ranks blocked inside the collective and the rank everybody is waiting for —
+// with a flight-recorder dump written at detection time.
+func TestWatchdogNamesStalledRank(t *testing.T) {
+	const ranks = 4
+	const stallFor = 400 * time.Millisecond
+	comms := mpi.NewWorld(ranks)
+	watch := obs.NewStallWatch(ranks)
+	for _, c := range comms {
+		c.SetStallWatch(watch)
+	}
+
+	flight := obs.NewFlightRecorder(64)
+	reg := obs.NewRegistry()
+	var dump lockedBuffer
+	reports := make(chan obs.StallReport, 8)
+	stop := watch.Watch(obs.WatchdogConfig{
+		Deadline: 50 * time.Millisecond,
+		Interval: 10 * time.Millisecond,
+		OnStall:  func(r obs.StallReport) { reports <- r },
+		Recorder: flight,
+		Registry: reg,
+		DumpTo:   &dump,
+	})
+	defer stop()
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			if r == ranks-1 {
+				// The straggler: everybody else blocks in the barrier until
+				// this rank finally shows up.
+				<-release
+			}
+			if err := comms[r].Barrier(); err != nil {
+				t.Errorf("rank %d barrier: %v", r, err)
+			}
+		}()
+	}
+
+	var rep obs.StallReport
+	select {
+	case rep = <-reports:
+	case <-time.After(stallFor):
+		close(release)
+		wg.Wait()
+		t.Fatal("watchdog reported no stall before the straggler was released")
+	}
+	close(release)
+	wg.Wait()
+
+	if rep.Op != "barrier" {
+		t.Fatalf("stalled op = %q, want barrier", rep.Op)
+	}
+	wantBlocked := []int{0, 1, 2}
+	if len(rep.Blocked) != len(wantBlocked) {
+		t.Fatalf("blocked ranks = %v, want %v", rep.Blocked, wantBlocked)
+	}
+	for i, r := range wantBlocked {
+		if rep.Blocked[i] != r {
+			t.Fatalf("blocked ranks = %v, want %v", rep.Blocked, wantBlocked)
+		}
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != ranks-1 {
+		t.Fatalf("missing ranks = %v, want [%d]", rep.Missing, ranks-1)
+	}
+	if rep.Age < 50*time.Millisecond {
+		t.Fatalf("report age %v below the deadline", rep.Age)
+	}
+
+	out := dump.String()
+	if !strings.Contains(out, `collective "barrier"`) || !strings.Contains(out, "missing ranks [3]") {
+		t.Fatalf("dump does not name the stall:\n%s", out)
+	}
+	if !strings.Contains(out, "# flight recorder:") {
+		t.Fatalf("dump carries no flight-recorder contents:\n%s", out)
+	}
+	// The stall left a "mark" event per blocked rank in the ring.
+	marks := 0
+	for _, ev := range flight.Events() {
+		if ev.Kind == "mark" && ev.Name == "stall" {
+			marks++
+			if !strings.Contains(ev.Detail, "missing ranks [3]") {
+				t.Fatalf("stall mark does not name the straggler: %q", ev.Detail)
+			}
+		}
+	}
+	if marks != len(wantBlocked) {
+		t.Fatalf("flight recorder holds %d stall marks, want %d", marks, len(wantBlocked))
+	}
+
+	// Fire-once semantics: the same stall must not be re-reported while the
+	// world sits in later collectives.
+	select {
+	case extra := <-reports:
+		t.Fatalf("stall re-reported: %+v", extra)
+	case <-time.After(60 * time.Millisecond):
+	}
+}
+
+// TestGatherClusterSnapshot checks the metrics collective on a plain world:
+// every rank contributes its private registry and rank 0 gets per-rank
+// snapshots plus a merged view with counters summed and gauges labeled.
+func TestGatherClusterSnapshot(t *testing.T) {
+	const ranks = 4
+	comms := mpi.NewWorld(ranks)
+	var (
+		wg      sync.WaitGroup
+		cluster *obs.ClusterSnapshot
+	)
+	for r := 0; r < ranks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer comms[r].Close()
+			reg := obs.NewRegistry()
+			reg.Counter("work_total").Add(int64(r + 1))
+			reg.Gauge("depth").Set(int64(10 * r))
+			reg.Histogram("lat_seconds", []float64{0.1, 1}).Observe(float64(r))
+			snap, err := obs.Gather(comms[r], reg)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			if r == 0 {
+				cluster = snap
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if cluster == nil || len(cluster.Ranks) != ranks {
+		t.Fatalf("rank 0 snapshot missing or wrong world size: %+v", cluster)
+	}
+	if got := cluster.Merged.Counters["work_total"]; got != 1+2+3+4 {
+		t.Fatalf("merged counter = %d, want 10", got)
+	}
+	if got := cluster.Merged.Gauges["depth"].Value; got != 30 {
+		t.Fatalf("merged gauge max = %d, want 30", got)
+	}
+	if got := cluster.Merged.Gauges[`depth{rank="2"}`].Value; got != 20 {
+		t.Fatalf(`per-rank gauge depth{rank="2"} = %d, want 20`, got)
+	}
+	h, ok := cluster.Merged.Histograms["lat_seconds"]
+	if !ok || h.Count != ranks {
+		t.Fatalf("merged histogram count = %+v, want %d observations", h, ranks)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// TraceEvent is one parsed JSONL trace line: the decoded form of what
+// RecordSpan writes. It is what rank 0 stitches across ranks.
+type TraceEvent struct {
+	Start  time.Time
+	Cat    string
+	Name   string
+	Dur    time.Duration
+	Trace  uint64
+	ID     uint64
+	Parent uint64
+	Rank   int
+	Attrs  map[string]any
+}
+
+// ReadTraceJSONL parses a JSON-lines trace stream (one span per line, the
+// format SetTraceWriter produces). Blank lines are skipped; a torn final
+// line (crashed writer) is ignored rather than failing the whole read.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []TraceEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev traceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			// A torn tail line marks a crashed run; anything earlier is
+			// corruption worth reporting.
+			if !sc.Scan() {
+				break
+			}
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		te := TraceEvent{
+			Cat:   ev.Cat,
+			Name:  ev.Name,
+			Dur:   time.Duration(ev.DurNS),
+			Rank:  ev.Rank,
+			Attrs: ev.Attrs,
+		}
+		var err error
+		if te.Start, err = time.Parse(time.RFC3339Nano, ev.TS); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: bad ts: %w", line, err)
+		}
+		if te.Trace, err = parseHexID(ev.Trace); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: bad trace id: %w", line, err)
+		}
+		if te.ID, err = parseHexID(ev.Span); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: bad span id: %w", line, err)
+		}
+		if te.Parent, err = parseHexID(ev.Parent); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: bad parent id: %w", line, err)
+		}
+		out = append(out, te)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: trace read: %w", err)
+	}
+	return out, nil
+}
+
+func parseHexID(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// StitchTraces merges per-rank trace streams into one chronological event
+// list. A non-zero traceID filters to that trace (dropping untraced local
+// spans and other jobs' spans); zero keeps everything.
+func StitchTraces(traceID uint64, perRank ...[]TraceEvent) []TraceEvent {
+	var all []TraceEvent
+	for _, evs := range perRank {
+		for _, ev := range evs {
+			if traceID != 0 && ev.Trace != traceID {
+				continue
+			}
+			all = append(all, ev)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start.Before(all[j].Start) })
+	return all
+}
+
+// chromeEvent is one Chrome trace_event entry ("X" complete events plus "M"
+// metadata). Timestamps and durations are microseconds per the format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  string         `json:"tid,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports events as Chrome trace_event JSON (the
+// {"traceEvents": [...]} object form), loadable in Perfetto or
+// chrome://tracing. Each rank becomes one process row (pid = rank, named by
+// a metadata event); timestamps are microseconds relative to the earliest
+// event so the viewer opens at t=0.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	var base time.Time
+	ranks := make(map[int]bool)
+	for i, ev := range events {
+		if i == 0 || ev.Start.Before(base) {
+			base = ev.Start
+		}
+		ranks[ev.Rank] = true
+	}
+	out := make([]chromeEvent, 0, len(events)+len(ranks))
+	for _, r := range sortedInts(ranks) {
+		out = append(out, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+	for _, ev := range events {
+		args := make(map[string]any, len(ev.Attrs)+3)
+		for k, v := range ev.Attrs {
+			args[k] = v
+		}
+		if ev.Trace != 0 {
+			args["trace"] = strconv.FormatUint(ev.Trace, 16)
+			args["span"] = strconv.FormatUint(ev.ID, 16)
+			if ev.Parent != 0 {
+				args["parent"] = strconv.FormatUint(ev.Parent, 16)
+			}
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   "X",
+			TS:   float64(ev.Start.Sub(base).Nanoseconds()) / 1e3,
+			Dur:  float64(ev.Dur.Nanoseconds()) / 1e3,
+			PID:  ev.Rank,
+			TID:  ev.Cat,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// ConvertJSONLToChrome reads one or more JSONL trace streams (typically one
+// per rank) and writes the merged Chrome trace. It is what
+// `smartbench -chrome-trace` calls after a run.
+func ConvertJSONLToChrome(w io.Writer, readers ...io.Reader) error {
+	perRank := make([][]TraceEvent, 0, len(readers))
+	for _, r := range readers {
+		evs, err := ReadTraceJSONL(r)
+		if err != nil {
+			return err
+		}
+		perRank = append(perRank, evs)
+	}
+	return WriteChromeTrace(w, StitchTraces(0, perRank...))
+}
+
+func sortedInts(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recordTraced writes a traced span through a real Observer so the tests
+// parse exactly what production writes.
+func recordTraced(o *Observer, cat, name string, trace, id, parent uint64, rank int) {
+	o.RecordSpan(Span{
+		Cat: cat, Name: name,
+		Start: time.Date(2026, 8, 8, 12, 0, 0, int(id)*1_000_000, time.UTC),
+		Dur:   3 * time.Millisecond,
+		Trace: trace, ID: id, Parent: parent, Rank: rank,
+	})
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	o := New()
+	o.SetTraceWriter(&buf)
+	recordTraced(o, "job", "root", 0xabc, 1, 0, 0)
+	recordTraced(o, "mpi", "barrier", 0xabc, 2, 1, 3)
+	// An untraced span keeps the legacy wire form and must survive the read
+	// with zero trace identity.
+	o.RecordSpan(Span{Cat: "core", Name: "reduction", Start: time.Now(), Dur: time.Millisecond})
+
+	evs, err := ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(evs))
+	}
+	b := evs[1]
+	if b.Trace != 0xabc || b.ID != 2 || b.Parent != 1 || b.Rank != 3 || b.Name != "barrier" {
+		t.Fatalf("barrier event decoded wrong: %+v", b)
+	}
+	if got := evs[2]; got.Trace != 0 || got.ID != 0 || got.Parent != 0 {
+		t.Fatalf("untraced span grew trace identity: %+v", got)
+	}
+}
+
+func TestReadTraceJSONLToleratesTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	o := New()
+	o.SetTraceWriter(&buf)
+	recordTraced(o, "job", "root", 0xabc, 1, 0, 0)
+	// Simulate a crash mid-write: a truncated final line.
+	buf.WriteString(`{"ts":"2026-08-08T12:00:00Z","cat":"mpi","na`)
+
+	evs, err := ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated, got %v", err)
+	}
+	if len(evs) != 1 || evs[0].Name != "root" {
+		t.Fatalf("events = %+v, want just the intact line", evs)
+	}
+
+	// The same corruption mid-stream (more lines follow) is an error.
+	var bad bytes.Buffer
+	bad.WriteString(`{"ts":"2026-08-08T12:00:00Z","cat":"mpi","na` + "\n")
+	bad.WriteString(`{"ts":"2026-08-08T12:00:01Z","cat":"mpi","name":"barrier","dur_ns":5}` + "\n")
+	if _, err := ReadTraceJSONL(&bad); err == nil {
+		t.Fatal("mid-stream corruption not reported")
+	}
+}
+
+func TestStitchTracesFiltersAndOrders(t *testing.T) {
+	r0 := []TraceEvent{
+		{Name: "late", Trace: 7, ID: 3, Start: time.Unix(0, 300)},
+		{Name: "root", Trace: 7, ID: 1, Start: time.Unix(0, 100)},
+	}
+	r1 := []TraceEvent{
+		{Name: "other-job", Trace: 9, ID: 4, Start: time.Unix(0, 50)},
+		{Name: "mid", Trace: 7, ID: 2, Start: time.Unix(0, 200)},
+		{Name: "untraced", Trace: 0, ID: 0, Start: time.Unix(0, 10)},
+	}
+	got := StitchTraces(7, r0, r1)
+	var names []string
+	for _, ev := range got {
+		names = append(names, ev.Name)
+	}
+	if strings.Join(names, ",") != "root,mid,late" {
+		t.Fatalf("stitched order = %v, want [root mid late]", names)
+	}
+	if all := StitchTraces(0, r0, r1); len(all) != 5 {
+		t.Fatalf("unfiltered stitch kept %d events, want all 5", len(all))
+	}
+}
+
+func TestConvertJSONLToChrome(t *testing.T) {
+	mk := func(rank int, id uint64) *bytes.Buffer {
+		var buf bytes.Buffer
+		o := New()
+		o.SetTraceWriter(&buf)
+		recordTraced(o, "core", "reduction", 0xf00, id, 0, rank)
+		return &buf
+	}
+	var out bytes.Buffer
+	if err := ConvertJSONLToChrome(&out, mk(0, 1), mk(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	var meta, complete int
+	var sawZeroTS bool
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.TS == 0 {
+				sawZeroTS = true
+			}
+			if ev.Args["span"] == "" {
+				t.Fatalf("X event lost its span id: %+v", ev)
+			}
+		}
+	}
+	if meta != 2 || complete != 2 {
+		t.Fatalf("chrome trace has %d meta + %d complete events, want 2 + 2", meta, complete)
+	}
+	if !sawZeroTS {
+		t.Fatal("timestamps are not rebased to the earliest event")
+	}
+}

@@ -1,9 +1,13 @@
 package obs
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"io"
+	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,9 +25,68 @@ type Span struct {
 	Start time.Time `json:"ts"`
 	// Dur is the interval's length.
 	Dur time.Duration `json:"dur_ns"`
+	// Trace, ID and Parent place the span in a distributed trace tree: all
+	// spans of one job share Trace, Parent is the span ID of the enclosing
+	// span (0 for a root). Zero values mean "not part of a trace"; such spans
+	// keep the pre-tracing wire form.
+	Trace  uint64 `json:"-"`
+	ID     uint64 `json:"-"`
+	Parent uint64 `json:"-"`
+	// Rank is the mpi rank that recorded the span (0 outside rank worlds).
+	Rank int `json:"-"`
 	// Attrs carries optional small structured payload (step index, byte
 	// counts, ...). Values must be JSON-encodable.
 	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceContext identifies a position in a distributed trace: the trace a
+// span belongs to plus the span that new child work should parent under. It
+// is small enough to ride in every mpi frame header. The zero value means
+// "no trace active"; Valid reports that.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a live trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// TraceContextWireLen is the encoded size of a TraceContext.
+const TraceContextWireLen = 16
+
+// AppendWire appends the 16-byte little-endian wire form to buf.
+func (tc TraceContext) AppendWire(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, tc.TraceID)
+	return binary.LittleEndian.AppendUint64(buf, tc.SpanID)
+}
+
+// TraceContextFromWire decodes the wire form produced by AppendWire.
+func TraceContextFromWire(buf []byte) TraceContext {
+	if len(buf) < TraceContextWireLen {
+		return TraceContext{}
+	}
+	return TraceContext{
+		TraceID: binary.LittleEndian.Uint64(buf),
+		SpanID:  binary.LittleEndian.Uint64(buf[8:]),
+	}
+}
+
+// idCounter hands out process-unique span and trace IDs. Seeding with the
+// boot time and pid keeps IDs from colliding across the ranks of a TCP
+// world, where every rank is its own process writing its own trace file.
+var idCounter = func() *atomic.Uint64 {
+	var c atomic.Uint64
+	c.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<40)
+	return &c
+}()
+
+// NewID returns a fresh non-zero span or trace ID.
+func NewID() uint64 {
+	for {
+		if id := idCounter.Add(1); id != 0 {
+			return id
+		}
+	}
 }
 
 // Observer couples a metrics Registry with a span sink. Recording a span
@@ -37,6 +100,10 @@ type Observer struct {
 	traceMu sync.Mutex
 	traceW  io.Writer
 	enc     *json.Encoder
+
+	// flight, when set, receives a bounded event per recorded span so the
+	// last moments before a stall or crash can be dumped post hoc.
+	flight atomic.Pointer[FlightRecorder]
 
 	subMu   sync.RWMutex
 	subs    map[int]func(Span)
@@ -103,17 +170,24 @@ func (o *Observer) Subscribe(fn func(Span)) (cancel func()) {
 	}
 }
 
-// traceEvent is the JSON-lines wire form of a span.
+// traceEvent is the JSON-lines wire form of a span. Trace identifiers are
+// hex strings because JSON numbers lose precision above 2^53; they are
+// omitted entirely for spans outside any trace so the pre-tracing wire form
+// is unchanged.
 type traceEvent struct {
-	TS    string         `json:"ts"`
-	Cat   string         `json:"cat"`
-	Name  string         `json:"name"`
-	DurNS int64          `json:"dur_ns"`
-	Attrs map[string]any `json:"attrs,omitempty"`
+	TS     string         `json:"ts"`
+	Cat    string         `json:"cat"`
+	Name   string         `json:"name"`
+	DurNS  int64          `json:"dur_ns"`
+	Trace  string         `json:"trace,omitempty"`
+	Span   string         `json:"span,omitempty"`
+	Parent string         `json:"parent,omitempty"`
+	Rank   int            `json:"rank,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
 // RecordSpan records one completed span: per-phase counter + latency
-// histogram, trace line, subscriber fanout.
+// histogram, trace line, flight-recorder event, subscriber fanout.
 func (o *Observer) RecordSpan(sp Span) {
 	if o == nil {
 		return
@@ -123,23 +197,126 @@ func (o *Observer) RecordSpan(sp Span) {
 
 	o.traceMu.Lock()
 	if o.enc != nil {
-		// Encode errors are swallowed by design: tracing must never fail
-		// the traced computation. A torn tail line marks a crashed run.
-		_ = o.enc.Encode(traceEvent{
+		ev := traceEvent{
 			TS:    sp.Start.UTC().Format(time.RFC3339Nano),
 			Cat:   sp.Cat,
 			Name:  sp.Name,
 			DurNS: int64(sp.Dur),
 			Attrs: sp.Attrs,
-		})
+		}
+		if sp.Trace != 0 {
+			ev.Trace = strconv.FormatUint(sp.Trace, 16)
+			ev.Span = strconv.FormatUint(sp.ID, 16)
+			if sp.Parent != 0 {
+				ev.Parent = strconv.FormatUint(sp.Parent, 16)
+			}
+			ev.Rank = sp.Rank
+		}
+		// Encode errors are swallowed by design: tracing must never fail
+		// the traced computation. A torn tail line marks a crashed run.
+		_ = o.enc.Encode(ev)
 	}
 	o.traceMu.Unlock()
+
+	if f := o.flight.Load(); f != nil {
+		f.Add(FlightEvent{
+			Time:  sp.Start.Add(sp.Dur),
+			Kind:  "span",
+			Rank:  sp.Rank,
+			Name:  sp.Cat + "/" + sp.Name,
+			DurNS: int64(sp.Dur),
+		})
+	}
 
 	o.subMu.RLock()
 	for _, fn := range o.subs {
 		fn(sp)
 	}
 	o.subMu.RUnlock()
+}
+
+// SetFlightRecorder attaches f (nil detaches): every recorded span is also
+// appended to the flight ring, so a stall or crash dump shows the most
+// recent completed work alongside the blocked collective.
+func (o *Observer) SetFlightRecorder(f *FlightRecorder) {
+	if o == nil {
+		return
+	}
+	o.flight.Store(f)
+}
+
+// FlightRecorder returns the attached flight recorder, if any.
+func (o *Observer) FlightRecorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight.Load()
+}
+
+// ActiveSpan is an in-progress span started with StartSpan. Its Context
+// parents child work (local phases or remote collectives via mpi trace
+// propagation); End records the completed span. A nil *ActiveSpan is valid
+// and does nothing, mirroring the nil-Observer contract.
+type ActiveSpan struct {
+	o  *Observer
+	sp Span
+}
+
+// StartSpan begins a span under parent (pass TraceContext{} to start a new
+// root trace) and returns the in-progress handle. The heavy work — metric
+// updates, trace write — happens at End.
+func (o *Observer) StartSpan(parent TraceContext, cat, name string) *ActiveSpan {
+	if o == nil {
+		return nil
+	}
+	tid := parent.TraceID
+	if tid == 0 {
+		tid = NewID()
+	}
+	return &ActiveSpan{o: o, sp: Span{
+		Cat:    cat,
+		Name:   name,
+		Start:  time.Now(),
+		Trace:  tid,
+		ID:     NewID(),
+		Parent: parent.SpanID,
+	}}
+}
+
+// Context returns the trace context under which children of this span
+// should be recorded.
+func (a *ActiveSpan) Context() TraceContext {
+	if a == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: a.sp.Trace, SpanID: a.sp.ID}
+}
+
+// SetRank stamps the recording rank onto the span.
+func (a *ActiveSpan) SetRank(rank int) {
+	if a != nil {
+		a.sp.Rank = rank
+	}
+}
+
+// SetAttr attaches one attribute to the span (value must be JSON-encodable).
+func (a *ActiveSpan) SetAttr(key string, value any) {
+	if a == nil {
+		return
+	}
+	if a.sp.Attrs == nil {
+		a.sp.Attrs = make(map[string]any)
+	}
+	a.sp.Attrs[key] = value
+}
+
+// End completes and records the span. End must be called at most once.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.sp.Dur = time.Since(a.sp.Start)
+	a.o.RecordSpan(a.sp)
 }
 
 // Span starts an interval and returns its closer; call the closer when the

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StallWatch tracks which ranks are currently inside which collective so a
+// watchdog can name the rank that never showed up. Collectives bracket
+// themselves with Enter/Exit; a rank blocked in a collective keeps its entry
+// alive, and the stall report is the set theory of the two: ranks with an
+// old live entry are blocked, ranks with no entry for that collective are
+// the ones everybody is waiting for. A nil *StallWatch is valid and records
+// nothing, so the mpi hot path needs no branches beyond one nil check.
+type StallWatch struct {
+	world int
+
+	mu     sync.Mutex
+	nextTk uint64
+	active map[uint64]*stallEntry
+}
+
+type stallEntry struct {
+	rank     int
+	op       string
+	start    time.Time
+	reported bool
+}
+
+// NewStallWatch creates a watch for a world of worldSize ranks. All ranks of
+// an in-process world share one watch; each process of a TCP world owns its
+// own (and can then only see its local ranks block, not who is missing
+// remotely — naming remote stragglers needs the shared-watch topology).
+func NewStallWatch(worldSize int) *StallWatch {
+	if worldSize < 1 {
+		worldSize = 1
+	}
+	return &StallWatch{world: worldSize, active: make(map[uint64]*stallEntry)}
+}
+
+// Enter records that rank is entering collective op and returns a token for
+// Exit. Safe on a nil receiver (returns 0; Exit(0) is a no-op).
+func (w *StallWatch) Enter(rank int, op string) uint64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	w.nextTk++
+	tk := w.nextTk
+	w.active[tk] = &stallEntry{rank: rank, op: op, start: time.Now()}
+	w.mu.Unlock()
+	return tk
+}
+
+// Exit removes the entry created by Enter.
+func (w *StallWatch) Exit(token uint64) {
+	if w == nil || token == 0 {
+		return
+	}
+	w.mu.Lock()
+	delete(w.active, token)
+	w.mu.Unlock()
+}
+
+// StallReport names one blocked collective: which ranks are stuck inside it
+// and which ranks never entered it.
+type StallReport struct {
+	// Op is the collective operation, e.g. "barrier" or "reducestream".
+	Op string
+	// Blocked are the ranks inside the collective past the deadline.
+	Blocked []int
+	// Missing are the ranks of the world with no live entry for Op — the
+	// ranks the blocked ones are waiting for.
+	Missing []int
+	// Age is the oldest blocked entry's time inside the collective.
+	Age time.Duration
+}
+
+// String formats the report the way it appears in logs and dumps.
+func (r StallReport) String() string {
+	return fmt.Sprintf("stall: collective %q blocked %v on ranks %v; missing ranks %v",
+		r.Op, r.Age.Round(time.Millisecond), r.Blocked, r.Missing)
+}
+
+// scan returns one report per collective op that has entries older than
+// deadline not yet reported, marking them reported so each stall fires once.
+func (w *StallWatch) scan(deadline time.Duration) []StallReport {
+	if w == nil {
+		return nil
+	}
+	now := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	overdue := make(map[string][]*stallEntry)
+	inOp := make(map[string]map[int]bool)
+	for _, e := range w.active {
+		if inOp[e.op] == nil {
+			inOp[e.op] = make(map[int]bool)
+		}
+		inOp[e.op][e.rank] = true
+		if !e.reported && now.Sub(e.start) >= deadline {
+			overdue[e.op] = append(overdue[e.op], e)
+		}
+	}
+
+	var reports []StallReport
+	for op, entries := range overdue {
+		rep := StallReport{Op: op}
+		for _, e := range entries {
+			e.reported = true
+			rep.Blocked = append(rep.Blocked, e.rank)
+			if age := now.Sub(e.start); age > rep.Age {
+				rep.Age = age
+			}
+		}
+		for rank := 0; rank < w.world; rank++ {
+			if !inOp[op][rank] {
+				rep.Missing = append(rep.Missing, rank)
+			}
+		}
+		sort.Ints(rep.Blocked)
+		sort.Ints(rep.Missing)
+		reports = append(reports, rep)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Op < reports[j].Op })
+	return reports
+}
+
+// WatchdogConfig configures the background stall scanner started by Watch.
+type WatchdogConfig struct {
+	// Deadline is how long a rank may sit inside one collective before the
+	// watchdog reports a stall. Required.
+	Deadline time.Duration
+	// Interval is the scan period; defaults to Deadline/4, floor 10ms.
+	Interval time.Duration
+	// OnStall, when set, receives each stall report (called from the
+	// watchdog goroutine).
+	OnStall func(StallReport)
+	// Recorder, when set, gets a "mark" event per stall and — when Registry
+	// is also set — periodic counter-delta samples.
+	Recorder *FlightRecorder
+	// Registry is the registry to delta-sample into Recorder each scan.
+	Registry *Registry
+	// DumpTo, when set, receives the stall report plus a full flight dump
+	// the moment a stall is detected.
+	DumpTo io.Writer
+}
+
+// Watch starts a goroutine that periodically scans for collectives blocked
+// past cfg.Deadline. On a stall it marks the flight recorder, dumps it, and
+// calls OnStall, naming the stuck collective and the missing ranks. The
+// returned stop function terminates the goroutine (idempotent).
+func (w *StallWatch) Watch(cfg WatchdogConfig) (stop func()) {
+	if w == nil || cfg.Deadline <= 0 {
+		return func() {}
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = cfg.Deadline / 4
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		var lastCounters map[string]int64
+		if cfg.Recorder != nil && cfg.Registry != nil {
+			lastCounters = cfg.Registry.Snapshot().Counters
+		}
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			if cfg.Recorder != nil && cfg.Registry != nil {
+				lastCounters = cfg.Recorder.SampleCounters(cfg.Registry, lastCounters)
+			}
+			for _, rep := range w.scan(cfg.Deadline) {
+				if cfg.Recorder != nil {
+					for _, rank := range rep.Blocked {
+						cfg.Recorder.Mark(rank, "stall", rep.String())
+					}
+				}
+				if cfg.DumpTo != nil {
+					fmt.Fprintf(cfg.DumpTo, "# %s\n", rep)
+					_, _ = cfg.Recorder.WriteTo(cfg.DumpTo)
+				}
+				if cfg.OnStall != nil {
+					cfg.OnStall(rep)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStallWatchScan(t *testing.T) {
+	w := NewStallWatch(4)
+	t0 := w.Enter(0, "barrier")
+	t1 := w.Enter(1, "barrier")
+	w.Enter(2, "reduce")
+
+	time.Sleep(15 * time.Millisecond)
+	reports := w.scan(10 * time.Millisecond)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want one per blocked op: %+v", len(reports), reports)
+	}
+	// Sorted by op: barrier first.
+	bar, red := reports[0], reports[1]
+	if bar.Op != "barrier" || len(bar.Blocked) != 2 || bar.Blocked[0] != 0 || bar.Blocked[1] != 1 {
+		t.Fatalf("barrier report = %+v", bar)
+	}
+	if len(bar.Missing) != 2 || bar.Missing[0] != 2 || bar.Missing[1] != 3 {
+		t.Fatalf("barrier missing = %v, want [2 3]", bar.Missing)
+	}
+	if red.Op != "reduce" || len(red.Missing) != 3 {
+		t.Fatalf("reduce report = %+v", red)
+	}
+	if bar.Age < 10*time.Millisecond {
+		t.Fatalf("age %v below deadline", bar.Age)
+	}
+
+	// Fire-once: the same entries are not re-reported.
+	if again := w.scan(10 * time.Millisecond); len(again) != 0 {
+		t.Fatalf("stall re-reported: %+v", again)
+	}
+
+	// A fresh entry for the same op stalls independently.
+	w.Exit(t0)
+	w.Exit(t1)
+	w.Enter(3, "barrier")
+	time.Sleep(15 * time.Millisecond)
+	again := w.scan(10 * time.Millisecond)
+	if len(again) != 1 || again[0].Op != "barrier" || again[0].Blocked[0] != 3 {
+		t.Fatalf("fresh stall not reported: %+v", again)
+	}
+}
+
+func TestStallWatchNilSafety(t *testing.T) {
+	var w *StallWatch
+	w.Exit(w.Enter(0, "barrier"))
+	if w.scan(0) != nil {
+		t.Fatal("nil watch produced reports")
+	}
+	stop := w.Watch(WatchdogConfig{Deadline: time.Millisecond})
+	stop()
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	httppprof "net/http/pprof"
 
 	"github.com/scipioneer/smart/internal/obs"
 )
@@ -18,6 +19,7 @@ import (
 //	GET    /v1/apps          registered application names
 //	GET    /healthz          liveness + drain state
 //	GET    /metrics[.json]   the obs registry (Prometheus text / JSON)
+//	GET    /debug/pprof/*    runtime profiles, labeled by job/tenant/phase
 //
 // Admission failures map to HTTP: queue full and memory pressure are 429
 // with a Retry-After hint, draining is 503; a bad spec is 400.
@@ -41,6 +43,14 @@ func (s *Server) Handler() http.Handler {
 	metrics := obs.Handler(s.cfg.Registry)
 	mux.Handle("GET /metrics", metrics)
 	mux.Handle("GET /metrics.json", metrics)
+	// Profiling endpoints. Samples carry the job/tenant/app labels runJob
+	// sets plus the scheduler's phase/engine labels, so a profile scraped
+	// mid-run attributes CPU to individual jobs and phases.
+	mux.HandleFunc("GET /debug/pprof/", httppprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", httppprof.Trace)
 	return mux
 }
 

@@ -68,6 +68,9 @@ type JobSpec struct {
 	// Engine selects the scheduler's execution engine ("static" or
 	// "stealing"); empty uses the scheduler default (static).
 	Engine string `json:"engine,omitempty"`
+	// Tenant attributes the job to a client for profiling: it becomes the
+	// "tenant" pprof label on everything the job's goroutines do.
+	Tenant string `json:"tenant,omitempty"`
 	// Params carries the application knobs.
 	Params Params `json:"params,omitempty"`
 }
@@ -104,6 +107,9 @@ func (s *JobSpec) normalize() error {
 	default:
 		return fmt.Errorf("serve: unknown engine %q (have %q, %q)",
 			s.Engine, core.EngineStatic, core.EngineStealing)
+	}
+	if len(s.Tenant) > 128 {
+		return fmt.Errorf("serve: tenant name longer than 128 bytes")
 	}
 	return nil
 }
@@ -188,6 +194,9 @@ func wireRunner[Out any](sched *core.Scheduler[float64, Out], em *sim.Emulator,
 	spec JobSpec, mem *memmodel.Node, multiKey, resetPerStep bool, outLen int,
 	result func(out []Out) any) func(context.Context, func(StreamRecord)) (any, error) {
 
+	// Phase/engine pprof labels on the reduction workers, composing with the
+	// job/tenant labels runJob sets around the whole program.
+	sched.SetPprofLabels(true)
 	// emit is installed by run before the first time-step; the subscribers
 	// below only ever fire inside a Run, after that write. The guard keeps a
 	// scheduler built but never run (build-time validation) inert.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -325,7 +326,20 @@ func (s *Server) runJob(j *Job) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	result, err := j.prog.run(ctx, j.hub.emit)
+	// Run under job-identity pprof labels: every goroutine the program
+	// spawns (engine workers included) inherits them, so a CPU or heap
+	// profile scraped from /debug/pprof attributes samples to the job,
+	// tenant and app — the scheduler adds phase/engine labels underneath.
+	tenant := j.spec.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	var result any
+	var err error
+	pprof.Do(ctx, pprof.Labels("job", j.id, "tenant", tenant, "app", j.spec.App),
+		func(ctx context.Context) {
+			result, err = j.prog.run(ctx, j.hub.emit)
+		})
 	switch {
 	case err == nil:
 		s.finish(j, StatusRunning, StatusDone, result, "", "")

@@ -7,7 +7,10 @@
 # (static vs work-stealing schedule on skewed and uniform workloads) and
 # emit BENCH_schedule.json with ns/op plus the per-run steal and batch
 # counters. Both files record the host's core count: engine speedups only
-# materialize with more cores than one.
+# materialize with more cores than one. Finally run the observability
+# benchmarks (scheduler overhead with tracing off/on/flight-recorded, plus
+# the raw span-record costs) and emit BENCH_obs.json — the "disabled path
+# stays zero-overhead" record for the tracing subsystem.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh   # longer, more stable timings
@@ -77,3 +80,34 @@ END {
 }' "$raw" > "$sched_out"
 
 echo "wrote $sched_out"
+
+obs_out="BENCH_obs.json"
+{
+  go test ./internal/core/ -run '^$' -bench 'BenchmarkSchedObs' -benchtime "$benchtime"
+  go test ./internal/obs/ -run '^$' -bench 'BenchmarkRecordSpan' -benchtime "$benchtime"
+} | tee "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || echo 1)" -v benchtime="$benchtime" '
+/^Benchmark(SchedObs|RecordSpan)/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the -GOMAXPROCS suffix
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns != "") {
+        entries[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs == "" ? 0 : allocs)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"cores\": %s,\n", cores
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": {\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$raw" > "$obs_out"
+
+echo "wrote $obs_out"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# smartd_smoke.sh — end-to-end observability smoke: build smartd and the
+# exposition linter, boot the daemon, run one job, then verify the two scrape
+# surfaces a monitoring stack depends on:
+#
+#   1. /metrics parses under cmd/obslint (duplicate or malformed families,
+#      histogram invariant violations, bad escaping → exit 1);
+#   2. /debug/pprof/profile?seconds=1 returns a non-empty CPU profile.
+#
+# Used by the CI bench-smoke job; runs anywhere with bash + curl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr="${SMARTD_ADDR:-127.0.0.1:18911}"
+workdir="$(mktemp -d)"
+trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/smartd" ./cmd/smartd
+go build -o "$workdir/obslint" ./cmd/obslint
+
+"$workdir/smartd" -addr "$addr" -flight 128 &
+pid=$!
+
+# Wait for the daemon to come up.
+for i in $(seq 1 50); do
+  if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$i" = 50 ]; then
+    echo "smartd did not become healthy on $addr" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# One real job so the scrape sees live runtime families, not an empty page.
+curl -fsS -X POST "http://$addr/v1/jobs?wait=1" \
+  -d '{"app":"histogram","elems":20000,"steps":2,"threads":2}' >/dev/null
+
+# Lint the live exposition.
+curl -fsS "http://$addr/metrics" | "$workdir/obslint"
+
+# A 1-second CPU profile must come back non-empty (pprof protobuf, gzipped).
+profile="$workdir/profile.pb.gz"
+curl -fsS "http://$addr/debug/pprof/profile?seconds=1" -o "$profile"
+if [ ! -s "$profile" ]; then
+  echo "empty CPU profile from /debug/pprof/profile" >&2
+  exit 1
+fi
+
+kill "$pid"
+wait "$pid" || true
+echo "smartd smoke: metrics lint clean, CPU profile captured"
