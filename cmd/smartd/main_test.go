@@ -151,11 +151,119 @@ func TestSmartdEndToEnd(t *testing.T) {
 	if !strings.HasPrefix(string(buf), "SMARTCK1") {
 		t.Errorf("checkpoint %s missing the Smart magic", ck)
 	}
+	// The inflight job leaves exactly its checkpoint plus the resume
+	// sidecar a restarted daemon re-admits it from; the queued and
+	// cancelled jobs leave nothing.
 	entries, err := os.ReadDir(ckdir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
-		t.Errorf("checkpoint dir has %d entries, want 1 (only the inflight job): %v", len(entries), entries)
+	if len(entries) != 2 {
+		t.Errorf("checkpoint dir has %d entries, want 2 (inflight job's .ck + .resume.json): %v", len(entries), entries)
+	}
+	if _, err := os.Stat(filepath.Join(ckdir, running.ID+".resume.json")); err != nil {
+		t.Errorf("inflight job has no resume sidecar: %v", err)
+	}
+}
+
+func TestParseTenantFlag(t *testing.T) {
+	m := map[string]serve.TenantConfig{}
+	good := map[string]serve.TenantConfig{
+		"alpha=4":          {Weight: 4},
+		"beta=2:3":         {Weight: 2, Quota: 3},
+		"gamma=0.5:1:high": {Weight: 0.5, Quota: 1, Class: "high"},
+		"batch=::low":      {Class: "low"},
+		"plain=":           {},
+	}
+	for in, want := range good {
+		if err := parseTenant(m, in); err != nil {
+			t.Errorf("parseTenant(%q): %v", in, err)
+			continue
+		}
+		name := strings.SplitN(in, "=", 2)[0]
+		if got := m[name]; got != want {
+			t.Errorf("parseTenant(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, in := range []string{"noequals", "=1", "a=-1", "a=1:x", "a=1:-2", "a=1:1:urgent", "a=1:1:low:extra"} {
+		if err := parseTenant(m, in); err == nil {
+			t.Errorf("parseTenant(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestSmartdClusterEndToEnd boots a 3-rank world inside the test process
+// (rank 0 coordinating, two worker goroutine ranks executing), submits
+// jobs for two configured tenants — one of them spanning both worker ranks
+// — and checks the cluster metrics surface on /metrics before a SIGTERM
+// drain exits cleanly.
+func TestSmartdClusterEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-world", "3",
+			"-workers", "2",
+			"-grace", "5s",
+			"-heartbeat", "20ms",
+			"-ckdir", t.TempDir(),
+			"-tenant", "alpha=3",
+			"-tenant", "beta=1:2:low",
+		}, io.Discard, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-runErr:
+		t.Fatalf("smartd exited before ready: %v", err)
+	}
+	c := client.New("http://" + addr)
+	ctx := context.Background()
+
+	va, err := c.SubmitWait(ctx, serve.JobSpec{App: "histogram", Elems: 4096, Tenant: "alpha"})
+	if err != nil || va.Status != serve.StatusDone {
+		t.Fatalf("alpha job: %+v, %v", va, err)
+	}
+	vb, err := c.SubmitWait(ctx, serve.JobSpec{
+		App: "histogram", Elems: 4096, Ranks: 2, Tenant: "beta",
+	})
+	if err != nil || vb.Status != serve.StatusDone {
+		t.Fatalf("beta multi-rank job: %+v, %v", vb, err)
+	}
+	if m, ok := vb.Result.(map[string]any); !ok || m["buckets"] == nil {
+		t.Fatalf("multi-rank result missing buckets: %#v", vb.Result)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"smart_cluster_jobs_dispatched_total",
+		"smart_cluster_workers 2",
+		`smart_cluster_queue_wait_seconds_count{tenant="alpha"}`,
+		`smart_cluster_queue_wait_seconds_count{tenant="beta"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("smartd exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("smartd did not exit after SIGTERM")
 	}
 }

@@ -1,0 +1,50 @@
+package cluster
+
+import "github.com/scipioneer/smart/internal/obs"
+
+// coordMetrics is the dispatcher's (rank 0) instrumentation. Together with
+// serve's smart_cluster_queue_wait_seconds{tenant=...} these are the
+// smart_cluster_* family: they export through the same Prometheus endpoint
+// as the runtime metrics and ride obs.Gather at drain, so the cluster-wide
+// merge shows dispatches next to the per-rank execution counters.
+type coordMetrics struct {
+	// dispatched counts assignments sent to workers (retries included).
+	dispatched *obs.Counter
+	// retried counts jobs re-dispatched after their worker died.
+	retried *obs.Counter
+	// rankDeaths counts workers declared dead (connection drop or stale
+	// heartbeat); workers is the live-worker gauge it decrements.
+	rankDeaths *obs.Counter
+	workers    *obs.Gauge
+	// terminalFailures counts jobs failed for good: retry budget exhausted
+	// or a member of a multi-rank job died.
+	terminalFailures *obs.Counter
+}
+
+func newCoordMetrics(r *obs.Registry) coordMetrics {
+	return coordMetrics{
+		dispatched:       r.Counter("smart_cluster_jobs_dispatched_total"),
+		retried:          r.Counter("smart_cluster_jobs_retried_total"),
+		rankDeaths:       r.Counter("smart_cluster_rank_deaths_total"),
+		workers:          r.Gauge("smart_cluster_workers"),
+		terminalFailures: r.Counter("smart_cluster_jobs_failed_terminal_total"),
+	}
+}
+
+// workerMetrics is a worker rank's instrumentation.
+type workerMetrics struct {
+	// executed counts job runs finished on this rank (any outcome).
+	executed *obs.Counter
+	// ckptUploads counts per-step checkpoint uploads to the coordinator.
+	ckptUploads *obs.Counter
+	// heartbeats counts beats sent.
+	heartbeats *obs.Counter
+}
+
+func newWorkerMetrics(r *obs.Registry) workerMetrics {
+	return workerMetrics{
+		executed:    r.Counter("smart_cluster_jobs_executed_total"),
+		ckptUploads: r.Counter("smart_cluster_checkpoint_uploads_total"),
+		heartbeats:  r.Counter("smart_cluster_heartbeats_total"),
+	}
+}

@@ -1,0 +1,107 @@
+// Package cluster turns smartd into a rank-world service. The coordinator
+// (rank 0) owns the HTTP front door and a job dispatcher that implements
+// serve.Executor: admitted jobs are serialized over internal/mpi
+// point-to-point frames to worker ranks, which compile and execute them with
+// the full two-level combination locally — spanning a per-job
+// sub-communicator when the job asks for more than one rank — and stream
+// early emissions, phase spans, per-step checkpoints and the final result
+// back. Robustness is first-class: every uplink message doubles as a
+// heartbeat, a dead rank is detected by its connection dropping or its
+// heartbeat going stale, and a single-rank job lost to a dead worker is
+// retried on a surviving rank from its last uploaded checkpoint — restoring
+// byte-identical state, skipping the steps already analyzed — under a
+// bounded retry budget before it is failed terminally through the normal
+// NDJSON stream.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/serve"
+)
+
+// Control-plane tags, inside the user-tag space (< 1<<20) but far above
+// anything application examples use. tagCtl carries coordinator→worker
+// control messages; tagUp carries the worker→coordinator uplink. Per-pair
+// per-tag ordering is non-overtaking, so a worker's ckpt upload can never
+// arrive after the step record it precedes.
+const (
+	tagCtl = 1 << 18
+	tagUp  = 1<<18 + 1
+)
+
+// Message kinds. Coordinator→worker: assign, cancel, gather, shutdown.
+// Worker→coordinator: hello, beat, emit, ckpt, result.
+const (
+	kindAssign   = "assign"
+	kindCancel   = "cancel"
+	kindGather   = "gather"
+	kindShutdown = "shutdown"
+
+	kindHello  = "hello"
+	kindBeat   = "beat"
+	kindEmit   = "emit"
+	kindCkpt   = "ckpt"
+	kindResult = "result"
+)
+
+// envelope is the single wire message of the cluster control plane, JSON
+// over mpi frames. Unused fields are omitted per kind.
+type envelope struct {
+	Kind string `json:"kind"`
+	// Job is the service-wide job id every per-job message carries.
+	Job string `json:"job,omitempty"`
+
+	// assign: the normalized spec, the world ranks the job spans (the first
+	// is the lead rank, which reports the result), the sub-communicator tag
+	// band, optional checkpoint bytes to restore before running (with the
+	// completed steps they cover), and the job's root trace context.
+	Spec        serve.JobSpec `json:"spec,omitempty"`
+	Members     []int         `json:"members,omitempty"`
+	Band        int           `json:"band,omitempty"`
+	Resume      []byte        `json:"resume,omitempty"`
+	ResumeSteps int           `json:"resume_steps,omitempty"`
+	TraceID     uint64        `json:"trace_id,omitempty"`
+	SpanID      uint64        `json:"span_id,omitempty"`
+
+	// cancel: the cause message and whether this is a drain cancel (the
+	// worker then uploads a final checkpoint instead of discarding state).
+	// Err doubles as the failure message on result envelopes.
+	Err   string `json:"err,omitempty"`
+	Drain bool   `json:"drain,omitempty"`
+
+	// emit: one stream record forwarded into the job's NDJSON stream.
+	Record *serve.StreamRecord `json:"record,omitempty"`
+
+	// ckpt/result: checkpoint bytes with the steps they cover, and the
+	// job's final output. Checkpointed marks a drain-cancelled job whose
+	// state was persisted rather than discarded.
+	Ckpt         []byte          `json:"ckpt,omitempty"`
+	Steps        int             `json:"steps,omitempty"`
+	Result       json.RawMessage `json:"result,omitempty"`
+	Checkpointed bool            `json:"checkpointed,omitempty"`
+}
+
+// send marshals and delivers one envelope.
+func send(c *mpi.Comm, dst, tag int, env envelope) error {
+	buf, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("cluster: encode %s: %w", env.Kind, err)
+	}
+	return c.Send(dst, tag, buf)
+}
+
+// recvEnv blocks for the next envelope from src on tag.
+func recvEnv(c *mpi.Comm, src, tag int) (envelope, error) {
+	buf, err := c.Recv(src, tag)
+	if err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return envelope{}, fmt.Errorf("cluster: decode frame from rank %d: %w", src, err)
+	}
+	return env, nil
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/obs"
+	"github.com/scipioneer/smart/internal/serve"
+)
+
+// WorkerConfig configures a worker rank's job-execution loop.
+type WorkerConfig struct {
+	// Heartbeat is the beat interval (default 100ms); it must not exceed the
+	// coordinator's HeartbeatTimeout or the rank will be declared dead.
+	Heartbeat time.Duration
+	// Mem, when non-nil, is the node the rank's job runtimes charge their
+	// data structures against.
+	Mem *memmodel.Node
+	// WorkDir stages per-step checkpoint files before their bytes are
+	// uploaded (default os.TempDir()).
+	WorkDir string
+	// Registry receives the worker metrics and is what the coordinator's
+	// final obs.Gather collects (default obs.DefaultRegistry()).
+	Registry *obs.Registry
+}
+
+// errCancel and errDrainCancel are the cancellation causes a coordinator
+// cancel installs; the drain variant asks for a final checkpoint upload. It
+// wraps serve.ErrDrainCheckpoint so the program's run loop recognizes it as
+// drain-class and stops at a step boundary, keeping the checkpoint exact.
+var (
+	errCancel      = errors.New("cluster: cancelled by coordinator")
+	errDrainCancel = fmt.Errorf("cluster: drain cancel, checkpoint requested: %w", serve.ErrDrainCheckpoint)
+)
+
+// worker is one rank's execution state.
+type worker struct {
+	comm *mpi.Comm
+	cfg  WorkerConfig
+	met  workerMetrics
+
+	// running maps job id to its cancel func; the control loop writes it,
+	// executor goroutines remove their own entries.
+	running map[string]context.CancelCauseFunc
+	runMu   chan struct{} // 1-token semaphore guarding running
+}
+
+// Worker runs rank comm.Rank()'s job-execution loop until the coordinator
+// sends shutdown (returning nil) or the control link drops (returning the
+// receive error). Jobs execute concurrently, each on its own goroutine; a
+// multi-rank job builds its scheduler over a sub-communicator of the
+// assignment's member ranks so the global combination spans them.
+func Worker(comm *mpi.Comm, cfg WorkerConfig) error {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 100 * time.Millisecond
+	}
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = os.TempDir()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.DefaultRegistry()
+	}
+	w := &worker{
+		comm:    comm,
+		cfg:     cfg,
+		met:     newWorkerMetrics(cfg.Registry),
+		running: make(map[string]context.CancelCauseFunc),
+		runMu:   make(chan struct{}, 1),
+	}
+	w.runMu <- struct{}{}
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go w.heartbeat(stop)
+	send(comm, 0, tagUp, envelope{Kind: kindHello})
+
+	for {
+		env, err := recvEnv(comm, 0, tagCtl)
+		if err != nil {
+			return fmt.Errorf("cluster: rank %d lost the coordinator: %w", comm.Rank(), err)
+		}
+		switch env.Kind {
+		case kindAssign:
+			go w.execute(env)
+		case kindCancel:
+			w.cancel(env.Job, env.Err, env.Drain)
+		case kindGather:
+			// The coordinator is entering the metrics collective; join it.
+			obs.Gather(w.comm, cfg.Registry)
+		case kindShutdown:
+			return nil
+		}
+	}
+}
+
+func (w *worker) heartbeat(stop <-chan struct{}) {
+	tick := time.NewTicker(w.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if send(w.comm, 0, tagUp, envelope{Kind: kindBeat}) != nil {
+				return
+			}
+			w.met.heartbeats.Inc()
+		}
+	}
+}
+
+// cancel stops a running job with the requested cause.
+func (w *worker) cancel(job, cause string, drain bool) {
+	<-w.runMu
+	cancel := w.running[job]
+	w.runMu <- struct{}{}
+	if cancel == nil {
+		return
+	}
+	if drain {
+		cancel(errDrainCancel)
+	} else if cause != "" {
+		cancel(fmt.Errorf("%w: %s", errCancel, cause))
+	} else {
+		cancel(errCancel)
+	}
+}
+
+// execute runs one assignment to a terminal envelope.
+func (w *worker) execute(env envelope) {
+	res := w.run(env)
+	res.Kind, res.Job = kindResult, env.Job
+	w.met.executed.Inc()
+	send(w.comm, 0, tagUp, res)
+}
+
+func (w *worker) run(env envelope) envelope {
+	spec := env.Spec
+	members := env.Members
+	idx := 0
+	for i, r := range members {
+		if r == w.comm.Rank() {
+			idx = i
+		}
+	}
+	lead := idx == 0
+
+	var sub *mpi.Comm
+	if len(members) > 1 {
+		// Partition the per-step data across the members: each rank
+		// analyzes its share of the elements from its own deterministic
+		// stream, and the scheduler's global combination over the
+		// sub-communicator merges the per-rank maps every time-step.
+		share := spec.Elems / len(members)
+		rem := spec.Elems - share*len(members)
+		spec.Elems = share
+		if idx == 0 {
+			spec.Elems += rem
+		}
+		spec.Seed += 0x9E3779B97F4A7C15 * uint64(idx)
+		var err error
+		sub, err = w.comm.SubComm(members, env.Band)
+		if err != nil {
+			return envelope{Err: err.Error()}
+		}
+	}
+
+	_, prog, err := serve.Compile(spec, w.cfg.Mem, sub)
+	if err != nil {
+		return envelope{Err: err.Error()}
+	}
+	if len(env.Resume) > 0 {
+		if err := w.restore(prog, env.Resume, env.ResumeSteps); err != nil {
+			return envelope{Err: err.Error()}
+		}
+	}
+	trace := obs.TraceContext{TraceID: env.TraceID, SpanID: env.SpanID}
+	sp := obs.Default().StartSpan(trace, "cluster", "execute "+env.Job)
+	sp.SetRank(w.comm.Rank())
+	sp.SetAttr("app", spec.App)
+	sp.SetAttr("lead", lead)
+	defer sp.End()
+	prog.SetTraceContext(sp.Context())
+
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	<-w.runMu
+	w.running[env.Job] = cancel
+	w.runMu <- struct{}{}
+	defer func() {
+		<-w.runMu
+		delete(w.running, env.Job)
+		w.runMu <- struct{}{}
+	}()
+
+	// Only the lead forwards stream records (the others would duplicate
+	// them); only a single-rank checkpointable job uploads per-step
+	// checkpoints — a multi-rank job's state is spread across its members,
+	// so a central restore point does not exist and the job is not retried.
+	emit := func(rec serve.StreamRecord) {
+		if !lead {
+			return
+		}
+		if rec.Type == "step" && len(members) <= 1 && prog.CanCheckpoint() {
+			if buf, err := w.checkpointBytes(prog, env.Job); err == nil {
+				send(w.comm, 0, tagUp, envelope{Kind: kindCkpt, Job: env.Job,
+					Ckpt: buf, Steps: prog.StepsDone()})
+				w.met.ckptUploads.Inc()
+			}
+		}
+		rec.Job = env.Job
+		send(w.comm, 0, tagUp, envelope{Kind: kindEmit, Job: env.Job, Record: &rec})
+	}
+
+	result, err := prog.Run(ctx, emit)
+	if err == nil {
+		if !lead {
+			return envelope{} // completion ack; the lead carries the payload
+		}
+		buf, err := json.Marshal(result)
+		if err != nil {
+			return envelope{Err: fmt.Sprintf("cluster: encode result: %v", err)}
+		}
+		return envelope{Result: buf}
+	}
+	if errors.Is(context.Cause(ctx), errDrainCancel) && prog.CanCheckpoint() {
+		// Drain: hand the state back instead of discarding it. A
+		// drain-class cancel stops the run at a step boundary (the shield
+		// in the run loop lets the in-flight step finish its merges), so
+		// the checkpoint is exact.
+		buf, ckErr := w.checkpointBytes(prog, env.Job)
+		if ckErr != nil {
+			return envelope{Err: fmt.Sprintf("drain checkpoint failed: %v (run: %v)", ckErr, err)}
+		}
+		return envelope{Checkpointed: true, Ckpt: buf, Steps: prog.StepsDone()}
+	}
+	return envelope{Err: err.Error()}
+}
+
+// restore loads uploaded checkpoint bytes into the program via a staging
+// file, marking stepsDone time-steps as already analyzed.
+func (w *worker) restore(prog *serve.Program, ck []byte, stepsDone int) error {
+	path := filepath.Join(w.cfg.WorkDir, fmt.Sprintf("smart-restore-%d-%d.ck", os.Getpid(), time.Now().UnixNano()))
+	if err := os.WriteFile(path, ck, 0o644); err != nil {
+		return err
+	}
+	defer os.Remove(path)
+	return prog.Restore(path, stepsDone)
+}
+
+// checkpointBytes persists the program's state to a staging file and
+// returns its bytes.
+func (w *worker) checkpointBytes(prog *serve.Program, job string) ([]byte, error) {
+	path := filepath.Join(w.cfg.WorkDir, fmt.Sprintf("smart-ck-%d-%s.ck", os.Getpid(), job))
+	defer os.Remove(path)
+	if err := prog.Checkpoint(path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,235 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// joinTimeout bounds the whole rendezvous + mesh wiring; a world whose
+// ranks have not all arrived within it fails loudly instead of hanging a
+// daemon boot forever.
+const joinTimeout = 30 * time.Second
+
+// joinHello is a worker's rendezvous registration; joinTable is the
+// coordinator's reply once every rank has arrived.
+type joinHello struct {
+	Rank int    `json:"rank"`
+	Addr string `json:"addr"`
+}
+
+type joinTable struct {
+	Addrs []string `json:"addrs"`
+	Err   string   `json:"err,omitempty"`
+}
+
+// JoinTCPWorld wires this process into a size-rank TCP world and returns
+// its communicator. Unlike NewTCPWorld — which builds all ranks inside one
+// process — every participating process calls JoinTCPWorld with its own
+// rank, so a world can span OS processes (and hosts). Rank 0 listens on
+// coordAddr as the rendezvous point; the other ranks dial it (retrying
+// while it boots), register their data-listener addresses, and receive the
+// full address table back. The data mesh is then wired exactly like
+// NewTCPWorld's: lower ranks accept from higher ranks, a dialer identifies
+// itself with a 4-byte hello, and every connection gets a reader goroutine
+// feeding the rank's mailbox.
+func JoinTCPWorld(size, rank int, coordAddr string) (*Comm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: invalid world size %d", size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: rank %d outside world of size %d", rank, size)
+	}
+	t := &tcpTransport{rank: rank, size: size, box: newMailbox(), conns: make([]*tcpConn, size)}
+	if size == 1 {
+		return NewComm(t), nil
+	}
+	deadline := time.Now().Add(joinTimeout)
+
+	var addrs []string
+	var data net.Listener
+	var err error
+	if rank == 0 {
+		addrs, data, err = coordinateJoin(size, coordAddr, deadline)
+	} else {
+		addrs, data, err = workerJoin(rank, coordAddr, deadline)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer data.Close()
+	if dl, ok := data.(*net.TCPListener); ok {
+		dl.SetDeadline(deadline)
+	}
+
+	// Wire the mesh: accept from higher ranks, dial lower ranks.
+	errc := make(chan error, size)
+	go func() {
+		for peer := rank + 1; peer < size; peer++ {
+			conn, err := data.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("mpi: rank %d accept: %w", rank, err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errc <- fmt.Errorf("mpi: rank %d mesh hello: %w", rank, err)
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(hello[:]))
+			if from <= rank || from >= size {
+				errc <- fmt.Errorf("mpi: rank %d got invalid mesh hello from %d", rank, from)
+				return
+			}
+			t.conns[from] = &tcpConn{c: conn}
+		}
+		errc <- nil
+	}()
+	go func() {
+		for peer := 0; peer < rank; peer++ {
+			conn, err := net.DialTimeout("tcp", addrs[peer], time.Until(deadline))
+			if err != nil {
+				errc <- fmt.Errorf("mpi: rank %d dial %d: %w", rank, peer, err)
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errc <- fmt.Errorf("mpi: rank %d mesh hello to %d: %w", rank, peer, err)
+				return
+			}
+			t.conns[peer] = &tcpConn{c: conn}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+
+	for peer, tc := range t.conns {
+		if tc == nil {
+			continue
+		}
+		go t.readLoop(peer, tc)
+	}
+	return NewComm(t), nil
+}
+
+// dataListener opens this rank's mesh listener on the interface it shares
+// with the rendezvous point, so the advertised address is reachable by the
+// other ranks even on multi-homed hosts.
+func dataListener(host string) (net.Listener, string, error) {
+	l, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, "", err
+	}
+	return l, l.Addr().String(), nil
+}
+
+// coordinateJoin is rank 0's half of the rendezvous: listen on coordAddr,
+// collect every worker's hello, send all of them the completed table.
+func coordinateJoin(size int, coordAddr string, deadline time.Time) ([]string, net.Listener, error) {
+	host, _, err := net.SplitHostPort(coordAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpi: coordinator address %q: %w", coordAddr, err)
+	}
+	data, dataAddr, err := dataListener(host)
+	if err != nil {
+		return nil, nil, err
+	}
+	rdv, err := net.Listen("tcp", coordAddr)
+	if err != nil {
+		data.Close()
+		return nil, nil, fmt.Errorf("mpi: rendezvous listen: %w", err)
+	}
+	defer rdv.Close()
+	if tl, ok := rdv.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	addrs := make([]string, size)
+	addrs[0] = dataAddr
+	conns := make([]net.Conn, 0, size-1)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for got := 0; got < size-1; got++ {
+		conn, err := rdv.Accept()
+		if err != nil {
+			data.Close()
+			return nil, nil, fmt.Errorf("mpi: rendezvous accept (have %d/%d workers): %w", got, size-1, err)
+		}
+		conn.SetDeadline(deadline)
+		var h joinHello
+		if err := json.NewDecoder(conn).Decode(&h); err != nil {
+			data.Close()
+			conn.Close()
+			return nil, nil, fmt.Errorf("mpi: rendezvous hello: %w", err)
+		}
+		if h.Rank <= 0 || h.Rank >= size || addrs[h.Rank] != "" {
+			json.NewEncoder(conn).Encode(joinTable{Err: fmt.Sprintf("invalid or duplicate rank %d", h.Rank)})
+			data.Close()
+			conn.Close()
+			return nil, nil, fmt.Errorf("mpi: rendezvous got invalid or duplicate rank %d", h.Rank)
+		}
+		addrs[h.Rank] = h.Addr
+		conns = append(conns, conn)
+	}
+	for _, conn := range conns {
+		if err := json.NewEncoder(conn).Encode(joinTable{Addrs: addrs}); err != nil {
+			data.Close()
+			return nil, nil, fmt.Errorf("mpi: rendezvous table send: %w", err)
+		}
+	}
+	return addrs, data, nil
+}
+
+// workerJoin is a non-zero rank's half of the rendezvous: dial the
+// coordinator (retrying while it boots), register, wait for the table.
+func workerJoin(rank int, coordAddr string, deadline time.Time) ([]string, net.Listener, error) {
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", coordAddr, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("mpi: rank %d could not reach coordinator %s: %w", rank, coordAddr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+
+	host, _, err := net.SplitHostPort(conn.LocalAddr().String())
+	if err != nil {
+		return nil, nil, err
+	}
+	data, dataAddr, err := dataListener(host)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := json.NewEncoder(conn).Encode(joinHello{Rank: rank, Addr: dataAddr}); err != nil {
+		data.Close()
+		return nil, nil, fmt.Errorf("mpi: rank %d register: %w", rank, err)
+	}
+	var table joinTable
+	if err := json.NewDecoder(conn).Decode(&table); err != nil {
+		data.Close()
+		return nil, nil, fmt.Errorf("mpi: rank %d table: %w", rank, err)
+	}
+	if table.Err != "" {
+		data.Close()
+		return nil, nil, fmt.Errorf("mpi: rendezvous rejected rank %d: %s", rank, table.Err)
+	}
+	return table.Addrs, data, nil
+}

@@ -1,0 +1,106 @@
+package mpi
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+// rendezvousAddr reserves a loopback port for a join test's coordinator.
+// The listener is closed before use — a tiny reuse window, but the
+// coordinator rebinds it immediately.
+func rendezvousAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestJoinTCPWorld wires a 3-rank world through the cross-process
+// rendezvous path (each rank calling JoinTCPWorld independently, as
+// separate smartd processes would) and runs point-to-point and collective
+// traffic over the resulting mesh. The ranks start concurrently, so the
+// workers exercise their dial-retry loop whenever they beat the
+// coordinator to the rendezvous address.
+func TestJoinTCPWorld(t *testing.T) {
+	const size = 3
+	addr := rendezvousAddr(t)
+
+	comms := make([]*Comm, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = JoinTCPWorld(size, r, addr)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", r, err)
+		}
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+
+	var work sync.WaitGroup
+	for r := 0; r < size; r++ {
+		work.Add(1)
+		go func(c *Comm) {
+			defer work.Done()
+			next := (c.Rank() + 1) % size
+			prev := (c.Rank() + size - 1) % size
+			if err := c.Send(next, 7, []byte{byte(c.Rank())}); err != nil {
+				t.Errorf("rank %d send: %v", c.Rank(), err)
+				return
+			}
+			got, err := c.Recv(prev, 7)
+			if err != nil || len(got) != 1 || got[0] != byte(prev) {
+				t.Errorf("rank %d recv: %v %v", c.Rank(), got, err)
+				return
+			}
+			sum, err := c.AllreduceFloat64s([]float64{float64(c.Rank() + 1)}, OpSum)
+			if err != nil || sum[0] != 6 {
+				t.Errorf("rank %d allreduce: %v %v", c.Rank(), sum, err)
+			}
+		}(comms[r])
+	}
+	work.Wait()
+}
+
+// TestJoinTCPWorldSizeOne: a single-rank world needs no rendezvous and no
+// listener — the address may even be unroutable.
+func TestJoinTCPWorldSizeOne(t *testing.T) {
+	c, err := JoinTCPWorld(1, 0, "0.0.0.0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(0, 3, []byte("loop")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Recv(0, 3); err != nil || string(got) != "loop" {
+		t.Fatalf("self roundtrip: %q %v", got, err)
+	}
+}
+
+func TestJoinTCPWorldInvalidArgs(t *testing.T) {
+	if _, err := JoinTCPWorld(0, 0, "127.0.0.1:0"); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := JoinTCPWorld(2, 2, "127.0.0.1:0"); err == nil {
+		t.Error("out-of-world rank accepted")
+	}
+	if _, err := JoinTCPWorld(2, -1, "127.0.0.1:0"); err == nil {
+		t.Error("negative rank accepted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -77,13 +78,22 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// retryDelay picks the wait before retry attempt (0-based), preferring the
-// server's Retry-After header over the exponential schedule.
+// retryDelay picks the wait before retry attempt (0-based): full jitter
+// (uniform in [0, step]) over the exponential schedule, so clients rejected
+// by the same overloaded server fan back out instead of returning as one
+// synchronized herd. A Retry-After hint is honored as the floor the jitter
+// is added on top of — retrying before the server's own estimate would only
+// buy another rejection.
 func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	step := c.backoff << attempt
+	if step > c.maxBackoff || step <= 0 {
+		step = c.maxBackoff
+	}
+	jitter := time.Duration(rand.Int63n(int64(step) + 1))
 	if resp != nil {
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				d := time.Duration(secs) * time.Second
+				d := time.Duration(secs)*time.Second + jitter
 				if d > c.maxBackoff {
 					d = c.maxBackoff
 				}
@@ -91,11 +101,7 @@ func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
 			}
 		}
 	}
-	d := c.backoff << attempt
-	if d > c.maxBackoff || d <= 0 {
-		d = c.maxBackoff
-	}
-	return d
+	return jitter
 }
 
 // do sends one request, retrying overload responses, and decodes a 2xx body

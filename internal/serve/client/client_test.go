@@ -185,3 +185,63 @@ func TestCancelViaClient(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestRetryDelayFullJitter pins the desynchronization property of the
+// backoff schedule: each delay is drawn uniformly from [0, step] rather
+// than being the deterministic step itself, so a herd of clients rejected
+// together does not return together.
+func TestRetryDelayFullJitter(t *testing.T) {
+	c := New("http://unused", WithBackoff(100*time.Millisecond, 2*time.Second))
+
+	distinct := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := c.retryDelay(0, nil)
+		if d < 0 || d > 100*time.Millisecond {
+			t.Fatalf("attempt-0 delay %v outside [0, 100ms]", d)
+		}
+		distinct[d] = true
+	}
+	if len(distinct) < 20 {
+		t.Errorf("200 attempt-0 delays collapsed to %d distinct values; jitter looks broken", len(distinct))
+	}
+
+	// Deep attempts cap at maxBackoff — including the shift overflow range.
+	for _, attempt := range []int{3, 10, 40, 63} {
+		for i := 0; i < 50; i++ {
+			if d := c.retryDelay(attempt, nil); d < 0 || d > 2*time.Second {
+				t.Fatalf("attempt-%d delay %v outside [0, maxBackoff]", attempt, d)
+			}
+		}
+	}
+}
+
+// TestRetryDelayHonorsRetryAfterAsFloor: the server's own estimate is the
+// minimum wait (retrying earlier buys another rejection), jitter stacks on
+// top, and maxBackoff still bounds the result.
+func TestRetryDelayHonorsRetryAfterAsFloor(t *testing.T) {
+	c := New("http://unused", WithBackoff(50*time.Millisecond, 5*time.Second))
+
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", "1")
+	for i := 0; i < 100; i++ {
+		d := c.retryDelay(0, resp)
+		if d < time.Second {
+			t.Fatalf("delay %v below the 1s Retry-After floor", d)
+		}
+		if d > 5*time.Second {
+			t.Fatalf("delay %v above maxBackoff", d)
+		}
+	}
+
+	// A hint beyond maxBackoff clamps to it.
+	resp.Header.Set("Retry-After", "60")
+	if d := c.retryDelay(0, resp); d != 5*time.Second {
+		t.Errorf("delay %v with a 60s hint, want the 5s maxBackoff clamp", d)
+	}
+
+	// Malformed hints fall back to plain jittered backoff.
+	resp.Header.Set("Retry-After", "soon")
+	if d := c.retryDelay(0, resp); d > 50*time.Millisecond {
+		t.Errorf("delay %v with a malformed hint, want jitter within the 50ms step", d)
+	}
+}

@@ -6,6 +6,7 @@ import "github.com/scipioneer/smart/internal/obs"
 // runtime's smart_core_*/smart_mem_* families so one scrape of the metrics
 // endpoint shows admission behaviour next to the reduction work it gates.
 type serveMetrics struct {
+	reg *obs.Registry
 	// queueDepth tracks jobs admitted but not yet picked up by a worker;
 	// its peak is the deepest backlog the server has seen.
 	queueDepth *obs.Gauge
@@ -20,6 +21,11 @@ type serveMetrics struct {
 	jobsFailed       *obs.Counter
 	jobsCancelled    *obs.Counter
 	jobsCheckpointed *obs.Counter
+	// restored counts drained jobs re-admitted by RestoreCheckpoints;
+	// checkpointsGCd counts checkpoint files deleted after a restored job
+	// reached a terminal state that no longer needs them.
+	restored       *obs.Counter
+	checkpointsGCd *obs.Counter
 	// jobSeconds is the per-job run latency (admission to terminal state,
 	// excluding queue wait) and queueSeconds the admission-to-start wait.
 	jobSeconds   *obs.Histogram
@@ -30,6 +36,7 @@ type serveMetrics struct {
 
 func newServeMetrics(r *obs.Registry) serveMetrics {
 	return serveMetrics{
+		reg:              r,
 		queueDepth:       r.Gauge("smart_serve_queue_depth"),
 		inflight:         r.Gauge("smart_serve_inflight_jobs"),
 		rejectsQueueFull: r.Counter(`smart_serve_admission_rejects_total{cause="queue_full"}`),
@@ -39,8 +46,20 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		jobsFailed:       r.Counter(`smart_serve_jobs_total{status="failed"}`),
 		jobsCancelled:    r.Counter(`smart_serve_jobs_total{status="cancelled"}`),
 		jobsCheckpointed: r.Counter(`smart_serve_jobs_total{status="checkpointed"}`),
+		restored:         r.Counter("smart_serve_jobs_restored_total"),
+		checkpointsGCd:   r.Counter("smart_serve_checkpoints_gc_total"),
 		jobSeconds:       r.Histogram("smart_serve_job_seconds", obs.DurationBuckets),
 		queueSeconds:     r.Histogram("smart_serve_queue_wait_seconds", obs.DurationBuckets),
 		streamDropped:    r.Counter("smart_serve_stream_dropped_total"),
 	}
+}
+
+// tenantQueueWait returns the per-tenant queue-wait histogram. It lives in
+// the smart_cluster_* family: per-tenant wait is the fairness signal of the
+// cluster front door, scraped next to the dispatcher's dispatch/retry
+// counters. The registry dedups by name, so the lookup is cheap after a
+// tenant's first job.
+func (m *serveMetrics) tenantQueueWait(tenant string) *obs.Histogram {
+	return m.reg.Histogram(obs.Label("smart_cluster_queue_wait_seconds", "tenant", tenant),
+		obs.DurationBuckets)
 }

@@ -1,7 +1,8 @@
 // Package serve runs Smart analytics as a multi-tenant service: clients
-// submit typed job specs over HTTP, a bounded queue with memmodel-backed
-// admission control decides whether a job may enter, a worker pool executes
-// admitted jobs on core.Scheduler with per-job deadlines and cancellation,
+// submit typed job specs over HTTP, a weighted-fair queue with
+// memmodel-backed admission control decides whether and when a job may
+// enter, a worker pool executes admitted jobs on core.Scheduler with
+// per-job deadlines and cancellation (or hands them to a cluster executor),
 // and results stream back as NDJSON — early emissions and phase spans while
 // the job runs, the final output when it converges. It is the service layer
 // the paper's in-situ runtime lacks: the same node that hosts the simulation
@@ -10,13 +11,16 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/scipioneer/smart/internal/analytics"
 	"github.com/scipioneer/smart/internal/core"
 	"github.com/scipioneer/smart/internal/insitu"
 	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/obs"
 	"github.com/scipioneer/smart/internal/sim"
 )
@@ -62,13 +66,19 @@ type JobSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Threads is the scheduler's reduction thread count (default 2).
 	Threads int `json:"threads,omitempty"`
+	// Ranks is how many cluster worker ranks the job spans (default 1).
+	// Multi-rank jobs partition the per-step data across their ranks and
+	// run the global combination over a per-job sub-communicator; the
+	// single-process server accepts but ignores values above 1.
+	Ranks int `json:"ranks,omitempty"`
 	// DeadlineMS caps the job's wall-clock run time in milliseconds; zero
 	// uses the server default, negative means no deadline.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Engine selects the scheduler's execution engine ("static" or
 	// "stealing"); empty uses the scheduler default (static).
 	Engine string `json:"engine,omitempty"`
-	// Tenant attributes the job to a client for profiling: it becomes the
+	// Tenant attributes the job to a client: it selects the fair-queueing
+	// weight/quota/class the job is admitted under and becomes the
 	// "tenant" pprof label on everything the job's goroutines do.
 	Tenant string `json:"tenant,omitempty"`
 	// Params carries the application knobs.
@@ -78,6 +88,9 @@ type JobSpec struct {
 // maxElems bounds a single time-step so one spec cannot ask the service to
 // materialize an absurd buffer.
 const maxElems = 1 << 24
+
+// maxRanks bounds how many worker ranks one job may span.
+const maxRanks = 256
 
 // normalize applies spec defaults in place and validates the shared fields.
 func (s *JobSpec) normalize() error {
@@ -102,6 +115,12 @@ func (s *JobSpec) normalize() error {
 	if s.Threads < 0 || s.Threads > 256 {
 		return fmt.Errorf("serve: threads must be in (0, 256]")
 	}
+	if s.Ranks == 0 {
+		s.Ranks = 1
+	}
+	if s.Ranks < 0 || s.Ranks > maxRanks {
+		return fmt.Errorf("serve: ranks must be in (0, %d]", maxRanks)
+	}
 	switch s.Engine {
 	case "", core.EngineStatic, core.EngineStealing:
 	default:
@@ -116,20 +135,29 @@ func (s *JobSpec) normalize() error {
 
 // jobProgram is a built, ready-to-run job: run executes it (emitting stream
 // records as it goes) and returns the final result; checkpoint, when
-// non-nil, persists the job's combination-map state so a drained server can
-// hand the job back to a future one. Applications whose state is reset every
-// time-step (the window filters) have nil checkpoint — there is nothing
-// durable to save mid-run.
+// non-nil, persists the job's combination-map state so a drained server (or
+// the cluster dispatcher, between steps) can hand the job to a future
+// executor, and restore loads such a state back. setSkip marks the leading
+// time-steps a restored run must consume without re-analyzing (their
+// contribution is already in the restored map), stepsDone reports completed
+// steps, and setTrace places the job's phase spans in a distributed trace.
+// Applications whose state is reset every time-step (the window filters)
+// have nil checkpoint/restore — there is nothing durable to save mid-run.
 type jobProgram struct {
 	run        func(ctx context.Context, emit func(StreamRecord)) (any, error)
 	checkpoint func(path string) error
+	restore    func(path string) error
+	setSkip    func(steps int)
+	stepsDone  func() int
+	setTrace   func(tc obs.TraceContext)
 }
 
 // builder constructs a jobProgram from a normalized spec, charging the
-// scheduler's data structures against mem. Construction performs full
-// validation: a builder error means the spec is bad (HTTP 400), never that
-// the server is overloaded.
-type builder func(spec JobSpec, mem *memmodel.Node) (*jobProgram, error)
+// scheduler's data structures against mem; comm, when non-nil, spans the
+// job's global combination across a sub-communicator. Construction performs
+// full validation: a builder error means the spec is bad (HTTP 400), never
+// that the server is overloaded.
+type builder func(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error)
 
 // builders is the typed job registry: the paper's evaluation applications
 // plus an example two-stage pipeline, keyed by the names clients submit.
@@ -158,7 +186,7 @@ func Apps() []string {
 }
 
 // buildJob normalizes the spec and dispatches to its application's builder.
-func buildJob(spec JobSpec, mem *memmodel.Node) (JobSpec, *jobProgram, error) {
+func buildJob(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (JobSpec, *jobProgram, error) {
 	if err := spec.normalize(); err != nil {
 		return spec, nil, err
 	}
@@ -166,9 +194,62 @@ func buildJob(spec JobSpec, mem *memmodel.Node) (JobSpec, *jobProgram, error) {
 	if !ok {
 		return spec, nil, fmt.Errorf("serve: unknown app %q (have %v)", spec.App, Apps())
 	}
-	prog, err := b(spec, mem)
+	prog, err := b(spec, mem, comm)
 	return spec, prog, err
 }
+
+// Program is a compiled job for an external executor — the cluster worker
+// ranks run jobs through this surface instead of the server's local pool.
+type Program struct{ p *jobProgram }
+
+// Compile validates and compiles spec into a runnable Program. mem charges
+// the runtime's data structures; comm, when non-nil, is the job's
+// sub-communicator — the scheduler's global combination then spans its
+// ranks every time-step.
+func Compile(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (JobSpec, *Program, error) {
+	norm, p, err := buildJob(spec, mem, comm)
+	if err != nil {
+		return norm, nil, err
+	}
+	return norm, &Program{p: p}, nil
+}
+
+// Run executes the program, forwarding stream records to emit.
+func (pr *Program) Run(ctx context.Context, emit func(StreamRecord)) (any, error) {
+	return pr.p.run(ctx, emit)
+}
+
+// CanCheckpoint reports whether the application has durable cross-step
+// state to persist (the window filters do not).
+func (pr *Program) CanCheckpoint() bool { return pr.p.checkpoint != nil }
+
+// Checkpoint persists the job's combination map to path (crash-safe). Call
+// only between runs or between time-steps (from the emit callback of a
+// "step" record) — never while a reduction is in flight.
+func (pr *Program) Checkpoint(path string) error { return pr.p.checkpoint(path) }
+
+// Restore loads a checkpointed combination map and marks the first
+// stepsDone time-steps as already analyzed: the run consumes them from the
+// deterministic stream without re-reducing, so the restored job's final
+// output is byte-identical to an uninterrupted run.
+func (pr *Program) Restore(path string, stepsDone int) error {
+	if pr.p.restore == nil {
+		return fmt.Errorf("serve: application has no checkpoint state to restore")
+	}
+	if err := pr.p.restore(path); err != nil {
+		return err
+	}
+	pr.p.setSkip(stepsDone)
+	return nil
+}
+
+// StepsDone reports the completed time-steps (checkpoint-covered steps
+// included after a Restore).
+func (pr *Program) StepsDone() int { return pr.p.stepsDone() }
+
+// SetTraceContext places the program's phase spans under the given trace
+// position (conventionally the job's root span on the coordinator).
+func (pr *Program) SetTraceContext(tc obs.TraceContext) { pr.p.setTrace(tc) }
 
 // rangeOr returns the spec's [lo, hi) value range, defaulting to ±4σ of the
 // emulator's standard-normal stream.
@@ -185,14 +266,51 @@ func emulator(spec JobSpec, dims int) (*sim.Emulator, error) {
 	return sim.NewEmulator(sim.EmulatorConfig{StepElems: spec.Elems, Seed: spec.Seed, Dims: dims})
 }
 
-// wireRunner couples a scheduler and a data source into a jobProgram run
-// function: every time-step the emulator produces is analyzed in place with
-// the job's context (so cancellation lands within one chunk), phase spans
-// and early emissions are forwarded to the job's stream, and the caller's
-// result extractor shapes the final payload.
+// wireRunner couples a scheduler and a data source into a jobProgram: every
+// time-step the emulator produces is analyzed in place with the job's
+// context (so cancellation lands within one chunk), phase spans and early
+// emissions are forwarded to the job's stream, and the caller's result
+// extractor shapes the final payload. The returned program has run,
+// setSkip/stepsDone and setTrace wired; checkpoint/restore are the
+// caller's to attach for applications with durable state.
+// drainShield returns the context the per-step reductions run on: it
+// ignores a drain-class cancellation of ctx but propagates every other
+// cause. A drain must stop the run at a step boundary — the checkpoint
+// written afterwards has to capture exactly the steps the resume sidecar
+// says were analyzed, or the resumed run double-counts the interrupted
+// step's partial contributions — so the in-flight step is allowed to
+// finish and the loop stops before reducing the next one. Hard cancels and
+// deadlines still abort mid-step. The returned stop func releases the
+// watcher goroutine.
+func drainShield(ctx context.Context) (context.Context, func()) {
+	stepCtx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		select {
+		case <-ctx.Done():
+			if cause := context.Cause(ctx); !errors.Is(cause, ErrDrainCheckpoint) {
+				cancel(cause)
+			}
+		case <-stepCtx.Done():
+		}
+	}()
+	return stepCtx, func() { cancel(context.Canceled) }
+}
+
+// drainRequested reports whether ctx was cancelled with the drain cause,
+// returning that cause for the run loop to surface at the step boundary.
+func drainRequested(ctx context.Context) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); errors.Is(cause, ErrDrainCheckpoint) {
+		return cause
+	}
+	return nil
+}
+
 func wireRunner[Out any](sched *core.Scheduler[float64, Out], em *sim.Emulator,
 	spec JobSpec, mem *memmodel.Node, multiKey, resetPerStep bool, outLen int,
-	result func(out []Out) any) func(context.Context, func(StreamRecord)) (any, error) {
+	result func(out []Out) any) *jobProgram {
 
 	// Phase/engine pprof labels on the reduction workers, composing with the
 	// job/tenant labels runJob sets around the whole program.
@@ -211,28 +329,53 @@ func wireRunner[Out any](sched *core.Scheduler[float64, Out], em *sim.Emulator,
 			emit(StreamRecord{Type: "emit", Key: key, Value: v})
 		}
 	})
-	return func(ctx context.Context, e func(StreamRecord)) (any, error) {
+	var skip int
+	var done atomic.Int64
+	p := &jobProgram{
+		setTrace:  sched.SetTraceContext,
+		setSkip:   func(n int) { skip = n },
+		stepsDone: func() int { return int(done.Load()) },
+	}
+	p.run = func(ctx context.Context, e func(StreamRecord)) (any, error) {
 		emit = e
+		stepCtx, stop := drainShield(ctx)
+		defer stop()
 		var out []Out
 		if outLen > 0 {
 			out = make([]Out, outLen)
 		}
 		step := 0
+		done.Store(int64(skip))
 		analyze := func(data []float64) error {
+			if err := drainRequested(ctx); err != nil {
+				return err
+			}
+			if step < skip {
+				// A restored run: this step's contribution is already in
+				// the restored combination map. The emulator still produced
+				// the data (keeping the deterministic stream aligned); we
+				// just do not reduce it again.
+				step++
+				return nil
+			}
 			if resetPerStep {
 				sched.ResetCombinationMap()
 			}
 			var err error
 			if multiKey {
-				err = sched.Run2Context(ctx, data, out)
+				err = sched.Run2Context(stepCtx, data, out)
 			} else {
-				err = sched.RunContext(ctx, data, out)
+				err = sched.RunContext(stepCtx, data, out)
 			}
 			if err != nil {
 				return err
 			}
-			emit(StreamRecord{Type: "step", Step: step})
+			// The counter advances before the "step" record goes out: a
+			// checkpoint taken from that record's callback must already
+			// count the step whose state it captures.
 			step++
+			done.Store(int64(step))
+			emit(StreamRecord{Type: "step", Step: step - 1})
 			return nil
 		}
 		if _, err := insitu.TimeSharingContext(ctx, em, analyze, insitu.TimeSharingConfig{Steps: spec.Steps, Mem: mem}); err != nil {
@@ -244,6 +387,7 @@ func wireRunner[Out any](sched *core.Scheduler[float64, Out], em *sim.Emulator,
 		}
 		return res, nil
 	}
+	return p
 }
 
 // statsView shapes a stats snapshot into the JSON-friendly form embedded in
@@ -264,7 +408,7 @@ func statsView(st core.Stats) map[string]any {
 	}
 }
 
-func buildHistogram(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+func buildHistogram(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	p := spec.Params
 	lo, hi := rangeOr(p)
 	buckets := p.Buckets
@@ -276,7 +420,7 @@ func buildHistogram(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	}
 	app := analytics.NewHistogram(lo, hi, buckets)
 	sched, err := core.NewScheduler[float64, int64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine, Comm: comm,
 	})
 	if err != nil {
 		return nil, err
@@ -285,13 +429,14 @@ func buildHistogram(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := wireRunner(sched, em, spec, mem, false, false, buckets, func(out []int64) any {
+	prog := wireRunner(sched, em, spec, mem, false, false, buckets, func(out []int64) any {
 		return map[string]any{"buckets": out, "lo": lo, "hi": hi}
 	})
-	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+	prog.checkpoint, prog.restore = sched.WriteCheckpoint, sched.ReadCheckpoint
+	return prog, nil
 }
 
-func buildGridAgg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+func buildGridAgg(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	gs := spec.Params.GridSize
 	if gs == 0 {
 		gs = 1000
@@ -302,7 +447,7 @@ func buildGridAgg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	cells := (spec.Elems + gs - 1) / gs
 	app := analytics.NewGridAgg(gs, 0)
 	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine, Comm: comm,
 	})
 	if err != nil {
 		return nil, err
@@ -311,13 +456,14 @@ func buildGridAgg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := wireRunner(sched, em, spec, mem, false, false, cells, func(out []float64) any {
+	prog := wireRunner(sched, em, spec, mem, false, false, cells, func(out []float64) any {
 		return map[string]any{"cells": out, "grid_size": gs}
 	})
-	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+	prog.checkpoint, prog.restore = sched.WriteCheckpoint, sched.ReadCheckpoint
+	return prog, nil
 }
 
-func buildMoments(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+func buildMoments(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	gs := spec.Params.GridSize
 	if gs == 0 {
 		gs = 1000
@@ -328,7 +474,7 @@ func buildMoments(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	cells := (spec.Elems + gs - 1) / gs
 	app := analytics.NewMoments(gs, 0)
 	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine, Comm: comm,
 	})
 	if err != nil {
 		return nil, err
@@ -337,13 +483,14 @@ func buildMoments(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := wireRunner(sched, em, spec, mem, false, false, cells, func(out []float64) any {
+	prog := wireRunner(sched, em, spec, mem, false, false, cells, func(out []float64) any {
 		return map[string]any{"variance": out, "grid_size": gs}
 	})
-	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+	prog.checkpoint, prog.restore = sched.WriteCheckpoint, sched.ReadCheckpoint
+	return prog, nil
 }
 
-func buildMutualInfo(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+func buildMutualInfo(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	p := spec.Params
 	lo, hi := rangeOr(p)
 	buckets := p.Buckets
@@ -359,7 +506,7 @@ func buildMutualInfo(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	}
 	app := analytics.NewMutualInfo(lo, hi, buckets, lo, hi, buckets)
 	sched, err := core.NewScheduler[float64, int64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 2, NumIters: 1, Mem: mem, Engine: spec.Engine,
+		NumThreads: spec.Threads, ChunkSize: 2, NumIters: 1, Mem: mem, Engine: spec.Engine, Comm: comm,
 	})
 	if err != nil {
 		return nil, err
@@ -368,13 +515,14 @@ func buildMutualInfo(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := wireRunner(sched, em, spec, mem, false, false, 0, func([]int64) any {
+	prog := wireRunner(sched, em, spec, mem, false, false, 0, func([]int64) any {
 		return map[string]any{"mutual_information": app.MI(sched.CombinationMap())}
 	})
-	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+	prog.checkpoint, prog.restore = sched.WriteCheckpoint, sched.ReadCheckpoint
+	return prog, nil
 }
 
-func buildLogReg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+func buildLogReg(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	p := spec.Params
 	dims := p.Dims
 	if dims == 0 {
@@ -401,7 +549,7 @@ func buildLogReg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	}
 	app := analytics.NewLogReg(dims, rate)
 	sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: rec, NumIters: iters, Mem: mem, Engine: spec.Engine,
+		NumThreads: spec.Threads, ChunkSize: rec, NumIters: iters, Mem: mem, Engine: spec.Engine, Comm: comm,
 	})
 	if err != nil {
 		return nil, err
@@ -410,13 +558,14 @@ func buildLogReg(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := wireRunner(sched, em, spec, mem, false, false, 0, func([]float64) any {
+	prog := wireRunner(sched, em, spec, mem, false, false, 0, func([]float64) any {
 		return map[string]any{"weights": app.Weights(sched.CombinationMap())}
 	})
-	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+	prog.checkpoint, prog.restore = sched.WriteCheckpoint, sched.ReadCheckpoint
+	return prog, nil
 }
 
-func buildKMeans(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+func buildKMeans(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	p := spec.Params
 	k, dims := p.K, p.Dims
 	if k == 0 {
@@ -442,7 +591,7 @@ func buildKMeans(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	lo, hi := rangeOr(p)
 	app := analytics.NewKMeans(k, dims)
 	sched, err := core.NewScheduler[float64, []float64](app, core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: dims, NumIters: iters, Mem: mem, Engine: spec.Engine,
+		NumThreads: spec.Threads, ChunkSize: dims, NumIters: iters, Mem: mem, Engine: spec.Engine, Comm: comm,
 		Extra: initCentroids(k, dims, lo, hi),
 	})
 	if err != nil {
@@ -452,10 +601,11 @@ func buildKMeans(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := wireRunner(sched, em, spec, mem, false, false, 0, func([][]float64) any {
+	prog := wireRunner(sched, em, spec, mem, false, false, 0, func([][]float64) any {
 		return map[string]any{"centroids": app.Centroids(sched.CombinationMap())}
 	})
-	return &jobProgram{run: run, checkpoint: sched.WriteCheckpoint}, nil
+	prog.checkpoint, prog.restore = sched.WriteCheckpoint, sched.ReadCheckpoint
+	return prog, nil
 }
 
 // initCentroids spreads k deterministic starting centroids across [lo, hi]
@@ -476,7 +626,7 @@ func initCentroids(k, dims int, lo, hi float64) []float64 {
 // finalizes and streams as soon as its expected contributions arrive), and
 // reset per time-step — so they have no cross-step state to checkpoint.
 func buildWindow(kind string) builder {
-	return func(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+	return func(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 		p := spec.Params
 		win := p.Window
 		if win == 0 {
@@ -506,7 +656,7 @@ func buildWindow(kind string) builder {
 			return nil, fmt.Errorf("serve: unknown window app %q", kind)
 		}
 		sched, err := core.NewScheduler[float64, float64](app, core.SchedArgs{
-			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
+			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine, Comm: comm,
 		})
 		if err != nil {
 			return nil, err
@@ -515,14 +665,13 @@ func buildWindow(kind string) builder {
 		if err != nil {
 			return nil, err
 		}
-		run := wireRunner(sched, em, spec, mem, true, true, spec.Elems, func(out []float64) any {
+		return wireRunner(sched, em, spec, mem, true, true, spec.Elems, func(out []float64) any {
 			head := out
 			if len(head) > 32 {
 				head = head[:32]
 			}
 			return map[string]any{"len": len(out), "head": head}
-		})
-		return &jobProgram{run: run}, nil
+		}), nil
 	}
 }
 
@@ -530,7 +679,7 @@ func buildWindow(kind string) builder {
 // registry: stage one grid-aggregates each time-step into cell means, stage
 // two histograms those means over their observed range. Both stages run on
 // the job's context, so cancellation stops either stage within one chunk.
-func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error) {
+func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	p := spec.Params
 	gs := p.GridSize
 	if gs == 0 {
@@ -548,7 +697,7 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error
 	}
 	cells := (spec.Elems + gs - 1) / gs
 	stage1, err := core.NewScheduler[float64, float64](analytics.NewGridAgg(gs, 0), core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine,
+		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine, Comm: comm,
 	})
 	if err != nil {
 		return nil, err
@@ -557,16 +706,40 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error
 	if err != nil {
 		return nil, err
 	}
-	run := func(ctx context.Context, emit func(StreamRecord)) (any, error) {
+	var skip int
+	var done atomic.Int64
+	var trace obs.TraceContext
+	prog := &jobProgram{
+		checkpoint: stage1.WriteCheckpoint,
+		restore:    stage1.ReadCheckpoint,
+		setSkip:    func(n int) { skip = n },
+		stepsDone:  func() int { return int(done.Load()) },
+		setTrace: func(tc obs.TraceContext) {
+			trace = tc
+			stage1.SetTraceContext(tc)
+		},
+	}
+	prog.run = func(ctx context.Context, emit func(StreamRecord)) (any, error) {
 		means := make([]float64, cells)
+		stepCtx, stop := drainShield(ctx)
+		defer stop()
 		step := 0
+		done.Store(int64(skip))
 		analyze := func(data []float64) error {
-			stage1.ResetCombinationMap()
-			if err := stage1.RunContext(ctx, data, means); err != nil {
+			if err := drainRequested(ctx); err != nil {
 				return err
 			}
-			emit(StreamRecord{Type: "step", Step: step})
+			if step < skip {
+				step++
+				return nil
+			}
+			stage1.ResetCombinationMap()
+			if err := stage1.RunContext(stepCtx, data, means); err != nil {
+				return err
+			}
 			step++
+			done.Store(int64(step))
+			emit(StreamRecord{Type: "step", Step: step - 1})
 			return nil
 		}
 		if _, err := insitu.TimeSharingContext(ctx, em, analyze, insitu.TimeSharingConfig{Steps: spec.Steps, Mem: mem}); err != nil {
@@ -594,6 +767,7 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error
 		if err != nil {
 			return nil, err
 		}
+		stage2.SetTraceContext(trace)
 		hist := make([]int64, buckets)
 		if err := stage2.RunContext(ctx, means, hist); err != nil {
 			return nil, err
@@ -606,5 +780,5 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node) (*jobProgram, error
 			},
 		}, nil
 	}
-	return &jobProgram{run: run, checkpoint: stage1.WriteCheckpoint}, nil
+	return prog, nil
 }

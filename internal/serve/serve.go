@@ -2,10 +2,13 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,10 +31,10 @@ var (
 	ErrNotFound = errors.New("serve: no such job")
 )
 
-// errDrainCheckpoint is the cancellation cause Drain uses when the grace
-// period expires: runJob recognizes it and checkpoints the job's state
-// instead of discarding it.
-var errDrainCheckpoint = errors.New("serve: drain grace expired, checkpointing")
+// ErrDrainCheckpoint is the cancellation cause Drain uses when the grace
+// period expires: runJob (and a cluster Executor) recognizes it and
+// checkpoints the job's state instead of discarding it.
+var ErrDrainCheckpoint = errors.New("serve: drain grace expired, checkpointing")
 
 // Status is a job's lifecycle state.
 type Status string
@@ -58,14 +61,68 @@ func (st Status) terminal() bool {
 	return st != StatusQueued && st != StatusRunning
 }
 
+// RemoteJob is an admitted job handed to a Config.Executor: everything an
+// external execution plane (the cluster dispatcher) needs to run it and
+// stream its records back.
+type RemoteJob struct {
+	// ID is the job's service-wide identifier.
+	ID string
+	// Spec is the normalized job spec.
+	Spec JobSpec
+	// Trace is the job's root trace context; the executor should thread it
+	// through dispatch and execution so the job's spans across ranks stitch
+	// into one trace.
+	Trace obs.TraceContext
+	// Emit forwards a stream record into the job's NDJSON stream. Safe for
+	// concurrent use.
+	Emit func(StreamRecord)
+	// ResumeCheckpoint, when non-empty, is a checkpoint file the job's
+	// combination map must be restored from before running, with
+	// ResumeSteps already-analyzed time-steps to skip.
+	ResumeCheckpoint string
+	// ResumeSteps is the number of completed steps the checkpoint covers.
+	ResumeSteps int
+}
+
+// Executor runs admitted jobs somewhere other than the local worker pool —
+// the cluster dispatcher implements it. Execute blocks until the job is
+// terminal: a nil error with the result value, a *CheckpointedError when a
+// drain-cancelled job was checkpointed, a context error for cancellation,
+// any other error for failure.
+type Executor interface {
+	Execute(ctx context.Context, job RemoteJob) (any, error)
+}
+
+// CheckpointedError is returned by an Executor when a drain-cancelled job
+// was persisted instead of discarded.
+type CheckpointedError struct {
+	// Path is the written checkpoint file.
+	Path string
+	// StepsDone is the number of completed time-steps the checkpoint covers.
+	StepsDone int
+}
+
+func (e *CheckpointedError) Error() string {
+	return fmt.Sprintf("serve: checkpointed after %d steps to %s", e.StepsDone, e.Path)
+}
+
 // Config configures a Server.
 type Config struct {
 	// Queue is the bounded job-queue capacity (default 16). A Submit that
 	// finds the queue full fails with ErrQueueFull instead of blocking.
 	Queue int
 	// Workers is the worker-pool size — how many jobs execute concurrently
-	// (default 2).
+	// (default 2). In cluster mode (Executor set) it caps the jobs in
+	// flight on the cluster at once.
 	Workers int
+	// Tenants maps tenant names to their fair-queueing configuration
+	// (weight, in-flight quota, priority class). Tenants absent from the
+	// map get weight 1, no quota, class "normal".
+	Tenants map[string]TenantConfig
+	// Executor, when non-nil, replaces local execution: admitted jobs are
+	// handed to it (the cluster dispatcher) instead of running on this
+	// process's schedulers. Specs are still fully validated at Submit.
+	Executor Executor
 	// Mem, when non-nil, is the virtual memory node jobs charge their
 	// runtime structures against and the admission signal: submissions are
 	// rejected while the node is above its high-water mark.
@@ -83,16 +140,27 @@ type Config struct {
 // Job is one submitted analytics job. All exported access goes through
 // View, Done and the Server methods; fields are guarded by mu.
 type Job struct {
-	id   string
-	spec JobSpec
-	prog *jobProgram
-	ctx  context.Context
+	id     string
+	spec   JobSpec
+	tenant string
+	prog   *jobProgram
+	ctx    context.Context
 	// cancel cancels the job's context with a cause; runJob classifies the
 	// terminal status from it.
 	cancel context.CancelCauseFunc
 	// done closes when the job reaches a terminal status.
 	done chan struct{}
 	hub  *streamHub
+
+	// vstart and vfinish are the WFQ virtual time tags stamped at admission.
+	vstart, vfinish float64
+	// resumeCkpt and resumeSteps carry a restored job's checkpoint: the
+	// combination map file to load before running and the completed steps
+	// it covers. resumeSidecar is the restart metadata file, deleted with
+	// the checkpoint when the job finishes for good.
+	resumeCkpt    string
+	resumeSteps   int
+	resumeSidecar string
 
 	mu         sync.Mutex
 	status     Status
@@ -143,7 +211,8 @@ func (j *Job) View() JobView {
 }
 
 // Server is the multi-tenant analytics job service: admission control in
-// Submit, a worker pool draining the bounded queue, per-job cancellation
+// Submit, weighted fair queueing across tenants, a worker pool draining the
+// queue (or handing jobs to a cluster Executor), per-job cancellation
 // through each job's context, and streaming results through per-job hubs.
 type Server struct {
 	cfg Config
@@ -155,8 +224,7 @@ type Server struct {
 	draining bool
 	seq      int
 
-	queue chan *Job
-	quit  chan struct{}
+	queue *wfq
 	wg    sync.WaitGroup
 }
 
@@ -175,8 +243,7 @@ func NewServer(cfg Config) *Server {
 		cfg:   cfg,
 		met:   newServeMetrics(cfg.Registry),
 		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.Queue),
-		quit:  make(chan struct{}),
+		queue: newWFQ(cfg.Queue, cfg.Tenants),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -185,15 +252,41 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
+// tenantOf resolves a spec's tenant name (default "default").
+func tenantOf(spec JobSpec) string {
+	if spec.Tenant == "" {
+		return "default"
+	}
+	return spec.Tenant
+}
+
 // Submit builds the spec's job and admits it to the queue. It never blocks:
 // a full queue returns ErrQueueFull, a pressured memory node ErrMemPressure,
 // a draining server ErrDraining, and a bad spec the builder's error. On
-// success the job is queued and will run when a worker frees up.
+// success the job is queued (stamped with its tenant's fair-queueing tags)
+// and will run when a worker frees up and the tenant is under quota.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
-	norm, prog, err := buildJob(spec, s.cfg.Mem)
+	// The spec is compiled even in cluster mode, where the program runs on
+	// a worker rank instead: construction is the full validation pass, so a
+	// bad spec is a 400 at the front door, not a failure on a remote rank.
+	// The validation build charges no memory — the real build happens where
+	// the job runs.
+	buildMem := s.cfg.Mem
+	if s.cfg.Executor != nil {
+		buildMem = nil
+	}
+	norm, prog, err := buildJob(spec, buildMem, nil)
 	if err != nil {
 		return nil, err
 	}
+	if s.cfg.Executor != nil {
+		prog = nil
+	}
+	return s.admit(norm, prog, "", 0, "")
+}
+
+// admit registers and enqueues a compiled job.
+func (s *Server) admit(norm JobSpec, prog *jobProgram, resumeCkpt string, resumeSteps int, sidecar string) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -207,23 +300,30 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.seq++
 	ctx, cancel := context.WithCancelCause(context.Background())
 	j := &Job{
-		id:        fmt.Sprintf("job-%04d", s.seq),
-		spec:      norm,
-		prog:      prog,
-		ctx:       ctx,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		hub:       newStreamHub(),
-		status:    StatusQueued,
-		submitted: time.Now(),
+		id:            fmt.Sprintf("job-%04d", s.seq),
+		spec:          norm,
+		tenant:        tenantOf(norm),
+		prog:          prog,
+		ctx:           ctx,
+		cancel:        cancel,
+		done:          make(chan struct{}),
+		hub:           newStreamHub(),
+		status:        StatusQueued,
+		submitted:     time.Now(),
+		resumeCkpt:    resumeCkpt,
+		resumeSteps:   resumeSteps,
+		resumeSidecar: sidecar,
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.queue.push(j, j.tenant); err != nil {
 		s.seq--
-		cancel(ErrQueueFull)
-		s.met.rejectsQueueFull.Inc()
-		return nil, ErrQueueFull
+		cancel(err)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.met.rejectsQueueFull.Inc()
+		case errors.Is(err, ErrDraining):
+			s.met.rejectsDraining.Inc()
+		}
+		return nil, err
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -278,17 +378,19 @@ func (s *Server) Cancel(id string, cause error) error {
 	return nil
 }
 
-// worker drains the queue until Drain closes quit.
+// worker drains the queue until Drain closes it. The in-flight quota slot
+// charged by pop is released when runJob returns — including the skip path
+// for jobs cancelled while queued.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.quit:
+		j := s.queue.pop()
+		if j == nil {
 			return
-		case j := <-s.queue:
-			s.met.queueDepth.Add(-1)
-			s.runJob(j)
 		}
+		s.met.queueDepth.Add(-1)
+		s.runJob(j)
+		s.queue.release(j.tenant)
 	}
 }
 
@@ -308,7 +410,7 @@ func (s *Server) deadlineFor(j *Job) time.Duration {
 func (s *Server) runJob(j *Job) {
 	j.mu.Lock()
 	if j.status != StatusQueued {
-		// Cancelled or drain-rejected while still in the queue channel.
+		// Cancelled or drain-rejected while still in the queue.
 		j.mu.Unlock()
 		return
 	}
@@ -317,6 +419,7 @@ func (s *Server) runJob(j *Job) {
 	queueWait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
 	s.met.queueSeconds.Observe(queueWait.Seconds())
+	s.met.tenantQueueWait(j.tenant).Observe(queueWait.Seconds())
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
@@ -326,26 +429,40 @@ func (s *Server) runJob(j *Job) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	// Run under job-identity pprof labels: every goroutine the program
-	// spawns (engine workers included) inherits them, so a CPU or heap
-	// profile scraped from /debug/pprof attributes samples to the job,
-	// tenant and app — the scheduler adds phase/engine labels underneath.
-	tenant := j.spec.Tenant
-	if tenant == "" {
-		tenant = "default"
-	}
+
+	// One root span per job: the scheduler's phase spans (local execution)
+	// or the cluster's dispatch/execute/retry spans all parent under it, so
+	// a stitched Chrome trace shows each job as one tree across ranks.
+	root := obs.Default().StartSpan(obs.TraceContext{}, "serve", "job "+j.id)
+	root.SetAttr("app", j.spec.App)
+	root.SetAttr("tenant", j.tenant)
+	defer root.End()
+
 	var result any
 	var err error
-	pprof.Do(ctx, pprof.Labels("job", j.id, "tenant", tenant, "app", j.spec.App),
-		func(ctx context.Context) {
-			result, err = j.prog.run(ctx, j.hub.emit)
+	if s.cfg.Executor != nil {
+		result, err = s.cfg.Executor.Execute(ctx, RemoteJob{
+			ID:               j.id,
+			Spec:             j.spec,
+			Trace:            root.Context(),
+			Emit:             j.hub.emit,
+			ResumeCheckpoint: j.resumeCkpt,
+			ResumeSteps:      j.resumeSteps,
 		})
+	} else {
+		result, err = s.runLocal(ctx, j, root.Context())
+	}
+
+	var ck *CheckpointedError
 	switch {
 	case err == nil:
+		s.gcCheckpoints(j)
 		s.finish(j, StatusRunning, StatusDone, result, "", "")
-	case context.Cause(j.ctx) == errDrainCheckpoint && j.prog.checkpoint != nil:
+	case errors.As(err, &ck):
+		s.finish(j, StatusRunning, StatusCheckpointed, nil, ErrDrainCheckpoint.Error(), ck.Path)
+	case context.Cause(j.ctx) == ErrDrainCheckpoint && j.prog != nil && j.prog.checkpoint != nil:
 		path := filepath.Join(s.checkpointDir(), j.id+".ck")
-		if ckErr := j.prog.checkpoint(path); ckErr != nil {
+		if ckErr := s.writeJobCheckpoint(j, path); ckErr != nil {
 			s.finish(j, StatusRunning, StatusFailed, nil,
 				fmt.Sprintf("drain checkpoint failed: %v (run: %v)", ckErr, err), "")
 			return
@@ -354,8 +471,175 @@ func (s *Server) runJob(j *Job) {
 	case ctx.Err() != nil:
 		s.finish(j, StatusRunning, StatusCancelled, nil, err.Error(), "")
 	default:
+		s.gcCheckpoints(j)
 		s.finish(j, StatusRunning, StatusFailed, nil, err.Error(), "")
 	}
+}
+
+// runLocal executes a job on this process's schedulers, restoring a resumed
+// job's checkpoint first.
+func (s *Server) runLocal(ctx context.Context, j *Job, tc obs.TraceContext) (any, error) {
+	if j.resumeCkpt != "" {
+		if j.prog.restore == nil {
+			return nil, fmt.Errorf("serve: job %s has a checkpoint but app %q cannot restore", j.id, j.spec.App)
+		}
+		if err := j.prog.restore(j.resumeCkpt); err != nil {
+			return nil, err
+		}
+		if j.prog.setSkip != nil {
+			j.prog.setSkip(j.resumeSteps)
+		}
+	}
+	if j.prog.setTrace != nil {
+		j.prog.setTrace(tc)
+	}
+	// Run under job-identity pprof labels: every goroutine the program
+	// spawns (engine workers included) inherits them, so a CPU or heap
+	// profile scraped from /debug/pprof attributes samples to the job,
+	// tenant and app — the scheduler adds phase/engine labels underneath.
+	var result any
+	var err error
+	pprof.Do(ctx, pprof.Labels("job", j.id, "tenant", j.tenant, "app", j.spec.App),
+		func(ctx context.Context) {
+			result, err = j.prog.run(ctx, j.hub.emit)
+		})
+	return result, err
+}
+
+// writeJobCheckpoint persists a drained job's combination map plus the
+// resume sidecar (spec and completed-step count) a future server needs to
+// pick the job back up.
+func (s *Server) writeJobCheckpoint(j *Job, path string) error {
+	if err := j.prog.checkpoint(path); err != nil {
+		return err
+	}
+	steps := 0
+	if j.prog.stepsDone != nil {
+		steps = j.prog.stepsDone()
+	}
+	return writeResumeSidecar(sidecarPath(path), j.spec, steps)
+}
+
+// resumeSidecar is the restart metadata persisted next to a drain
+// checkpoint: everything a future server needs to re-admit the job.
+type resumeSidecar struct {
+	Spec      JobSpec `json:"spec"`
+	StepsDone int     `json:"steps_done"`
+	// Checkpoint is the combination-map file, relative to the sidecar.
+	Checkpoint string `json:"checkpoint"`
+}
+
+// sidecarPath maps a checkpoint path to its sidecar path.
+func sidecarPath(ckPath string) string {
+	return strings.TrimSuffix(ckPath, ".ck") + ".resume.json"
+}
+
+func writeResumeSidecar(path string, spec JobSpec, stepsDone int) error {
+	sc := resumeSidecar{Spec: spec, StepsDone: stepsDone,
+		Checkpoint: strings.TrimSuffix(filepath.Base(path), ".resume.json") + ".ck"}
+	buf, err := json.Marshal(sc)
+	if err != nil {
+		return fmt.Errorf("serve: encode resume sidecar: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("serve: write resume sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: publish resume sidecar: %w", err)
+	}
+	return nil
+}
+
+// WriteResumeArtifacts persists checkpoint bytes received from a remote
+// executor as dir/<id>.ck plus the resume sidecar RestoreCheckpoints looks
+// for, and returns the checkpoint path. The cluster dispatcher uses it when
+// a drained worker uploads its final state: the bytes cross the wire, the
+// durable files live on the coordinator.
+func WriteResumeArtifacts(dir, id string, spec JobSpec, ck []byte, steps int) (string, error) {
+	ckPath := filepath.Join(dir, id+".ck")
+	tmp := ckPath + ".tmp"
+	if err := os.WriteFile(tmp, ck, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, ckPath); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := writeResumeSidecar(sidecarPath(ckPath), spec, steps); err != nil {
+		return "", err
+	}
+	return ckPath, nil
+}
+
+// RestoreCheckpoints scans the checkpoint directory for jobs a previous
+// server drained and re-admits each one at the head of the queue: restored
+// jobs carry the earliest virtual-finish tags (the queue is empty when this
+// runs), so they execute before anything submitted afterwards. Call it
+// right after NewServer, before serving HTTP. Restored jobs resume from
+// their checkpointed combination map, skipping the steps already analyzed.
+// It returns the restored job ids; unreadable sidecars are skipped with an
+// error in the second return.
+func (s *Server) RestoreCheckpoints() ([]string, error) {
+	dir := s.checkpointDir()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.resume.json"))
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	var firstErr error
+	for _, sidecar := range matches {
+		buf, err := os.ReadFile(sidecar)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		var sc resumeSidecar
+		if err := json.Unmarshal(buf, &sc); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: bad resume sidecar %s: %w", sidecar, err)
+			}
+			continue
+		}
+		ckPath := filepath.Join(dir, sc.Checkpoint)
+		var prog *jobProgram
+		if s.cfg.Executor == nil {
+			_, prog, err = buildJob(sc.Spec, s.cfg.Mem, nil)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("serve: rebuild %s: %w", sidecar, err)
+				}
+				continue
+			}
+		}
+		j, err := s.admit(sc.Spec, prog, ckPath, sc.StepsDone, sidecar)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.met.restored.Inc()
+		ids = append(ids, j.id)
+	}
+	return ids, firstErr
+}
+
+// gcCheckpoints deletes a restored job's checkpoint and sidecar once the
+// job no longer needs them: it completed, or failed terminally (a failed
+// job would fail the same way again — the files only pin disk).
+func (s *Server) gcCheckpoints(j *Job) {
+	if j.resumeCkpt == "" {
+		return
+	}
+	os.Remove(j.resumeCkpt)
+	if j.resumeSidecar != "" {
+		os.Remove(j.resumeSidecar)
+	}
+	s.met.checkpointsGCd.Inc()
 }
 
 func (s *Server) checkpointDir() string {
@@ -419,9 +703,9 @@ func (s *Server) finish(j *Job, from, to Status, result any, errMsg, ckpath stri
 // queued jobs that never started are rejected, and in-flight jobs get the
 // grace period to finish on their own. Jobs still running when it expires
 // are cancelled with a checkpoint cause — checkpointable applications
-// persist their combination map to CheckpointDir and finish as
-// StatusCheckpointed; the rest finish as StatusCancelled. Drain returns
-// once every job is terminal and the workers have exited.
+// persist their combination map (plus a resume sidecar) to CheckpointDir
+// and finish as StatusCheckpointed; the rest finish as StatusCancelled.
+// Drain returns once every job is terminal and the workers have exited.
 func (s *Server) Drain(grace time.Duration) {
 	s.mu.Lock()
 	if s.draining {
@@ -435,19 +719,13 @@ func (s *Server) Drain(grace time.Duration) {
 	// Flush the queue: anything a worker has not picked up is rejected.
 	// A worker may race us to a queued job — it then runs under the grace
 	// period like any other in-flight job.
-	for {
-		select {
-		case j := <-s.queue:
-			s.met.queueDepth.Add(-1)
-			if s.finish(j, StatusQueued, StatusRejected, nil, ErrDraining.Error(), "") {
-				s.met.rejectsDraining.Inc()
-			}
-		default:
-			goto flushed
+	for _, j := range s.queue.flush() {
+		s.met.queueDepth.Add(-1)
+		if s.finish(j, StatusQueued, StatusRejected, nil, ErrDraining.Error(), "") {
+			s.met.rejectsDraining.Inc()
 		}
 	}
-flushed:
-	close(s.quit)
+	s.queue.close()
 
 	s.mu.Lock()
 	var inflight []*Job
@@ -472,7 +750,7 @@ flushed:
 	case <-allDone:
 	case <-time.After(grace):
 		for _, j := range inflight {
-			j.cancel(errDrainCheckpoint)
+			j.cancel(ErrDrainCheckpoint)
 		}
 		<-allDone
 	}

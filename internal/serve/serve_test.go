@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/scipioneer/smart/internal/memmodel"
+	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/obs"
 )
 
@@ -25,7 +26,7 @@ import (
 func registerBlockingApp(t *testing.T) chan struct{} {
 	t.Helper()
 	release := make(chan struct{})
-	builders["test-block"] = func(JobSpec, *memmodel.Node) (*jobProgram, error) {
+	builders["test-block"] = func(JobSpec, *memmodel.Node, *mpi.Comm) (*jobProgram, error) {
 		return &jobProgram{run: func(ctx context.Context, emit func(StreamRecord)) (any, error) {
 			select {
 			case <-release:
@@ -561,5 +562,133 @@ func TestJobEngineSelection(t *testing.T) {
 
 	if _, err := s.Submit(JobSpec{App: "histogram", Engine: "fifo"}); err == nil {
 		t.Error("Submit accepted an unknown engine name")
+	}
+}
+
+// strippedResult marshals a terminal job's result with the non-deterministic
+// "stats" block (timings) removed, for byte-level comparison across runs.
+func strippedResult(t *testing.T, j *Job) []byte {
+	t.Helper()
+	buf, err := json.Marshal(j.View().Result)
+	if err != nil {
+		t.Fatalf("marshal result of %s: %v", j.ID(), err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatalf("result of %s is not an object: %v", j.ID(), err)
+	}
+	delete(m, "stats")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRestartRestoresDrainedJobsFirstByteIdentical is the drain-then-restart
+// regression: a server drained mid-job leaves a checkpoint + resume sidecar;
+// a new server over the same directory must re-admit that job ahead of
+// anything submitted after the restart, resume it from the checkpoint
+// (skipping the analyzed steps, not re-reducing them), produce a result
+// byte-identical to an uninterrupted run, and GC the checkpoint files once
+// the job completes.
+func TestRestartRestoresDrainedJobsFirstByteIdentical(t *testing.T) {
+	spec := JobSpec{
+		App: "kmeans", Steps: 400, Elems: 32768, Seed: 7,
+		Params: Params{K: 4, Dims: 4, Iters: 6},
+	}
+
+	// Reference: the same job, uninterrupted.
+	ref := newTestServer(t, Config{Workers: 1})
+	rj, err := ref.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, rj, StatusDone, 60*time.Second)
+	want := strippedResult(t, rj)
+
+	// Drain a server once the job has analyzed a few steps, so the restore
+	// below actually has work to skip.
+	ckdir := t.TempDir()
+	s1 := NewServer(Config{Workers: 1, CheckpointDir: ckdir, Registry: obs.NewRegistry()})
+	j1, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for j1.prog.stepsDone() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := j1.prog.stepsDone(); n < 5 {
+		t.Fatalf("job analyzed %d steps within the deadline, want >= 5", n)
+	}
+	s1.Drain(time.Millisecond)
+	if got := j1.View().Status; got != StatusCheckpointed {
+		t.Fatalf("drained job status = %q, want %q", got, StatusCheckpointed)
+	}
+
+	// Restart over the same checkpoint dir. A blocker pins the single worker
+	// so queue order is observable: the restored job must carry an earlier
+	// virtual-finish tag than a job submitted after the restore.
+	release := registerBlockingApp(t)
+	reg2 := obs.NewRegistry()
+	s2 := newTestServer(t, Config{Workers: 1, CheckpointDir: ckdir, Registry: reg2})
+	blocker, err := s2.Submit(JobSpec{App: "test-block"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, blocker, StatusRunning, 5*time.Second)
+
+	ids, err := s2.RestoreCheckpoints()
+	if err != nil {
+		t.Fatalf("RestoreCheckpoints: %v", err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("restored %d jobs (%v), want 1", len(ids), ids)
+	}
+	restored, err := s2.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := s2.Submit(JobSpec{App: "histogram", Elems: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+
+	select {
+	case <-restored.Done():
+	case <-late.Done():
+		t.Fatal("job submitted after restart finished before the restored job")
+	case <-time.After(60 * time.Second):
+		t.Fatal("restored job did not finish")
+	}
+	waitStatus(t, late, StatusDone, 10*time.Second)
+	if got := restored.View().Status; got != StatusDone {
+		t.Fatalf("restored job status = %q (error: %s), want %q", got, restored.View().Error, StatusDone)
+	}
+
+	got := strippedResult(t, restored)
+	if !bytes.Equal(want, got) {
+		t.Errorf("restored result differs from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+	if n := reg2.Counter("smart_serve_jobs_restored_total").Value(); n != 1 {
+		t.Errorf("restored counter = %d, want 1", n)
+	}
+
+	// The checkpoint and its sidecar must be gone now that the job is done.
+	entries, err := os.ReadDir(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("checkpoint dir not GCd after restored job completed: %v", names)
+	}
+	if n := reg2.Counter("smart_serve_checkpoints_gc_total").Value(); n < 1 {
+		t.Errorf("checkpoint GC counter = %d, want >= 1", n)
 	}
 }

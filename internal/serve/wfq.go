@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Priority classes a tenant may be placed in. A class is a weight
+// multiplier, not a strict priority level: "high" tenants drain four times
+// faster than "normal" ones of equal weight, but a backlogged "low" tenant
+// still makes progress at a guaranteed rate. Strict priorities would make
+// starvation-freedom depend on the high class going idle; multipliers keep
+// it unconditional.
+const (
+	ClassHigh   = "high"
+	ClassNormal = "normal"
+	ClassLow    = "low"
+)
+
+// classFactor maps a priority class to its weight multiplier.
+func classFactor(class string) (float64, error) {
+	switch class {
+	case "", ClassNormal:
+		return 1, nil
+	case ClassHigh:
+		return 4, nil
+	case ClassLow:
+		return 0.25, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown priority class %q (have %q, %q, %q)",
+			class, ClassHigh, ClassNormal, ClassLow)
+	}
+}
+
+// TenantConfig shapes one tenant's share of the service.
+type TenantConfig struct {
+	// Weight is the tenant's fair-queueing weight; a weight-2 tenant drains
+	// twice as fast as a weight-1 tenant when both are backlogged. Zero
+	// means the default weight 1. Negative weights are rejected.
+	Weight float64 `json:"weight,omitempty"`
+	// Quota caps the tenant's in-flight (executing) jobs; its queued jobs
+	// beyond the cap wait even when workers are idle. Zero means no cap.
+	Quota int `json:"quota,omitempty"`
+	// Class is the tenant's priority class: "high", "normal" (default) or
+	// "low". The class multiplies the weight (×4, ×1, ×0.25).
+	Class string `json:"class,omitempty"`
+}
+
+// effectiveWeight resolves the tenant's scheduling weight.
+func (tc TenantConfig) effectiveWeight() (float64, error) {
+	w := tc.Weight
+	if w == 0 {
+		w = 1
+	}
+	if w < 0 {
+		return 0, fmt.Errorf("serve: negative tenant weight %v", w)
+	}
+	f, err := classFactor(tc.Class)
+	if err != nil {
+		return 0, err
+	}
+	return w * f, nil
+}
+
+// wfqTenant is one tenant's scheduling state inside the queue.
+type wfqTenant struct {
+	name   string
+	weight float64
+	quota  int
+	// virtualFinish is the finish tag assigned to the tenant's most
+	// recently enqueued job; the next job of a busy tenant starts where
+	// this one finished, which is what spaces a tenant's jobs 1/weight
+	// apart in virtual time.
+	virtualFinish float64
+	// queue is the tenant's FIFO backlog; fairness is across tenants, not
+	// within one.
+	queue []*Job
+	// inflight counts the tenant's executing jobs against its quota.
+	inflight int
+}
+
+// wfq is a weighted fair queue over tenants, the replacement for the
+// service's old single bounded FIFO. Each job is stamped with a virtual
+// finish time F = max(V, tenant.lastFinish) + 1/weight where V is the
+// queue's virtual clock; pop takes the eligible job with the smallest
+// stamp. The scheme is classic WFQ with unit job cost: when several
+// tenants are backlogged their throughput shares converge to their weight
+// ratio, and every backlogged tenant's head job has a finite stamp, so no
+// tenant starves no matter how adversarial the arrival pattern is.
+// Per-tenant quotas gate eligibility only — a tenant at its in-flight cap
+// keeps its backlog and its stamps, it just cannot occupy another worker
+// until one of its jobs finishes.
+type wfq struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// capacity bounds the total queued (not in-flight) jobs.
+	capacity int
+	size     int
+	// vtime is the queue's virtual clock; it advances to the start tag of
+	// every popped job so idle periods do not build up credit.
+	vtime   float64
+	tenants map[string]*wfqTenant
+	config  map[string]TenantConfig
+	closed  bool
+}
+
+func newWFQ(capacity int, config map[string]TenantConfig) *wfq {
+	q := &wfq{capacity: capacity, tenants: make(map[string]*wfqTenant), config: config}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// tenant returns (creating on first use) the named tenant's state.
+func (q *wfq) tenant(name string) (*wfqTenant, error) {
+	if t, ok := q.tenants[name]; ok {
+		return t, nil
+	}
+	cfg := q.config[name]
+	w, err := cfg.effectiveWeight()
+	if err != nil {
+		return nil, err
+	}
+	t := &wfqTenant{name: name, weight: w, quota: cfg.Quota}
+	q.tenants[name] = t
+	return t, nil
+}
+
+// push enqueues j for its tenant, stamping its virtual start and finish
+// tags. It fails with ErrQueueFull at capacity and never blocks.
+func (q *wfq) push(j *Job, tenantName string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.size >= q.capacity {
+		return ErrQueueFull
+	}
+	t, err := q.tenant(tenantName)
+	if err != nil {
+		return err
+	}
+	start := q.vtime
+	if t.virtualFinish > start {
+		start = t.virtualFinish
+	}
+	finish := start + 1/t.weight
+	t.virtualFinish = finish
+	j.vstart, j.vfinish = start, finish
+	t.queue = append(t.queue, j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until an eligible job is available (or the queue is closed and
+// empty, returning nil) and dequeues the one with the smallest virtual
+// finish tag among tenants under their in-flight quota. The popped job's
+// tenant is charged an in-flight slot; the caller must release it with
+// (*wfq).release when the job leaves execution.
+func (q *wfq) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if t := q.eligible(); t != nil {
+			j := t.queue[0]
+			t.queue = t.queue[1:]
+			if len(t.queue) == 0 {
+				t.queue = nil
+			}
+			q.size--
+			t.inflight++
+			if j.vstart > q.vtime {
+				q.vtime = j.vstart
+			}
+			return j
+		}
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// eligible returns the backlogged under-quota tenant whose head job has the
+// smallest virtual finish tag, nil when no job may start.
+func (q *wfq) eligible() *wfqTenant {
+	var best *wfqTenant
+	for _, t := range q.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if t.quota > 0 && t.inflight >= t.quota {
+			continue
+		}
+		if best == nil || t.queue[0].vfinish < best.queue[0].vfinish ||
+			(t.queue[0].vfinish == best.queue[0].vfinish && t.name < best.name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// release returns a tenant's in-flight slot when one of its jobs reaches a
+// terminal state, waking poppers that were gated on the quota.
+func (q *wfq) release(tenantName string) {
+	q.mu.Lock()
+	if t, ok := q.tenants[tenantName]; ok && t.inflight > 0 {
+		t.inflight--
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// flush drains every queued job (in pop order, ignoring quotas) without
+// charging in-flight slots, for the drain path to reject.
+func (q *wfq) flush() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*Job
+	for {
+		var best *wfqTenant
+		for _, t := range q.tenants {
+			if len(t.queue) == 0 {
+				continue
+			}
+			if best == nil || t.queue[0].vfinish < best.queue[0].vfinish {
+				best = t
+			}
+		}
+		if best == nil {
+			return out
+		}
+		out = append(out, best.queue[0])
+		best.queue = best.queue[1:]
+		q.size--
+	}
+}
+
+// close wakes blocked poppers; pop returns nil once the backlog is empty.
+func (q *wfq) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// depth reports the queued (not in-flight) job count.
+func (q *wfq) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

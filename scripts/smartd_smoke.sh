@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# smartd_smoke.sh — end-to-end observability smoke: build smartd and the
-# exposition linter, boot the daemon, run one job, then verify the two scrape
-# surfaces a monitoring stack depends on:
+# smartd_smoke.sh — end-to-end smoke: build smartd and the exposition
+# linter, boot the daemon, run one job, then verify the two scrape surfaces
+# a monitoring stack depends on:
 #
 #   1. /metrics parses under cmd/obslint (duplicate or malformed families,
 #      histogram invariant violations, bad escaping → exit 1);
 #   2. /debug/pprof/profile?seconds=1 returns a non-empty CPU profile.
+#
+# Then the cluster phase: a 3-rank TCP world as three separate smartd
+# processes (rank 0 coordinating, ranks 1-2 headless workers joined through
+# the -coordinator rendezvous), two WFQ tenants submitting jobs — one of
+# them multi-rank — which must all complete, export the smart_cluster_*
+# families, and drain cleanly on SIGTERM (all three processes exit 0).
 #
 # Used by the CI bench-smoke job; runs anywhere with bash + curl.
 set -euo pipefail
@@ -13,13 +19,15 @@ cd "$(dirname "$0")/.."
 
 addr="${SMARTD_ADDR:-127.0.0.1:18911}"
 workdir="$(mktemp -d)"
-trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/smartd" ./cmd/smartd
 go build -o "$workdir/obslint" ./cmd/obslint
 
 "$workdir/smartd" -addr "$addr" -flight 128 &
 pid=$!
+pids+=("$pid")
 
 # Wait for the daemon to come up.
 for i in $(seq 1 50); do
@@ -51,3 +59,72 @@ fi
 kill "$pid"
 wait "$pid" || true
 echo "smartd smoke: metrics lint clean, CPU profile captured"
+
+# ---------------------------------------------------------------------------
+# Cluster phase: 3 ranks, 3 processes, 2 tenants.
+caddr="${SMARTD_CLUSTER_ADDR:-127.0.0.1:18912}"
+rdv="${SMARTD_RDV_ADDR:-127.0.0.1:18913}"
+
+"$workdir/smartd" -addr "$caddr" -world 3 -rank 0 -coordinator "$rdv" \
+  -heartbeat 25ms -tenant sim=4 -tenant adhoc=1:1:low &
+coord=$!
+pids+=("$coord")
+"$workdir/smartd" -world 3 -rank 1 -coordinator "$rdv" &
+w1=$!
+pids+=("$w1")
+"$workdir/smartd" -world 3 -rank 2 -coordinator "$rdv" &
+w2=$!
+pids+=("$w2")
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$caddr/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$i" = 50 ]; then
+    echo "cluster smartd did not become healthy on $caddr" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# Both tenants submit; the adhoc job spans both worker ranks (global
+# combination over the per-job sub-communicator).
+for i in 1 2 3; do
+  curl -fsS -X POST "http://$caddr/v1/jobs" \
+    -d '{"app":"histogram","elems":16384,"steps":2,"tenant":"sim"}' >/dev/null
+done
+curl -fsS -X POST "http://$caddr/v1/jobs?wait=1" \
+  -d '{"app":"histogram","elems":16384,"ranks":2,"tenant":"adhoc"}' \
+  | grep -q '"status": *"done"' || { echo "multi-rank adhoc job did not finish" >&2; exit 1; }
+
+# Every submitted job must reach done — fair completion, no tenant stuck.
+for i in $(seq 1 100); do
+  done_count="$(curl -fsS "http://$caddr/v1/jobs" | grep -o '"status": *"done"' | wc -l)"
+  if [ "$done_count" -ge 4 ]; then
+    break
+  fi
+  if [ "$i" = 100 ]; then
+    echo "only $done_count/4 cluster jobs completed" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+metrics="$(curl -fsS "http://$caddr/metrics")"
+for family in smart_cluster_jobs_dispatched_total smart_cluster_workers \
+  'smart_cluster_queue_wait_seconds_count{tenant="sim"}' \
+  'smart_cluster_queue_wait_seconds_count{tenant="adhoc"}'; do
+  if ! grep -qF "$family" <<<"$metrics"; then
+    echo "cluster /metrics missing $family" >&2
+    exit 1
+  fi
+done
+echo "$metrics" | "$workdir/obslint"
+
+# Clean drain: SIGTERM the coordinator; it gathers cluster metrics and
+# releases the workers, and all three processes must exit 0.
+kill -TERM "$coord"
+wait "$coord"
+wait "$w1"
+wait "$w2"
+echo "smartd smoke: 3-rank cluster completed both tenants' jobs and drained cleanly"
