@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/harness"
 	"github.com/scipioneer/smart/internal/obs"
 )
@@ -71,7 +72,17 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write a JSON snapshot of the runtime metrics to this file at exit")
 	traceFile := flag.String("trace", "", "stream runtime phase spans to this file as JSON lines")
 	chromeFile := flag.String("chrome-trace", "", "also convert the -trace JSONL into Chrome trace_event JSON at this path (open in Perfetto / chrome://tracing)")
+	codecPin := flag.String("codec", "auto", "wire/checkpoint codec the experiments run with: auto (negotiate best), none, flate, or block")
 	flag.Parse()
+
+	if *codecPin != "auto" {
+		enc, err := codec.Parse(*codecPin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "-codec:", err)
+			os.Exit(2)
+		}
+		codec.SetPreferred(enc)
+	}
 
 	scale, err := harness.ParseScale(*scaleName)
 	if err != nil {

@@ -10,7 +10,7 @@
 //	       [-deadline 0] [-grace 10s] [-ckdir DIR] [-flight 256]
 //	       [-world 1] [-rank 0] [-coordinator HOST:PORT]
 //	       [-tenant name=weight[:quota[:class]]] [-retry-budget 2]
-//	       [-heartbeat 100ms]
+//	       [-heartbeat 100ms] [-codec auto]
 //
 // With -world N (N > 1) smartd runs in cluster mode: rank 0 owns the HTTP
 // front door and dispatches jobs to worker ranks 1..N-1, which execute them
@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"github.com/scipioneer/smart/internal/cluster"
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/memmodel"
 	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/obs"
@@ -117,6 +118,7 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 		coord    = fs.String("coordinator", "", "rank 0 rendezvous address for a cross-process world (empty runs every rank in this process)")
 		retry    = fs.Int("retry-budget", 2, "re-dispatches of a single-rank job after its worker rank dies")
 		beat     = fs.Duration("heartbeat", 100*time.Millisecond, "cluster heartbeat interval (worker beats; coordinator declares silence death at 10x)")
+		codecPin = fs.String("codec", "auto", "wire/checkpoint codec: auto (negotiate best), none, flate, or block")
 	)
 	tenants := map[string]serve.TenantConfig{}
 	fs.Func("tenant", "tenant WFQ spec name=weight[:quota[:class]] (repeatable)", func(v string) error {
@@ -136,6 +138,16 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	if *coord != "" && *world < 2 {
 		return errors.New("-coordinator needs -world >= 2")
+	}
+	if *codecPin != "auto" {
+		enc, err := codec.Parse(*codecPin)
+		if err != nil {
+			return fmt.Errorf("-codec: %w", err)
+		}
+		// Pinning narrows this process's advertised support to one codec;
+		// every transport and control-plane negotiation then lands on it (or
+		// falls back to none against a peer that lacks it).
+		codec.SetPreferred(enc)
 	}
 
 	if *flight > 0 {

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scipioneer/smart/internal/codec"
+	"github.com/scipioneer/smart/internal/mpi"
+	"github.com/scipioneer/smart/internal/obs"
+	"github.com/scipioneer/smart/internal/serve"
+)
+
+// bigEnvelope is a ckpt upload whose payload dwarfs codec.MinSize — the
+// message class envelope compression exists for.
+func bigEnvelope() envelope {
+	return envelope{
+		Kind:  kindCkpt,
+		Job:   "job-1",
+		Ckpt:  bytes.Repeat([]byte("SMARTCK1 state bytes "), 512),
+		Steps: 17,
+	}
+}
+
+func TestEnvelopeRoundTripPerCodec(t *testing.T) {
+	env := bigEnvelope()
+	rawWire, err := encodeEnvelope(codec.None, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := codec.None; e.Valid(); e++ {
+		wire, err := encodeEnvelope(e, env)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		got, err := decodeEnvelope(wire)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("%s: envelope round trip mismatch", e)
+		}
+		if e != codec.None && len(wire) >= len(rawWire) {
+			t.Errorf("%s: %d wire bytes, raw is %d — no reduction on a checkpoint upload", e, len(wire), len(rawWire))
+		}
+	}
+
+	// Tiny control chatter ships raw even with a codec negotiated.
+	beat, err := encodeEnvelope(codec.Block, envelope{Kind: kindBeat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec.Encoding(beat[0]) != codec.None {
+		t.Fatalf("beat envelope compressed: leading byte %#x", beat[0])
+	}
+}
+
+func TestEnvelopeUnknownEncodingIsCleanError(t *testing.T) {
+	if _, err := decodeEnvelope([]byte{0x7f, 1, 2, 3}); !errors.Is(err, codec.ErrUnknown) {
+		t.Fatalf("decodeEnvelope(unknown byte) = %v, want to wrap codec.ErrUnknown", err)
+	}
+	if _, err := decodeEnvelope(nil); err == nil {
+		t.Fatal("decodeEnvelope(empty) succeeded")
+	}
+}
+
+func TestEnvelopeSendRecvAcrossWorld(t *testing.T) {
+	comms := mpi.NewWorld(2)
+	env := bigEnvelope()
+	for e := codec.None; e.Valid(); e++ {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := send(comms[0], 1, tagUp, e, env); err != nil {
+				t.Error(err)
+			}
+		}()
+		got, err := recvEnv(comms[1], 0, tagUp)
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("%s: envelope differs after send/recv", e)
+		}
+	}
+}
+
+// TestClusterMixedCodecFallsBackToNone runs a real cluster whose coordinator
+// and workers support disjoint codecs: negotiation must settle on raw JSON
+// and jobs must run to completion exactly as before.
+func TestClusterMixedCodecFallsBackToNone(t *testing.T) {
+	comms, err := mpi.NewTCPWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	disp, err := NewDispatcher(comms[0], Config{
+		Registry:         obs.NewRegistry(),
+		CheckpointDir:    t.TempDir(),
+		Heartbeat:        20 * time.Millisecond,
+		HeartbeatTimeout: 10 * time.Second,
+		CodecMask:        codec.MaskOf(codec.Flate),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 3; r++ {
+		go Worker(comms[r], WorkerConfig{
+			Registry:  obs.NewRegistry(),
+			Heartbeat: 20 * time.Millisecond,
+			WorkDir:   t.TempDir(),
+			CodecMask: codec.MaskOf(codec.Block),
+		})
+	}
+	srv := serve.NewServer(serve.Config{
+		Executor: disp, Registry: obs.NewRegistry(), Queue: 4, Workers: 2,
+		CheckpointDir: t.TempDir(),
+	})
+	defer func() {
+		srv.Drain(100 * time.Millisecond)
+		disp.Shutdown()
+	}()
+
+	j, err := srv.Submit(serve.JobSpec{App: "histogram", Elems: 4096, Tenant: "mixed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, j, 30*time.Second)
+	if v.Status != serve.StatusDone || v.Result == nil {
+		t.Fatalf("mixed-codec job: status %q (err %q)", v.Status, v.Error)
+	}
+	// The disjoint masks must have negotiated every worker link down to raw.
+	for r := 1; r < 3; r++ {
+		if e := disp.encFor(r); e != codec.None {
+			t.Errorf("worker %d negotiated %s, want none on disjoint masks", r, e)
+		}
+	}
+}
+
+// TestClusterNegotiatesEnvelopeCodec pins the happy path: default masks on
+// both sides settle every worker link on the build's best codec.
+func TestClusterNegotiatesEnvelopeCodec(t *testing.T) {
+	tc := startCluster(t, 3, serve.Config{Queue: 4})
+	j, err := tc.server.Submit(serve.JobSpec{App: "histogram", Elems: 4096, Tenant: "neg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitTerminal(t, j, 30*time.Second); v.Status != serve.StatusDone {
+		t.Fatalf("job status %q (err %q)", v.Status, v.Error)
+	}
+	want := codec.Pick(codec.SupportedMask())
+	for r := 1; r < 3; r++ {
+		if e := tc.disp.encFor(r); e != want {
+			t.Errorf("worker %d negotiated %s, want %s", r, e, want)
+		}
+	}
+}

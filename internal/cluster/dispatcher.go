@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/obs"
 	"github.com/scipioneer/smart/internal/serve"
@@ -40,6 +41,12 @@ type Config struct {
 	// wedged inside a job the same way it names ranks wedged in a
 	// collective, on the same clock the heartbeat monitor runs on.
 	Watch *obs.StallWatch
+	// CodecMask is the codec-support mask this coordinator advertises for
+	// control-plane envelopes (zero means codec.PreferredMask(): everything
+	// the build supports unless the process pinned a codec). Each worker
+	// link uses codec.Negotiate of this mask and the worker's hello mask, so
+	// a mismatched pair degrades to raw JSON instead of failing.
+	CodecMask uint32
 }
 
 func (cfg *Config) fill() {
@@ -61,6 +68,9 @@ func (cfg *Config) fill() {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.DefaultRegistry()
 	}
+	if cfg.CodecMask == 0 {
+		cfg.CodecMask = codec.PreferredMask()
+	}
 }
 
 // workerState is the dispatcher's view of one worker rank.
@@ -69,6 +79,10 @@ type workerState struct {
 	alive    bool
 	inflight int
 	lastSeen time.Time
+	// enc is the envelope codec negotiated from the worker's hello mask;
+	// codec.None until the hello arrives (and forever, for an old worker
+	// that never sends a mask).
+	enc codec.Encoding
 }
 
 // dispatch is one job's dispatch state.
@@ -267,6 +281,7 @@ func (d *Dispatcher) dispatchJob(disp *dispatch) error {
 		Band:    band,
 		TraceID: disp.job.Trace.TraceID,
 		SpanID:  disp.job.Trace.SpanID,
+		Codecs:  d.cfg.CodecMask,
 	}
 	if n == 1 && len(disp.ckpt) > 0 {
 		env.Resume, env.ResumeSteps = disp.ckpt, disp.steps
@@ -284,7 +299,7 @@ func (d *Dispatcher) dispatchJob(disp *dispatch) error {
 	defer sp.End()
 	d.met.dispatched.Inc()
 	for _, r := range members {
-		if err := send(d.comm, r, tagCtl, env); err != nil {
+		if err := send(d.comm, r, tagCtl, d.encFor(r), env); err != nil {
 			// The connection is already gone; the receiver's death handling
 			// owns the retry, so the job is not failed here.
 			d.handleDeath(r)
@@ -304,7 +319,7 @@ func (d *Dispatcher) cancelMembers(disp *dispatch, cause string, drain bool) {
 	}
 	d.mu.Unlock()
 	for _, r := range targets {
-		send(d.comm, r, tagCtl, envelope{Kind: kindCancel, Job: disp.job.ID, Err: cause, Drain: drain})
+		send(d.comm, r, tagCtl, d.encFor(r), envelope{Kind: kindCancel, Job: disp.job.ID, Err: cause, Drain: drain})
 	}
 }
 
@@ -334,7 +349,16 @@ func (d *Dispatcher) receiver(rank int) {
 		member := disp != nil && !disp.finished && memberOf(disp.members, rank)
 		d.mu.Unlock()
 		switch env.Kind {
-		case kindHello, kindBeat:
+		case kindHello:
+			// lastSeen already refreshed; record the worker's codec support
+			// so every later control message to it uses the negotiated
+			// encoding (a maskless hello from an old build stays on raw).
+			d.mu.Lock()
+			if w := d.workers[rank]; w != nil {
+				w.enc = codec.Negotiate(d.cfg.CodecMask, env.Codecs)
+			}
+			d.mu.Unlock()
+		case kindBeat:
 			// lastSeen already refreshed; every uplink message is a beat.
 		case kindEmit:
 			if member && env.Record != nil {
@@ -350,6 +374,16 @@ func (d *Dispatcher) receiver(rank int) {
 			d.handleResult(rank, env)
 		}
 	}
+}
+
+// encFor reports the envelope codec negotiated with worker rank.
+func (d *Dispatcher) encFor(rank int) codec.Encoding {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if w := d.workers[rank]; w != nil {
+		return w.enc
+	}
+	return codec.None
 }
 
 func memberOf(members []int, rank int) bool {
@@ -502,7 +536,7 @@ func (d *Dispatcher) recover(disp *dispatch, rank int) {
 	disp.errMsg = msg
 	d.mu.Unlock()
 	for _, r := range survivors {
-		send(d.comm, r, tagCtl, envelope{Kind: kindCancel, Job: disp.job.ID, Err: msg})
+		send(d.comm, r, tagCtl, d.encFor(r), envelope{Kind: kindCancel, Job: disp.job.ID, Err: msg})
 	}
 	d.met.terminalFailures.Inc()
 	close(disp.done)
@@ -549,12 +583,12 @@ func (d *Dispatcher) Shutdown() (*obs.ClusterSnapshot, error) {
 	var err error
 	if allAlive {
 		for _, r := range alive {
-			send(d.comm, r, tagCtl, envelope{Kind: kindGather})
+			send(d.comm, r, tagCtl, d.encFor(r), envelope{Kind: kindGather})
 		}
 		cs, err = obs.Gather(d.comm, d.cfg.Registry)
 	}
 	for _, r := range alive {
-		send(d.comm, r, tagCtl, envelope{Kind: kindShutdown})
+		send(d.comm, r, tagCtl, d.encFor(r), envelope{Kind: kindShutdown})
 	}
 	return cs, err
 }

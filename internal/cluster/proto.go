@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/serve"
 )
@@ -54,6 +55,13 @@ type envelope struct {
 	// Job is the service-wide job id every per-job message carries.
 	Job string `json:"job,omitempty"`
 
+	// Codecs is the sender's codec-support mask (codec.MaskOf bits). A
+	// worker advertises its mask on hello; the coordinator echoes its own on
+	// assign, so both directions converge on codec.Negotiate of the two.
+	// Zero — an older build that never heard of codecs — negotiates to
+	// codec.None, keeping mismatched peers on raw JSON.
+	Codecs uint32 `json:"codecs,omitempty"`
+
 	// assign: the normalized spec, the world ranks the job spans (the first
 	// is the lead rank, which reports the result), the sub-communicator tag
 	// band, optional checkpoint bytes to restore before running (with the
@@ -84,11 +92,49 @@ type envelope struct {
 	Checkpointed bool            `json:"checkpointed,omitempty"`
 }
 
-// send marshals and delivers one envelope.
-func send(c *mpi.Comm, dst, tag int, env envelope) error {
+// encodeEnvelope marshals one envelope into the control-plane wire form:
+// a codec frame — [encoding byte | uvarint raw length | body] — so the
+// receiver decodes by the leading byte alone, never by expectation. Sub-
+// threshold or incompressible envelopes ship raw regardless of enc: control
+// chatter (beats, acks) never pays codec overhead, and compression can only
+// shrink the message.
+func encodeEnvelope(enc codec.Encoding, env envelope) ([]byte, error) {
 	buf, err := json.Marshal(env)
 	if err != nil {
-		return fmt.Errorf("cluster: encode %s: %w", env.Kind, err)
+		return nil, fmt.Errorf("cluster: encode %s: %w", env.Kind, err)
+	}
+	if enc != codec.None && len(buf) >= codec.MinSize {
+		frame, err := codec.AppendFrame(nil, enc, buf)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: compress %s: %w", env.Kind, err)
+		}
+		if len(frame) < len(buf) {
+			return frame, nil
+		}
+	}
+	return codec.AppendFrame(nil, codec.None, buf)
+}
+
+// decodeEnvelope reverses encodeEnvelope. An unknown encoding byte — a
+// peer from the future — is a clear error, not a JSON parse failure.
+func decodeEnvelope(buf []byte) (envelope, error) {
+	raw, err := codec.DecodeFrame(nil, buf)
+	if err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return envelope{}, err
+	}
+	return env, nil
+}
+
+// send marshals and delivers one envelope, compressing with enc when the
+// body is big enough to benefit.
+func send(c *mpi.Comm, dst, tag int, enc codec.Encoding, env envelope) error {
+	buf, err := encodeEnvelope(enc, env)
+	if err != nil {
+		return err
 	}
 	return c.Send(dst, tag, buf)
 }
@@ -99,8 +145,8 @@ func recvEnv(c *mpi.Comm, src, tag int) (envelope, error) {
 	if err != nil {
 		return envelope{}, err
 	}
-	var env envelope
-	if err := json.Unmarshal(buf, &env); err != nil {
+	env, err := decodeEnvelope(buf)
+	if err != nil {
 		return envelope{}, fmt.Errorf("cluster: decode frame from rank %d: %w", src, err)
 	}
 	return env, nil

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/memmodel"
 	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/obs"
@@ -29,6 +31,12 @@ type WorkerConfig struct {
 	// Registry receives the worker metrics and is what the coordinator's
 	// final obs.Gather collects (default obs.DefaultRegistry()).
 	Registry *obs.Registry
+	// CodecMask is the codec-support mask this worker advertises in its
+	// hello (zero means codec.PreferredMask()). Uplink envelopes use
+	// codec.Negotiate of this mask and the mask the coordinator echoes on
+	// the first assign; until then — and against a maskless coordinator —
+	// the uplink stays raw.
+	CodecMask uint32
 }
 
 // errCancel and errDrainCancel are the cancellation causes a coordinator
@@ -46,11 +54,19 @@ type worker struct {
 	cfg  WorkerConfig
 	met  workerMetrics
 
+	// upEnc is the uplink envelope codec, negotiated from the coordinator's
+	// assign-time mask. Atomic: the control loop writes it, the heartbeat
+	// and executor goroutines read it on every send.
+	upEnc atomic.Uint32
+
 	// running maps job id to its cancel func; the control loop writes it,
 	// executor goroutines remove their own entries.
 	running map[string]context.CancelCauseFunc
 	runMu   chan struct{} // 1-token semaphore guarding running
 }
+
+// enc reports the current uplink envelope codec.
+func (w *worker) enc() codec.Encoding { return codec.Encoding(w.upEnc.Load()) }
 
 // Worker runs rank comm.Rank()'s job-execution loop until the coordinator
 // sends shutdown (returning nil) or the control link drops (returning the
@@ -67,6 +83,9 @@ func Worker(comm *mpi.Comm, cfg WorkerConfig) error {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.DefaultRegistry()
 	}
+	if cfg.CodecMask == 0 {
+		cfg.CodecMask = codec.PreferredMask()
+	}
 	w := &worker{
 		comm:    comm,
 		cfg:     cfg,
@@ -79,7 +98,7 @@ func Worker(comm *mpi.Comm, cfg WorkerConfig) error {
 	stop := make(chan struct{})
 	defer close(stop)
 	go w.heartbeat(stop)
-	send(comm, 0, tagUp, envelope{Kind: kindHello})
+	send(comm, 0, tagUp, codec.None, envelope{Kind: kindHello, Codecs: cfg.CodecMask})
 
 	for {
 		env, err := recvEnv(comm, 0, tagCtl)
@@ -88,6 +107,9 @@ func Worker(comm *mpi.Comm, cfg WorkerConfig) error {
 		}
 		switch env.Kind {
 		case kindAssign:
+			if env.Codecs != 0 {
+				w.upEnc.Store(uint32(codec.Negotiate(cfg.CodecMask, env.Codecs)))
+			}
 			go w.execute(env)
 		case kindCancel:
 			w.cancel(env.Job, env.Err, env.Drain)
@@ -108,7 +130,7 @@ func (w *worker) heartbeat(stop <-chan struct{}) {
 		case <-stop:
 			return
 		case <-tick.C:
-			if send(w.comm, 0, tagUp, envelope{Kind: kindBeat}) != nil {
+			if send(w.comm, 0, tagUp, w.enc(), envelope{Kind: kindBeat}) != nil {
 				return
 			}
 			w.met.heartbeats.Inc()
@@ -138,7 +160,7 @@ func (w *worker) execute(env envelope) {
 	res := w.run(env)
 	res.Kind, res.Job = kindResult, env.Job
 	w.met.executed.Inc()
-	send(w.comm, 0, tagUp, res)
+	send(w.comm, 0, tagUp, w.enc(), res)
 }
 
 func (w *worker) run(env envelope) envelope {
@@ -210,13 +232,13 @@ func (w *worker) run(env envelope) envelope {
 		}
 		if rec.Type == "step" && len(members) <= 1 && prog.CanCheckpoint() {
 			if buf, err := w.checkpointBytes(prog, env.Job); err == nil {
-				send(w.comm, 0, tagUp, envelope{Kind: kindCkpt, Job: env.Job,
+				send(w.comm, 0, tagUp, w.enc(), envelope{Kind: kindCkpt, Job: env.Job,
 					Ckpt: buf, Steps: prog.StepsDone()})
 				w.met.ckptUploads.Inc()
 			}
 		}
 		rec.Job = env.Job
-		send(w.comm, 0, tagUp, envelope{Kind: kindEmit, Job: env.Job, Record: &rec})
+		send(w.comm, 0, tagUp, w.enc(), envelope{Kind: kindEmit, Job: env.Job, Record: &rec})
 	}
 
 	result, err := prog.Run(ctx, emit)

@@ -1,0 +1,127 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The Block codec is a snappy-style LZ77 block format tuned for the
+// runtime's framed payloads: combination maps are sequences of fixed-width
+// key | len | payload entries whose headers are mostly zero bytes and whose
+// bodies repeat across entries, so a byte-granular match finder with a
+// small hash table recovers most of the redundancy at a fraction of
+// DEFLATE's cost. The body is a sequence of ops, each introduced by a
+// uvarint whose low bit selects the kind:
+//
+//	v&1 == 0 — literal run: n = v>>1 bytes follow verbatim (n ≥ 1)
+//	v&1 == 1 — copy: n = v>>1 bytes from offset uvarint back in the
+//	           decoded output (n ≥ blockMinMatch, 1 ≤ offset ≤ decoded);
+//	           offset < n is legal and repeats bytes RLE-style
+//
+// Lengths and offsets are validated against the frame's raw-length prefix
+// during decode, so a corrupt body yields an error, never an oversized
+// allocation or an out-of-bounds copy.
+
+const (
+	// blockMinMatch is the shortest copy worth its two uvarints.
+	blockMinMatch = 4
+	// blockTableBits sizes the match-finder hash table (entries).
+	blockTableBits = 14
+)
+
+// blockHash hashes a 4-byte little-endian sequence into the table index
+// space (a multiplicative hash with a well-mixed odd constant).
+func blockHash(u uint32) uint32 {
+	return (u * 0x9E3779B1) >> (32 - blockTableBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// blockAppendLiteral emits src as one literal run (no-op when empty).
+func blockAppendLiteral(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(src))<<1)
+	return append(dst, src...)
+}
+
+// blockEncode appends the Block body for src to dst. It is greedy: the
+// first 4-byte hash-table hit that verifies becomes a match, extended as
+// far as it runs; everything between matches is a literal run.
+func blockEncode(dst, src []byte) []byte {
+	var table [1 << blockTableBits]int32 // position+1 of a 4-byte sequence
+	lit := 0                             // start of the pending literal run
+	i := 0
+	for i+blockMinMatch <= len(src) {
+		cur := load32(src, i)
+		h := blockHash(cur)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand < 0 || load32(src, cand) != cur {
+			i++
+			continue
+		}
+		n := blockMinMatch
+		for i+n < len(src) && src[cand+n] == src[i+n] {
+			n++
+		}
+		dst = blockAppendLiteral(dst, src[lit:i])
+		dst = binary.AppendUvarint(dst, uint64(n)<<1|1)
+		dst = binary.AppendUvarint(dst, uint64(i-cand))
+		i += n
+		lit = i
+	}
+	return blockAppendLiteral(dst, src[lit:])
+}
+
+// blockDecode appends the decoded payload to dst, enforcing rawLen as both
+// the exact output size and the bound every op is validated against.
+func blockDecode(dst, body []byte, rawLen int) ([]byte, error) {
+	base := len(dst)
+	if rawLen <= maxPooledScratch && cap(dst)-base < rawLen {
+		grown := make([]byte, base, base+rawLen)
+		copy(grown, dst)
+		dst = grown
+	}
+	for len(body) > 0 {
+		v, k := binary.Uvarint(body)
+		if k <= 0 {
+			return nil, errors.New("codec: block op truncated")
+		}
+		body = body[k:]
+		n := int(v >> 1)
+		if n <= 0 || n > rawLen-(len(dst)-base) {
+			return nil, fmt.Errorf("codec: block op length %d overruns raw length %d", n, rawLen)
+		}
+		if v&1 == 0 {
+			if n > len(body) {
+				return nil, fmt.Errorf("codec: block literal of %d bytes truncated", n)
+			}
+			dst = append(dst, body[:n]...)
+			body = body[n:]
+			continue
+		}
+		off64, k := binary.Uvarint(body)
+		if k <= 0 {
+			return nil, errors.New("codec: block copy offset truncated")
+		}
+		body = body[k:]
+		off := int(off64)
+		if n < blockMinMatch || off <= 0 || off > len(dst)-base {
+			return nil, fmt.Errorf("codec: block copy length %d offset %d invalid at %d decoded bytes",
+				n, off, len(dst)-base)
+		}
+		// Byte-wise so overlapping copies (off < n) repeat correctly.
+		for j := 0; j < n; j++ {
+			dst = append(dst, dst[len(dst)-off])
+		}
+	}
+	if got := len(dst) - base; got != rawLen {
+		return nil, fmt.Errorf("codec: block decoded %d bytes, frame says %d", got, rawLen)
+	}
+	return dst, nil
+}

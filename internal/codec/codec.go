@@ -1,0 +1,225 @@
+// Package codec is the pluggable wire/checkpoint compression layer. Every
+// framed payload the runtime ships — mpi TCP frames, cluster control-plane
+// envelopes, checkpoint images — can carry a one-byte Encoding identifier
+// naming the codec its body was compressed with, in the style of log-store
+// chunk headers. Three encodings are shipped, all stdlib-only:
+//
+//	None  — the body is the raw payload (always supported, the fallback)
+//	Flate — DEFLATE at BestSpeed (compress/flate)
+//	Block — a snappy-style LZ block codec implemented in this package
+//
+// Peers negotiate a codec by exchanging support masks (bit i set ⇔
+// Encoding(i) supported) and combining them with Negotiate, which is
+// symmetric — both sides compute the same answer independently. A peer
+// that advertises nothing (an older build, a pinned-to-raw ablation run)
+// degrades the pair to None; unknown mask bits from newer peers are
+// ignored. The encoding byte on each frame remains authoritative for
+// decoding: receivers accept any encoding they know regardless of what was
+// negotiated, so negotiation only governs what a sender may emit.
+//
+// Payloads shorter than MinSize are never worth a codec's fixed costs
+// (barrier tokens, heartbeats, WFQ control frames); callers bypass
+// compression below it and senders fall back to None whenever the encoded
+// form is not actually smaller, so compression can only shrink wire bytes.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Encoding identifies a codec. The numeric values are written to wire
+// frames and checkpoint files — never reorder them.
+type Encoding byte
+
+// The shipped encodings, in ascending preference order: Negotiate and Pick
+// prefer the highest-valued common codec (Block over Flate over None).
+const (
+	None Encoding = iota
+	Flate
+	Block
+
+	numEncodings
+)
+
+// ErrUnknown reports an encoding byte this build does not implement.
+var ErrUnknown = errors.New("codec: unknown encoding")
+
+// MinSize is the threshold below which payloads bypass compression: the
+// codec's per-call overhead (hash table, headers, an extra copy) outweighs
+// any plausible saving on frames this small.
+const MinSize = 512
+
+// maxRawLen bounds the raw-length prefix a decoder will honor, so a
+// corrupt or hostile frame cannot demand an absurd allocation.
+const maxRawLen = 1 << 30
+
+// Valid reports whether e names a codec this build implements.
+func (e Encoding) Valid() bool { return e < numEncodings }
+
+func (e Encoding) String() string {
+	switch e {
+	case None:
+		return "none"
+	case Flate:
+		return "flate"
+	case Block:
+		return "block"
+	}
+	return fmt.Sprintf("unknown(0x%02x)", byte(e))
+}
+
+// Parse resolves a codec name (as accepted by the -codec flags).
+func Parse(s string) (Encoding, error) {
+	for e := None; e < numEncodings; e++ {
+		if strings.EqualFold(s, e.String()) {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q (supported: none, flate, block)", ErrUnknown, s)
+}
+
+// MaskOf builds a support mask from encodings (bit i ⇔ Encoding(i)).
+func MaskOf(encs ...Encoding) uint32 {
+	var m uint32
+	for _, e := range encs {
+		m |= 1 << e
+	}
+	return m | 1<<None // None is always supported
+}
+
+// SupportedMask is the mask of every codec this build implements.
+func SupportedMask() uint32 { return MaskOf(Flate, Block) }
+
+// Negotiate combines two support masks into the pair's codec: the
+// highest-preference encoding both sides implement, None when the masks
+// share nothing (a mismatched or silent peer). Mask bits beyond this
+// build's encodings are ignored, so a newer peer degrades gracefully.
+func Negotiate(a, b uint32) Encoding {
+	return Pick(a & b)
+}
+
+// Pick returns the highest-preference codec in mask (None for an empty or
+// foreign mask).
+func Pick(mask uint32) Encoding {
+	mask &= SupportedMask()
+	for e := numEncodings - 1; e > None; e-- {
+		if mask&(1<<e) != 0 {
+			return e
+		}
+	}
+	return None
+}
+
+// preferred is the process-wide codec pin: 0 means unpinned (advertise
+// everything), otherwise it is the mask transports and flags advertise.
+// The -codec CLI flags set it once at boot for ablation runs.
+var preferred atomic.Uint32
+
+// SetPreferred pins the process to one codec: transports advertise only it
+// (plus None, which is always supported). Pinning to None disables
+// compression everywhere. Pass-through for ablation flags.
+func SetPreferred(e Encoding) {
+	preferred.Store(MaskOf(e))
+}
+
+// PreferredMask is what this process advertises during negotiation:
+// everything it supports, unless SetPreferred pinned a codec.
+func PreferredMask() uint32 {
+	if m := preferred.Load(); m != 0 {
+		return m
+	}
+	return SupportedMask()
+}
+
+// Encode appends the encoded form of src to dst and returns the extended
+// slice: a uvarint raw length, then the enc-specific body (src verbatim
+// for None). Encode never fails for the shipped encodings on any input;
+// the error return exists for unknown encodings.
+func Encode(enc Encoding, dst, src []byte) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	switch enc {
+	case None:
+		return append(dst, src...), nil
+	case Flate:
+		return flateEncode(dst, src), nil
+	case Block:
+		return blockEncode(dst, src), nil
+	}
+	return nil, fmt.Errorf("%w: 0x%02x", ErrUnknown, byte(enc))
+}
+
+// Decode reverses Encode, appending the decoded payload to dst. It fails
+// with a clear error — never a panic or an unbounded allocation — on an
+// unknown encoding byte, a corrupt body, or a body whose decoded size does
+// not match its raw-length prefix.
+func Decode(enc Encoding, dst, src []byte) ([]byte, error) {
+	rawLen64, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, errors.New("codec: truncated raw-length prefix")
+	}
+	if rawLen64 > maxRawLen {
+		return nil, fmt.Errorf("codec: implausible raw length %d", rawLen64)
+	}
+	rawLen := int(rawLen64)
+	body := src[n:]
+	switch enc {
+	case None:
+		if len(body) != rawLen {
+			return nil, fmt.Errorf("codec: raw body is %d bytes, frame says %d", len(body), rawLen)
+		}
+		return append(dst, body...), nil
+	case Flate:
+		return flateDecode(dst, body, rawLen)
+	case Block:
+		return blockDecode(dst, body, rawLen)
+	}
+	return nil, fmt.Errorf("%w: 0x%02x", ErrUnknown, byte(enc))
+}
+
+// AppendFrame appends a self-describing frame — one encoding byte, then
+// the Encode body — to dst. Checkpoint images and cluster envelopes use
+// this form; the mpi transport carries the encoding byte in its own frame
+// header instead.
+func AppendFrame(dst []byte, enc Encoding, src []byte) ([]byte, error) {
+	if !enc.Valid() {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknown, byte(enc))
+	}
+	return Encode(enc, append(dst, byte(enc)), src)
+}
+
+// DecodeFrame reverses AppendFrame, appending the decoded payload to dst.
+func DecodeFrame(dst, frame []byte) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, errors.New("codec: empty frame")
+	}
+	return Decode(Encoding(frame[0]), dst, frame[1:])
+}
+
+// scratchPool recycles encode/decode scratch buffers across wire sends and
+// checkpoint writes. Like core's serialization pool, buffers above
+// maxPooledScratch are discarded on return so one huge payload cannot pin
+// its buffer for the life of the process.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+const maxPooledScratch = 1 << 20
+
+// GetScratch draws a zero-length scratch buffer from the pool.
+func GetScratch() *[]byte {
+	buf := scratchPool.Get().(*[]byte)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// PutScratch returns a scratch buffer to the pool, discarding it when its
+// capacity exceeds the pooling cap.
+func PutScratch(buf *[]byte) {
+	if cap(*buf) > maxPooledScratch {
+		return
+	}
+	scratchPool.Put(buf)
+}

@@ -1,0 +1,233 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// corpus builds payloads spanning the shapes the runtime ships: empty,
+// tiny, all-zero, combination-map-like framed entries, repeated patterns,
+// and incompressible noise.
+func corpus() map[string][]byte {
+	rng := rand.New(rand.NewSource(42))
+	noise := make([]byte, 64*1024)
+	rng.Read(noise)
+
+	mapLike := make([]byte, 0, 32*1024)
+	mapLike = binary.LittleEndian.AppendUint32(mapLike, 1024)
+	for k := 0; k < 1024; k++ {
+		mapLike = binary.LittleEndian.AppendUint64(mapLike, uint64(k))
+		mapLike = binary.LittleEndian.AppendUint32(mapLike, 8)
+		mapLike = binary.LittleEndian.AppendUint64(mapLike, uint64(k%7))
+	}
+
+	return map[string][]byte{
+		"empty":    {},
+		"one":      {0x42},
+		"tiny":     []byte("hello"),
+		"zeros":    make([]byte, 4096),
+		"map-like": mapLike,
+		"repeat":   bytes.Repeat([]byte("smart-in-situ-analytics-"), 512),
+		"noise":    noise,
+	}
+}
+
+func TestRoundTripAllEncodings(t *testing.T) {
+	for name, payload := range corpus() {
+		for e := None; e < numEncodings; e++ {
+			t.Run(name+"/"+e.String(), func(t *testing.T) {
+				enc, err := Encode(e, nil, payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec, err := Decode(e, nil, enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(dec, payload) {
+					t.Fatalf("round trip mismatch: %d bytes in, %d out", len(payload), len(dec))
+				}
+				// Appending to a non-empty dst must not disturb the prefix.
+				prefix := []byte("prefix")
+				dec2, err := Decode(e, append([]byte(nil), prefix...), enc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.HasPrefix(dec2, prefix) || !bytes.Equal(dec2[len(prefix):], payload) {
+					t.Fatal("decode into non-empty dst corrupted data")
+				}
+			})
+		}
+	}
+}
+
+func TestCompressibleDataShrinks(t *testing.T) {
+	payload := corpus()["map-like"]
+	for _, e := range []Encoding{Flate, Block} {
+		enc, err := Encode(e, nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) >= len(payload) {
+			t.Errorf("%s: %d bytes raw -> %d encoded, expected a reduction on map-like data",
+				e, len(payload), len(enc))
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := corpus()["map-like"]
+	for e := None; e < numEncodings; e++ {
+		frame, err := AppendFrame(nil, e, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Encoding(frame[0]) != e {
+			t.Fatalf("frame leads with 0x%02x, want %s", frame[0], e)
+		}
+		dec, err := DecodeFrame(nil, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, payload) {
+			t.Fatalf("%s frame round trip mismatch", e)
+		}
+	}
+}
+
+func TestUnknownEncodingIsCleanError(t *testing.T) {
+	if _, err := Decode(Encoding(0x7f), nil, []byte{0, 1, 2}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Decode(unknown) = %v, want ErrUnknown", err)
+	}
+	if _, err := Encode(Encoding(0x7f), nil, []byte{1}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Encode(unknown) = %v, want ErrUnknown", err)
+	}
+	if _, err := DecodeFrame(nil, []byte{0x7f, 0, 1}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("DecodeFrame(unknown) = %v, want ErrUnknown", err)
+	}
+	if _, err := AppendFrame(nil, Encoding(0x7f), []byte{1}); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("AppendFrame(unknown) = %v, want ErrUnknown", err)
+	}
+}
+
+func TestCorruptFramesError(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 256)
+	for _, e := range []Encoding{None, Flate, Block} {
+		enc, err := Encode(e, nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := map[string][]byte{
+			"empty":     {},
+			"truncated": enc[:len(enc)/2],
+			"length-lie": func() []byte {
+				lie := binary.AppendUvarint(nil, uint64(len(payload))*2)
+				_, n := binary.Uvarint(enc)
+				return append(lie, enc[n:]...)
+			}(),
+		}
+		for name, frame := range cases {
+			if _, err := Decode(e, nil, frame); err == nil {
+				t.Errorf("%s/%s: corrupt frame decoded without error", e, name)
+			}
+		}
+	}
+	// A hostile raw length must be rejected before any allocation.
+	huge := binary.AppendUvarint(nil, 1<<40)
+	if _, err := Decode(Block, nil, huge); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("hostile raw length not rejected: %v", err)
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	for e := None; e < numEncodings; e++ {
+		got, err := Parse(e.String())
+		if err != nil || got != e {
+			t.Fatalf("Parse(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := Parse("gzip"); err == nil {
+		t.Fatal("Parse accepted an unsupported codec name")
+	}
+	if s := Encoding(0x7f).String(); !strings.Contains(s, "unknown") {
+		t.Fatalf("unknown encoding String() = %q", s)
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	all := SupportedMask()
+	cases := []struct {
+		a, b uint32
+		want Encoding
+	}{
+		{all, all, Block},                          // full overlap → best codec
+		{all, MaskOf(Flate), Flate},                // partial overlap
+		{all, MaskOf(None), None},                  // peer pinned to raw
+		{all, 0, None},                             // silent peer (older build)
+		{MaskOf(Flate), MaskOf(Block), None},       // disjoint codecs
+		{all, all | 1<<30, Block},                  // unknown future bits ignored
+		{MaskOf(None) | 1<<30, MaskOf(None), None}, // only foreign bits shared
+	}
+	for _, tc := range cases {
+		if got := Negotiate(tc.a, tc.b); got != tc.want {
+			t.Errorf("Negotiate(%#x, %#x) = %s, want %s", tc.a, tc.b, got, tc.want)
+		}
+		if got := Negotiate(tc.b, tc.a); got != tc.want {
+			t.Errorf("Negotiate not symmetric for (%#x, %#x)", tc.a, tc.b)
+		}
+	}
+}
+
+func TestPreferredPin(t *testing.T) {
+	defer preferred.Store(0)
+	if PreferredMask() != SupportedMask() {
+		t.Fatal("unpinned process should advertise everything")
+	}
+	SetPreferred(Flate)
+	if PreferredMask() != MaskOf(Flate) {
+		t.Fatalf("pinned mask = %#x", PreferredMask())
+	}
+	if got := Negotiate(PreferredMask(), SupportedMask()); got != Flate {
+		t.Fatalf("pinned negotiation = %s, want flate", got)
+	}
+	SetPreferred(None)
+	if got := Negotiate(PreferredMask(), SupportedMask()); got != None {
+		t.Fatalf("none-pinned negotiation = %s, want none", got)
+	}
+}
+
+func TestScratchPoolCapDiscipline(t *testing.T) {
+	huge := make([]byte, maxPooledScratch+1)
+	PutScratch(&huge)
+	for i := 0; i < 64; i++ {
+		buf := GetScratch()
+		if cap(*buf) > maxPooledScratch {
+			t.Fatalf("oversized buffer (cap %d) survived in the scratch pool", cap(*buf))
+		}
+		PutScratch(buf)
+	}
+}
+
+func TestBlockOverlappingCopy(t *testing.T) {
+	// RLE-style data forces copies whose offset is smaller than their
+	// length; the decoder must repeat bytes, not read garbage.
+	payload := bytes.Repeat([]byte{0xAB}, 10000)
+	enc, err := Encode(Block, nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) > 64 {
+		t.Fatalf("RLE payload encoded to %d bytes, expected a handful", len(enc))
+	}
+	dec, err := Decode(Block, nil, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, payload) {
+		t.Fatal("overlapping copy round trip mismatch")
+	}
+}

@@ -1,0 +1,89 @@
+package codec
+
+import (
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The Flate encoding wraps compress/flate at BestSpeed: the wire payloads
+// it compresses sit on the global-combination critical path, so throughput
+// beats ratio. Writers and readers carry large internal state (~hundreds
+// of KiB of window and tables), so both are pooled across calls.
+
+// appendWriter adapts a byte slice to io.Writer for the flate writer and
+// the decode copy loop.
+type appendWriter struct{ buf []byte }
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+var flateWriterPool = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return w
+}}
+
+var flateReaderPool = sync.Pool{New: func() any {
+	return flate.NewReader(bytesReaderEmpty())
+}}
+
+func bytesReaderEmpty() io.Reader { return &sliceReader{} }
+
+// sliceReader is a resettable no-allocation bytes reader for the pooled
+// flate readers (bytes.Reader would also work; this avoids the import and
+// keeps Reset in our control).
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+var sliceReaderPool = sync.Pool{New: func() any { return &sliceReader{} }}
+
+func flateEncode(dst, src []byte) []byte {
+	fw := flateWriterPool.Get().(*flate.Writer)
+	aw := &appendWriter{buf: dst}
+	fw.Reset(aw)
+	fw.Write(src) // appendWriter never errors
+	fw.Close()
+	flateWriterPool.Put(fw)
+	return aw.buf
+}
+
+func flateDecode(dst, body []byte, rawLen int) ([]byte, error) {
+	sr := sliceReaderPool.Get().(*sliceReader)
+	sr.b, sr.i = body, 0
+	fr := flateReaderPool.Get().(io.ReadCloser)
+	defer func() {
+		sr.b = nil
+		sliceReaderPool.Put(sr)
+		flateReaderPool.Put(fr)
+	}()
+	if err := fr.(flate.Resetter).Reset(sr, nil); err != nil {
+		return nil, fmt.Errorf("codec: flate reset: %w", err)
+	}
+	aw := &appendWriter{buf: dst}
+	// Copy at most rawLen+1 bytes: one byte past the declared length is
+	// enough to prove the frame lies without decoding an unbounded stream.
+	// Raw DEFLATE has no trailer, so corruption and truncation both
+	// surface through Read — no Close needed for error detection.
+	n, err := io.Copy(aw, io.LimitReader(fr, int64(rawLen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("codec: flate body: %w", err)
+	}
+	if n != int64(rawLen) {
+		return nil, fmt.Errorf("codec: flate decoded %d bytes, frame says %d", n, rawLen)
+	}
+	return aw.buf, nil
+}

@@ -1,0 +1,55 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecFrame hardens the self-describing frame decoder: arbitrary
+// bytes must yield either a clean error or a payload that re-encodes and
+// re-decodes to itself — never a panic, an out-of-bounds copy, or an
+// unbounded allocation. This is the decode path every checkpoint restore
+// and cluster envelope walks with wire-supplied input.
+func FuzzCodecFrame(f *testing.F) {
+	seeds := [][]byte{
+		{},
+		{byte(None)},
+		{0x7f, 1, 2, 3}, // unknown encoding
+		{byte(Block), 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, // hostile raw length
+	}
+	for _, payload := range [][]byte{
+		{},
+		[]byte("smart"),
+		bytes.Repeat([]byte{0}, 600),
+		bytes.Repeat([]byte("in-situ analytics "), 64),
+	} {
+		for e := None; e < numEncodings; e++ {
+			frame, err := AppendFrame(nil, e, payload)
+			if err != nil {
+				f.Fatal(err)
+			}
+			seeds = append(seeds, frame)
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		payload, err := DecodeFrame(nil, frame)
+		if err != nil {
+			return // rejected cleanly
+		}
+		enc := Encoding(frame[0])
+		re, err := AppendFrame(nil, enc, payload)
+		if err != nil {
+			t.Fatalf("accepted frame no longer encodes: %v", err)
+		}
+		back, err := DecodeFrame(nil, re)
+		if err != nil {
+			t.Fatalf("re-encoded frame no longer decodes: %v", err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("re-encode round trip diverged: %d bytes vs %d", len(payload), len(back))
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/scipioneer/smart/internal/chunk"
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/memmodel"
 	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/obs"
@@ -209,6 +210,11 @@ type SchedArgs struct {
 	// bytes). Nil means obs.Default(), so instrumentation is always on; the
 	// hot-path cost is a handful of atomic adds per phase, not per chunk.
 	Obs *obs.Observer
+	// CheckpointEncoding selects the codec WriteCheckpoint compresses
+	// checkpoint images with. The zero value (codec.None) keeps the legacy
+	// byte-stable SMARTCK1 format; ReadCheckpoint accepts every format
+	// regardless of this setting.
+	CheckpointEncoding codec.Encoding
 }
 
 func (a *SchedArgs) validate() error {

@@ -34,8 +34,20 @@ func getEncBuf() (buf *[]byte, reused bool) {
 	return buf, reused
 }
 
-// putEncBuf returns a buffer to the pool.
-func putEncBuf(buf *[]byte) { encBufPool.Put(buf) }
+// maxPooledEncBuf caps the capacity putEncBuf will retain. One outlier round
+// (a huge checkpoint, a skewed shard) would otherwise park its buffer in the
+// pool forever, ratcheting the process's floor memory up to the largest
+// serialization it ever performed.
+const maxPooledEncBuf = 1 << 20
+
+// putEncBuf returns a buffer to the pool, discarding oversized ones so the
+// pool's resident capacity stays bounded by typical — not peak — rounds.
+func putEncBuf(buf *[]byte) {
+	if cap(*buf) > maxPooledEncBuf {
+		return
+	}
+	encBufPool.Put(buf)
+}
 
 // appendObj appends one reduction object's key | len | payload frame,
 // preferring the Appender fast path over MarshalBinary.

@@ -118,6 +118,12 @@ type schedMetrics struct {
 	// (pooled checkpoint/broadcast encodes plus warm global-combine scratch)
 	// instead of a fresh allocation.
 	encBufReuse *obs.Counter
+	// ckRawBytes/ckEncodedBytes count checkpoint image bytes before and
+	// after the checkpoint codec (magic excluded). Equal counters mean
+	// checkpoints are going to disk raw — either by configuration or because
+	// compression failed to shrink them.
+	ckRawBytes     *obs.Counter
+	ckEncodedBytes *obs.Counter
 	// steals counts work-stealing engine range steals.
 	steals *obs.Counter
 	// batches counts chunk batches claimed from the stealing engine's deques.
@@ -137,6 +143,8 @@ func (m *schedMetrics) init(r *obs.Registry) {
 	m.runs = r.Counter("smart_core_runs_total")
 	m.gcDecodeAvoided = r.Counter("smart_core_gc_decode_avoided_total")
 	m.encBufReuse = r.Counter("smart_core_enc_buf_reuse_total")
+	m.ckRawBytes = r.Counter("smart_core_ck_raw_bytes_total")
+	m.ckEncodedBytes = r.Counter("smart_core_ck_encoded_bytes_total")
 	m.steals = r.Counter("smart_core_steals_total")
 	m.batches = r.Counter("smart_core_batches_total")
 	m.queueDepth = r.Gauge("smart_core_queue_depth")

@@ -1,0 +1,249 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/codec"
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// compressiblePayload is comfortably above codec.MinSize and highly
+// redundant, so any real codec must beat raw on it.
+func compressiblePayload() []byte {
+	return bytes.Repeat([]byte("smart-wire-compression-segment-"), 256)
+}
+
+func TestTCPWireCodecNegotiation(t *testing.T) {
+	comms, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+
+	// An all-default world negotiates the best codec on every pair, and
+	// WireEncoding surfaces it. Self-sends never have a wire.
+	want := codec.Pick(codec.SupportedMask())
+	for r, c := range comms {
+		peer := 1 - r
+		if got := c.WireEncoding(peer); got != want {
+			t.Fatalf("rank %d WireEncoding(%d) = %s, want %s", r, peer, got, want)
+		}
+		if got := c.WireEncoding(r); got != codec.None {
+			t.Fatalf("rank %d WireEncoding(self) = %s, want none", r, got)
+		}
+	}
+
+	// A sub-communicator rides the parent's connections, so it reports the
+	// parent pair's negotiated codec.
+	sub, err := comms[0].SubComm([]int{0, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.WireEncoding(1); got != want {
+		t.Fatalf("sub WireEncoding(1) = %s, want %s", got, want)
+	}
+
+	// A large compressible payload round trips and demonstrably shrinks on
+	// the wire: the encoded counter advances by less than the raw counter.
+	payload := compressiblePayload()
+	rawBefore := tcpMetrics.wireRaw.Value()
+	encBefore := tcpMetrics.wireEncoded.Value()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := comms[0].Send(1, 7, payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := comms[1].Recv(0, 7)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("compressed round trip mismatch: %d bytes in, %d out", len(payload), len(got))
+	}
+	rawDelta := tcpMetrics.wireRaw.Value() - rawBefore
+	encDelta := tcpMetrics.wireEncoded.Value() - encBefore
+	if rawDelta < int64(len(payload)) {
+		t.Fatalf("wire raw counter advanced %d, want >= %d", rawDelta, len(payload))
+	}
+	if encDelta >= rawDelta {
+		t.Fatalf("encoded bytes %d not below raw bytes %d for compressible payload", encDelta, rawDelta)
+	}
+}
+
+func TestTCPMixedCodecWorldFallsBackToNone(t *testing.T) {
+	// The two ranks support disjoint codecs, so the pair must agree on raw
+	// frames — and traffic must still flow.
+	comms, err := NewTCPWorldOpts(2, TCPWorldOptions{
+		CodecMasks: []uint32{codec.MaskOf(codec.Flate), codec.MaskOf(codec.Block)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	for r, c := range comms {
+		if got := c.WireEncoding(1 - r); got != codec.None {
+			t.Fatalf("rank %d WireEncoding = %s, want none on a disjoint-codec pair", r, got)
+		}
+	}
+	payload := compressiblePayload()
+	rawBefore := tcpMetrics.wireRaw.Value()
+	encBefore := tcpMetrics.wireEncoded.Value()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := comms[1].Send(0, 3, payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := comms[0].Recv(1, 3)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("raw-fallback round trip mismatch")
+	}
+	rawDelta := tcpMetrics.wireRaw.Value() - rawBefore
+	encDelta := tcpMetrics.wireEncoded.Value() - encBefore
+	if rawDelta != encDelta {
+		t.Fatalf("disjoint-codec pair compressed anyway: raw +%d, encoded +%d", rawDelta, encDelta)
+	}
+}
+
+func TestTCPSubThresholdBypass(t *testing.T) {
+	comms, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	// Below codec.MinSize the sender skips the codec entirely: raw and
+	// encoded wire counters advance by exactly the payload size.
+	payload := make([]byte, codec.MinSize-1)
+	rawBefore := tcpMetrics.wireRaw.Value()
+	encBefore := tcpMetrics.wireEncoded.Value()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := comms[0].Send(1, 9, payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := comms[1].Recv(0, 9)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("sub-threshold round trip length %d, want %d", len(got), len(payload))
+	}
+	rawDelta := tcpMetrics.wireRaw.Value() - rawBefore
+	encDelta := tcpMetrics.wireEncoded.Value() - encBefore
+	if rawDelta != int64(len(payload)) || encDelta != int64(len(payload)) {
+		t.Fatalf("sub-threshold frame hit the codec: raw +%d, encoded +%d, want +%d each",
+			rawDelta, encDelta, len(payload))
+	}
+}
+
+func TestTCPUnknownFrameEncodingIsCleanError(t *testing.T) {
+	comms, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	// Inject a frame claiming a codec this build does not know. The receiver
+	// must surface a clear error on Recv, not panic or hang.
+	t0 := comms[0].t.(*tcpTransport)
+	if err := writeFrame(t0.conns[1], 0, 5, codec.Encoding(0x7f), []byte("junk"), obs.TraceContext{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = comms[1].Recv(0, 5)
+	if err == nil {
+		t.Fatal("Recv of unknown-encoding frame succeeded")
+	}
+	if !errors.Is(err, codec.ErrUnknown) {
+		t.Fatalf("Recv error = %v, want to wrap codec.ErrUnknown", err)
+	}
+}
+
+// trackedConn wraps a dialed connection so the test can assert it was closed
+// when mesh wiring fails partway.
+type trackedConn struct {
+	net.Conn
+	closed *atomic.Bool
+}
+
+func (c *trackedConn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+func TestNewTCPWorldCleansUpOnDialFailure(t *testing.T) {
+	orig := tcpDial
+	defer func() { tcpDial = orig }()
+
+	// Doom one dial partway through wiring a 4-rank mesh (6 dials total) and
+	// track every connection handed out before and after the failure.
+	var dials atomic.Int64
+	var mu sync.Mutex
+	var handedOut []*atomic.Bool
+	tcpDial = func(addr string) (net.Conn, error) {
+		if dials.Add(1) == 3 {
+			return nil, fmt.Errorf("injected dial failure")
+		}
+		c, err := orig(addr)
+		if err != nil {
+			return nil, err
+		}
+		closed := new(atomic.Bool)
+		mu.Lock()
+		handedOut = append(handedOut, closed)
+		mu.Unlock()
+		return &trackedConn{Conn: c, closed: closed}, nil
+	}
+
+	comms, err := NewTCPWorld(4)
+	if err == nil {
+		for _, c := range comms {
+			c.Close()
+		}
+		t.Fatal("NewTCPWorld succeeded despite a doomed dial")
+	}
+	if comms != nil {
+		t.Fatal("failed NewTCPWorld returned communicators")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, closed := range handedOut {
+		if !closed.Load() {
+			t.Errorf("connection %d from the doomed world was never closed", i)
+		}
+	}
+}

@@ -1,12 +1,12 @@
 package mpi
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net"
 	"time"
+
+	"github.com/scipioneer/smart/internal/codec"
 )
 
 // joinTimeout bounds the whole rendezvous + mesh wiring; a world whose
@@ -34,8 +34,9 @@ type joinTable struct {
 // while it boots), register their data-listener addresses, and receive the
 // full address table back. The data mesh is then wired exactly like
 // NewTCPWorld's: lower ranks accept from higher ranks, a dialer identifies
-// itself with a 4-byte hello, and every connection gets a reader goroutine
-// feeding the rank's mailbox.
+// itself with a hello carrying its rank and codec-support mask (the acceptor
+// replies with its own mask, fixing the pair's wire codec), and every
+// connection gets a reader goroutine feeding the rank's mailbox.
 func JoinTCPWorld(size, rank int, coordAddr string) (*Comm, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: invalid world size %d", size)
@@ -43,7 +44,14 @@ func JoinTCPWorld(size, rank int, coordAddr string) (*Comm, error) {
 	if rank < 0 || rank >= size {
 		return nil, fmt.Errorf("mpi: rank %d outside world of size %d", rank, size)
 	}
-	t := &tcpTransport{rank: rank, size: size, box: newMailbox(), conns: make([]*tcpConn, size)}
+	t := &tcpTransport{
+		rank:  rank,
+		size:  size,
+		box:   newMailbox(),
+		conns: make([]*tcpConn, size),
+		mask:  codec.PreferredMask(),
+		encs:  make([]codec.Encoding, size),
+	}
 	if size == 1 {
 		return NewComm(t), nil
 	}
@@ -74,17 +82,21 @@ func JoinTCPWorld(size, rank int, coordAddr string) (*Comm, error) {
 				errc <- fmt.Errorf("mpi: rank %d accept: %w", rank, err)
 				return
 			}
-			var hello [4]byte
-			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			from, peerMask, err := readMeshHello(conn)
+			if err != nil {
 				errc <- fmt.Errorf("mpi: rank %d mesh hello: %w", rank, err)
 				return
 			}
-			from := int(binary.LittleEndian.Uint32(hello[:]))
 			if from <= rank || from >= size {
 				errc <- fmt.Errorf("mpi: rank %d got invalid mesh hello from %d", rank, from)
 				return
 			}
+			if err := writeMaskReply(conn, t.mask); err != nil {
+				errc <- fmt.Errorf("mpi: rank %d mesh hello reply to %d: %w", rank, from, err)
+				return
+			}
 			t.conns[from] = &tcpConn{c: conn}
+			t.encs[from] = codec.Negotiate(t.mask, peerMask)
 		}
 		errc <- nil
 	}()
@@ -95,13 +107,13 @@ func JoinTCPWorld(size, rank int, coordAddr string) (*Comm, error) {
 				errc <- fmt.Errorf("mpi: rank %d dial %d: %w", rank, peer, err)
 				return
 			}
-			var hello [4]byte
-			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
-			if _, err := conn.Write(hello[:]); err != nil {
+			peerMask, err := meshHandshake(conn, rank, t.mask)
+			if err != nil {
 				errc <- fmt.Errorf("mpi: rank %d mesh hello to %d: %w", rank, peer, err)
 				return
 			}
 			t.conns[peer] = &tcpConn{c: conn}
+			t.encs[peer] = codec.Negotiate(t.mask, peerMask)
 		}
 		errc <- nil
 	}()

@@ -12,6 +12,11 @@ import (
 type transportMetrics struct {
 	sendMsgs, sendBytes *obs.Counter
 	recvMsgs, recvBytes *obs.Counter
+	// wireRaw/wireEncoded track the payload bytes handed to the socket
+	// before and after wire compression (self-sends excluded — they never
+	// hit a socket). Their ratio is the codec's honest win: an encoded
+	// count equal to the raw count means compression bought nothing.
+	wireRaw, wireEncoded *obs.Counter
 }
 
 func newTransportMetrics(transport string) transportMetrics {
@@ -20,10 +25,12 @@ func newTransportMetrics(transport string) transportMetrics {
 		return "smart_mpi_" + kind + `_total{transport="` + transport + `",dir="` + dir + `"}`
 	}
 	return transportMetrics{
-		sendMsgs:  r.Counter(name("messages", "send")),
-		sendBytes: r.Counter(name("bytes", "send")),
-		recvMsgs:  r.Counter(name("messages", "recv")),
-		recvBytes: r.Counter(name("bytes", "recv")),
+		sendMsgs:    r.Counter(name("messages", "send")),
+		sendBytes:   r.Counter(name("bytes", "send")),
+		recvMsgs:    r.Counter(name("messages", "recv")),
+		recvBytes:   r.Counter(name("bytes", "recv")),
+		wireRaw:     r.Counter(`smart_mpi_wire_bytes_raw_total{transport="` + transport + `"}`),
+		wireEncoded: r.Counter(`smart_mpi_wire_bytes_encoded_total{transport="` + transport + `"}`),
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/obs"
 )
 
@@ -150,6 +151,23 @@ func (c *Comm) lock() func() {
 	return c.serialize.Unlock
 }
 
+// wireEncoder is implemented by transports that negotiate a per-peer wire
+// codec (today only the TCP transport; in-process transports are a memcpy
+// and always run uncompressed).
+type wireEncoder interface {
+	wireEncoding(peer int) codec.Encoding
+}
+
+// WireEncoding reports the codec negotiated with peer: what Send may
+// compress frames to that rank with. In-process transports (and self-sends)
+// always report codec.None — there is no wire to save bytes on.
+func (c *Comm) WireEncoding(peer int) codec.Encoding {
+	if we, ok := c.t.(wireEncoder); ok && peer >= 0 && peer < c.Size() {
+		return we.wireEncoding(peer)
+	}
+	return codec.None
+}
+
 // Rank returns this communicator's rank.
 func (c *Comm) Rank() int { return c.t.Rank() }
 
@@ -205,6 +223,10 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []message
 	closed bool
+	// err, when non-nil, is the reason the box was failed (wire corruption,
+	// an undecodable frame); receives surface it instead of a bare
+	// ErrClosed so the caller sees what actually went wrong.
+	err error
 	// down marks source ranks whose connection has dropped. Messages that
 	// arrived before the drop remain receivable; a receive from a down
 	// source with nothing queued fails instead of hanging forever.
@@ -239,6 +261,9 @@ func (m *mailbox) get(src, tag int) ([]byte, obs.TraceContext, error) {
 			}
 		}
 		if m.closed {
+			if m.err != nil {
+				return nil, obs.TraceContext{}, fmt.Errorf("%w: %w", ErrClosed, m.err)
+			}
 			return nil, obs.TraceContext{}, ErrClosed
 		}
 		if m.down[src] {
@@ -262,6 +287,18 @@ func (m *mailbox) markDown(src int) {
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// fail closes the box with a reason; pending and future receives return
+// the reason wrapped in ErrClosed. The first reason wins.
+func (m *mailbox) fail(err error) {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.err = err
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/obs"
 )
 
@@ -64,6 +65,16 @@ func (c *Comm) SubComm(worldRanks []int, band int) (*Comm, error) {
 
 func (t *subTransport) Rank() int { return t.myRank }
 func (t *subTransport) Size() int { return len(t.worldRanks) }
+
+// wireEncoding delegates to the parent: a sub-communicator's frames travel
+// the parent's connections, so they compress (or don't) exactly as the
+// parent pair negotiated.
+func (t *subTransport) wireEncoding(peer int) codec.Encoding {
+	if we, ok := t.parent.(wireEncoder); ok && peer >= 0 && peer < len(t.worldRanks) {
+		return we.wireEncoding(t.worldRanks[peer])
+	}
+	return codec.None
+}
 
 func (t *subTransport) Send(dst, tag int, payload []byte, tc obs.TraceContext) error {
 	return t.parent.Send(t.worldRanks[dst], tag+t.tagOffset, payload, tc)

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/obs"
 )
 
@@ -19,6 +20,8 @@ type tcpTransport struct {
 	size    int
 	box     *mailbox
 	conns   []*tcpConn // indexed by peer rank; nil at own rank
+	mask    uint32     // codec support mask this endpoint advertises
+	encs    []codec.Encoding
 	closeMu sync.Mutex
 	closed  bool
 }
@@ -28,19 +31,22 @@ type tcpConn struct {
 	c  net.Conn
 }
 
-// frame header: src(4) tag(8) len(4) traceID(8) spanID(8), little endian.
-// tag is int64 because internal collective tags exceed 32 bits of useful
-// range headroom; the trailing 16 bytes are the sender's trace context
-// (zero when no trace is active), which is how a distributed trace rides
-// the same frames as the data it describes.
-const frameHeaderLen = 16 + obs.TraceContextWireLen
+// frame header: src(4) tag(8) len(4) traceID(8) spanID(8) enc(1), little
+// endian. tag is int64 because internal collective tags exceed 32 bits of
+// useful range headroom; the 16 bytes after len are the sender's trace
+// context (zero when no trace is active), which is how a distributed trace
+// rides the same frames as the data it describes. The trailing encoding
+// byte names the codec the payload was compressed with (codec.None for a
+// raw payload); len counts the on-wire — possibly compressed — bytes.
+const frameHeaderLen = 16 + obs.TraceContextWireLen + 1
 
-func writeFrame(tc *tcpConn, src, tag int, payload []byte, trace obs.TraceContext) error {
+func writeFrame(tc *tcpConn, src, tag int, enc codec.Encoding, payload []byte, trace obs.TraceContext) error {
 	hdr := make([]byte, 0, frameHeaderLen)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(src))
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(tag))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
 	hdr = trace.AppendWire(hdr)
+	hdr = append(hdr, byte(enc))
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	if _, err := tc.c.Write(hdr); err != nil {
@@ -50,32 +56,67 @@ func writeFrame(tc *tcpConn, src, tag int, payload []byte, trace obs.TraceContex
 	return err
 }
 
-func readFrame(r io.Reader) (src, tag int, payload []byte, trace obs.TraceContext, err error) {
+func readFrame(r io.Reader) (src, tag int, enc codec.Encoding, payload []byte, trace obs.TraceContext, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, obs.TraceContext{}, err
+		return 0, 0, 0, nil, obs.TraceContext{}, err
 	}
 	src = int(binary.LittleEndian.Uint32(hdr[0:]))
 	tag = int(binary.LittleEndian.Uint64(hdr[4:]))
 	n := int(binary.LittleEndian.Uint32(hdr[12:]))
 	trace = obs.TraceContextFromWire(hdr[16:])
+	enc = codec.Encoding(hdr[16+obs.TraceContextWireLen])
 	payload = make([]byte, n)
 	_, err = io.ReadFull(r, payload)
-	return src, tag, payload, trace, err
+	return src, tag, enc, payload, trace, err
+}
+
+// TCPWorldOptions tunes NewTCPWorldOpts beyond its defaults.
+type TCPWorldOptions struct {
+	// CodecMasks, when non-nil, pins each rank's advertised codec-support
+	// mask (length must equal the world size). Nil advertises
+	// codec.PreferredMask() everywhere — all codecs unless the process
+	// pinned one. Mixed masks exercise per-pair negotiation: a pair whose
+	// masks share no codec falls back to codec.None.
+	CodecMasks []uint32
 }
 
 // NewTCPWorld creates a world of size ranks connected over TCP loopback and
 // returns one communicator per rank. The full mesh is wired before the call
-// returns; lower ranks accept connections from higher ranks.
+// returns; lower ranks accept connections from higher ranks. During wiring
+// each connection negotiates its wire codec: the dialer's hello carries its
+// codec-support mask and the acceptor replies with its own, so both ends
+// agree on the best common encoding before the first data frame.
 func NewTCPWorld(size int) ([]*Comm, error) {
+	return NewTCPWorldOpts(size, TCPWorldOptions{})
+}
+
+// tcpDial is swapped by tests to doom specific connection attempts and to
+// observe that partially-wired meshes are torn down on failure.
+var tcpDial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// NewTCPWorldOpts is NewTCPWorld with options.
+func NewTCPWorldOpts(size int, opts TCPWorldOptions) ([]*Comm, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: invalid world size %d", size)
+	}
+	if opts.CodecMasks != nil && len(opts.CodecMasks) != size {
+		return nil, fmt.Errorf("mpi: %d codec masks for world size %d", len(opts.CodecMasks), size)
+	}
+	mask := func(rank int) uint32 {
+		if opts.CodecMasks != nil {
+			return opts.CodecMasks[rank]
+		}
+		return codec.PreferredMask()
 	}
 	listeners := make([]net.Listener, size)
 	addrs := make([]string, size)
 	for i := range listeners {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			for _, ll := range listeners[:i] {
+				ll.Close()
+			}
 			return nil, fmt.Errorf("mpi: listen for rank %d: %w", i, err)
 		}
 		listeners[i] = l
@@ -89,13 +130,24 @@ func NewTCPWorld(size int) ([]*Comm, error) {
 			size:  size,
 			box:   newMailbox(),
 			conns: make([]*tcpConn, size),
+			mask:  mask(i),
+			encs:  make([]codec.Encoding, size),
 		}
 	}
 
-	// Wire the mesh: rank r accepts from ranks > r and dials ranks < r.
-	// A dialer identifies itself with a 4-byte hello.
+	// Wire the mesh: rank r accepts from ranks > r and dials ranks < r. A
+	// dialer identifies itself with a hello carrying its rank and codec
+	// mask; the acceptor answers with its own mask, completing negotiation.
+	//
+	// Failure handling must not leak or hang: the first error closes every
+	// listener (unblocking goroutines parked in Accept) and every
+	// connection registered so far (unblocking goroutines parked mid
+	// handshake — a dialer can connect via the listen backlog and then wait
+	// forever for a mask reply no acceptor will send). Connections
+	// established after the failure are closed on registration, so once the
+	// WaitGroup drains a doomed world holds no sockets at all.
+	w := &meshWiring{listeners: listeners}
 	var wg sync.WaitGroup
-	errs := make(chan error, size*size)
 	for r := 0; r < size; r++ {
 		r := r
 		wg.Add(1)
@@ -104,44 +156,53 @@ func NewTCPWorld(size int) ([]*Comm, error) {
 			for peer := r + 1; peer < size; peer++ {
 				conn, err := listeners[r].Accept()
 				if err != nil {
-					errs <- fmt.Errorf("mpi: rank %d accept: %w", r, err)
+					w.fail(fmt.Errorf("mpi: rank %d accept: %w", r, err))
 					return
 				}
-				var hello [4]byte
-				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					errs <- fmt.Errorf("mpi: rank %d hello: %w", r, err)
+				if !w.register(conn) {
 					return
 				}
-				from := int(binary.LittleEndian.Uint32(hello[:]))
+				from, peerMask, err := readMeshHello(conn)
+				if err != nil {
+					w.fail(fmt.Errorf("mpi: rank %d hello: %w", r, err))
+					return
+				}
 				if from <= r || from >= size {
-					errs <- fmt.Errorf("mpi: rank %d got invalid hello from %d", r, from)
+					w.fail(fmt.Errorf("mpi: rank %d got invalid hello from %d", r, from))
+					return
+				}
+				if err := writeMaskReply(conn, transports[r].mask); err != nil {
+					w.fail(fmt.Errorf("mpi: rank %d hello reply to %d: %w", r, from, err))
 					return
 				}
 				transports[r].conns[from] = &tcpConn{c: conn}
+				transports[r].encs[from] = codec.Negotiate(transports[r].mask, peerMask)
 			}
 		}()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for peer := 0; peer < r; peer++ {
-				conn, err := net.Dial("tcp", addrs[peer])
+				conn, err := tcpDial(addrs[peer])
 				if err != nil {
-					errs <- fmt.Errorf("mpi: rank %d dial %d: %w", r, peer, err)
+					w.fail(fmt.Errorf("mpi: rank %d dial %d: %w", r, peer, err))
 					return
 				}
-				var hello [4]byte
-				binary.LittleEndian.PutUint32(hello[:], uint32(r))
-				if _, err := conn.Write(hello[:]); err != nil {
-					errs <- fmt.Errorf("mpi: rank %d hello to %d: %w", r, peer, err)
+				if !w.register(conn) {
+					return
+				}
+				peerMask, err := meshHandshake(conn, r, transports[r].mask)
+				if err != nil {
+					w.fail(fmt.Errorf("mpi: rank %d hello to %d: %w", r, peer, err))
 					return
 				}
 				transports[r].conns[peer] = &tcpConn{c: conn}
+				transports[r].encs[peer] = codec.Negotiate(transports[r].mask, peerMask)
 			}
 		}()
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
+	if err := w.err(); err != nil {
 		return nil, err
 	}
 	for i := range listeners {
@@ -165,9 +226,88 @@ func NewTCPWorld(size int) ([]*Comm, error) {
 	return comms, nil
 }
 
+// meshWiring tracks mesh-setup state so the first failure can tear down
+// every socket: closing the listeners unblocks Accept, closing registered
+// connections unblocks reads inside the handshake, and registration after
+// failure closes the newcomer immediately.
+type meshWiring struct {
+	mu        sync.Mutex
+	failErr   error
+	listeners []net.Listener
+	conns     []net.Conn
+}
+
+// register records an established connection for failure cleanup. It returns
+// false — after closing conn — when wiring has already failed.
+func (w *meshWiring) register(conn net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr != nil {
+		conn.Close()
+		return false
+	}
+	w.conns = append(w.conns, conn)
+	return true
+}
+
+// fail records the first error and closes every listener and every
+// registered connection, unblocking all wiring goroutines.
+func (w *meshWiring) fail(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr != nil {
+		return
+	}
+	w.failErr = err
+	for _, l := range w.listeners {
+		l.Close()
+	}
+	for _, c := range w.conns {
+		c.Close()
+	}
+}
+
+func (w *meshWiring) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failErr
+}
+
+// meshHandshake is the dialer's half of connection setup: send rank + codec
+// mask, read the acceptor's mask back.
+func meshHandshake(conn net.Conn, rank int, mask uint32) (peerMask uint32, err error) {
+	var hello [8]byte
+	binary.LittleEndian.PutUint32(hello[:4], uint32(rank))
+	binary.LittleEndian.PutUint32(hello[4:], mask)
+	if _, err := conn.Write(hello[:]); err != nil {
+		return 0, err
+	}
+	var reply [4]byte
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(reply[:]), nil
+}
+
+// readMeshHello is the acceptor's half: read the dialer's rank + codec mask.
+func readMeshHello(conn net.Conn) (from int, mask uint32, err error) {
+	var hello [8]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return 0, 0, err
+	}
+	return int(binary.LittleEndian.Uint32(hello[:4])), binary.LittleEndian.Uint32(hello[4:]), nil
+}
+
+func writeMaskReply(conn net.Conn, mask uint32) error {
+	var reply [4]byte
+	binary.LittleEndian.PutUint32(reply[:], mask)
+	_, err := conn.Write(reply[:])
+	return err
+}
+
 func (t *tcpTransport) readLoop(peer int, tc *tcpConn) {
 	for {
-		src, tag, payload, trace, err := readFrame(tc.c)
+		src, tag, enc, payload, trace, err := readFrame(tc.c)
 		if err != nil {
 			// The peer closed its endpoint (or the local Close tore the
 			// connection down). Already-delivered messages stay receivable;
@@ -179,8 +319,19 @@ func (t *tcpTransport) readLoop(peer int, tc *tcpConn) {
 		if src != peer {
 			// Frame src must match the connection's peer; a mismatch means
 			// corruption, so fail loudly by closing the box.
-			t.box.close()
+			t.box.fail(fmt.Errorf("mpi: frame claims src %d on rank %d's connection to %d", src, t.rank, peer))
 			return
+		}
+		if enc != codec.None {
+			// The frame's encoding byte is authoritative: decode whatever
+			// the sender chose, and fail with a clear error — not a decode
+			// panic — on an unknown byte or a corrupt body.
+			raw, derr := codec.Decode(enc, nil, payload)
+			if derr != nil {
+				t.box.fail(fmt.Errorf("mpi: frame from rank %d: %w", peer, derr))
+				return
+			}
+			payload = raw
 		}
 		if t.box.put(message{src: src, tag: tag, payload: payload, tc: trace}) != nil {
 			return
@@ -190,6 +341,13 @@ func (t *tcpTransport) readLoop(peer int, tc *tcpConn) {
 
 func (t *tcpTransport) Rank() int { return t.rank }
 func (t *tcpTransport) Size() int { return t.size }
+
+func (t *tcpTransport) wireEncoding(peer int) codec.Encoding {
+	if peer < 0 || peer >= len(t.encs) || peer == t.rank {
+		return codec.None
+	}
+	return t.encs[peer]
+}
 
 func (t *tcpTransport) Send(dst, tag int, payload []byte, trace obs.TraceContext) error {
 	tcpMetrics.sendMsgs.Inc()
@@ -203,7 +361,26 @@ func (t *tcpTransport) Send(dst, tag int, payload []byte, trace obs.TraceContext
 	if tc == nil {
 		return fmt.Errorf("mpi: no connection from %d to %d", t.rank, dst)
 	}
-	return writeFrame(tc, t.rank, tag, payload, trace)
+	// Compress when the pair negotiated a codec and the payload clears the
+	// size threshold; fall back to raw whenever the encoded form is not
+	// smaller, so compression can only reduce wire bytes. Tiny control
+	// frames (barrier tokens, heartbeats) never pay codec overhead.
+	enc, wire := codec.None, payload
+	if negotiated := t.encs[dst]; negotiated != codec.None && len(payload) >= codec.MinSize {
+		scratch := codec.GetScratch()
+		defer codec.PutScratch(scratch)
+		out, err := codec.Encode(negotiated, (*scratch)[:0], payload)
+		if err != nil {
+			return fmt.Errorf("mpi: encode frame to %d: %w", dst, err)
+		}
+		*scratch = out
+		if len(out) < len(payload) {
+			enc, wire = negotiated, out
+		}
+	}
+	tcpMetrics.wireRaw.Add(int64(len(payload)))
+	tcpMetrics.wireEncoded.Add(int64(len(wire)))
+	return writeFrame(tc, t.rank, tag, enc, wire, trace)
 }
 
 func (t *tcpTransport) Recv(src, tag int) ([]byte, obs.TraceContext, error) {

@@ -3,7 +3,9 @@
 # BENCH_combine.json with ns/op and allocs/op for the local combine
 # (serial reference vs sharded, at 1/4/8 threads) and the global combine
 # (legacy decode-both-reencode tree vs sharded decode-once streamed tree
-# on a 4-rank in-process world), then run the execution-engine benchmarks
+# on a 4-rank in-process world) and the per-codec global combine
+# (none/flate/block over a real TCP world, recording raw and on-wire bytes
+# per op alongside ns/op), then run the execution-engine benchmarks
 # (static vs work-stealing schedule on skewed and uniform workloads) and
 # emit BENCH_schedule.json with ns/op plus the per-run steal and batch
 # counters. Both files record the host's core count: engine speedups only
@@ -22,20 +24,29 @@ benchtime="${BENCHTIME:-0.5s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test ./internal/core/ -run '^$' -bench 'BenchmarkLocalCombine|BenchmarkGlobalCombine' \
+go test ./internal/core/ -run '^$' -bench 'BenchmarkLocalCombine|BenchmarkGlobalCombine|BenchmarkCombineCodec' \
   -benchtime "$benchtime" | tee "$raw"
 
 awk -v cores="$(nproc 2>/dev/null || echo 1)" -v benchtime="$benchtime" '
-/^Benchmark(Local|Global)Combine/ {
+/^Benchmark(Local|Global)Combine|^BenchmarkCombineCodec/ {
     name = $1
     sub(/-[0-9]+$/, "", name)            # strip the -GOMAXPROCS suffix
-    ns = ""; allocs = ""
+    ns = ""; allocs = ""; rawb = ""; wireb = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i - 1)
-        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "ns/op")        ns = $(i - 1)
+        if ($i == "allocs/op")    allocs = $(i - 1)
+        if ($i == "rawbytes/op")  rawb = $(i - 1)
+        if ($i == "wirebytes/op") wireb = $(i - 1)
     }
     if (ns != "" && allocs != "") {
-        entries[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+        if (rawb != "" && wireb != "") {
+            # Codec benchmarks also record bytes handed to the sockets before
+            # and after encoding, so the file pins the compression ratio.
+            entries[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"raw_bytes_per_op\": %s, \"wire_bytes_per_op\": %s}",
+                                   name, ns, allocs, rawb, wireb)
+        } else {
+            entries[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs)
+        }
     }
 }
 END {
