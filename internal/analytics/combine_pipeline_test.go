@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/scipioneer/smart/internal/codec"
 	"github.com/scipioneer/smart/internal/core"
 	"github.com/scipioneer/smart/internal/mpi"
 )
@@ -200,51 +201,64 @@ func TestGlobalCombineModesAgree(t *testing.T) {
 
 // TestCheckpointFixturesRoundTrip decodes checkpoints written by the
 // pre-shard serializer and re-encodes them bit-for-bit, pinning the wire and
-// checkpoint format across the pipeline refactor.
+// checkpoint format across the pipeline refactor. Every fixture round-trips
+// through each reduction-store implementation: a restored scheduler's next
+// checkpoint must be byte-identical no matter which store backs it. The .ck
+// fixtures are the raw SMARTCK1 format; histogram_seed_block.ck2 is the same
+// histogram state in the SMARTCK2 block-codec format.
 func TestCheckpointFixturesRoundTrip(t *testing.T) {
 	cases := []struct {
 		fixture string
-		load    func(path string) (func(string) error, func(string) error)
+		load    func(impl string) (func(string) error, func(string) error)
 	}{
-		{"histogram_seed.ck", func(path string) (func(string) error, func(string) error) {
+		{"histogram_seed.ck", func(impl string) (func(string) error, func(string) error) {
 			s := core.MustNewScheduler[float64, int64](NewHistogram(-1, 1, 64),
-				core.SchedArgs{NumThreads: 4, ChunkSize: 1})
+				core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
 			return s.ReadCheckpoint, s.WriteCheckpoint
 		}},
-		{"kmeans_seed.ck", func(path string) (func(string) error, func(string) error) {
+		{"kmeans_seed.ck", func(impl string) (func(string) error, func(string) error) {
 			s := core.MustNewScheduler[float64, []float64](NewKMeans(4, 4),
-				core.SchedArgs{NumThreads: 4, ChunkSize: 4})
+				core.SchedArgs{NumThreads: 4, ChunkSize: 4, MapImpl: impl})
 			return s.ReadCheckpoint, s.WriteCheckpoint
 		}},
-		{"moments_seed.ck", func(path string) (func(string) error, func(string) error) {
+		{"moments_seed.ck", func(impl string) (func(string) error, func(string) error) {
 			s := core.MustNewScheduler[float64, float64](NewMoments(100, 0),
-				core.SchedArgs{NumThreads: 4, ChunkSize: 1})
+				core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
 			return s.ReadCheckpoint, s.WriteCheckpoint
+		}},
+		{"histogram_seed_block.ck2", func(impl string) (func(string) error, func(string) error) {
+			s := core.MustNewScheduler[float64, int64](NewHistogram(-1, 1, 64),
+				core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
+			return s.ReadCheckpoint, func(path string) error {
+				return s.WriteCheckpointEnc(path, codec.Block)
+			}
 		}},
 	}
 	for _, tc := range cases {
-		t.Run(tc.fixture, func(t *testing.T) {
-			src := filepath.Join("testdata", tc.fixture)
-			want, err := os.ReadFile(src)
-			if err != nil {
-				t.Fatal(err)
-			}
-			read, write := tc.load(src)
-			if err := read(src); err != nil {
-				t.Fatalf("pre-refactor fixture no longer decodes: %v", err)
-			}
-			dst := filepath.Join(t.TempDir(), "roundtrip.ck")
-			if err := write(dst); err != nil {
-				t.Fatal(err)
-			}
-			got, err := os.ReadFile(dst)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Fatalf("round trip not bit-identical: %d bytes in, %d bytes out", len(want), len(got))
-			}
-		})
+		for _, impl := range []string{core.MapGo, core.MapArena} {
+			t.Run(tc.fixture+"/"+impl, func(t *testing.T) {
+				src := filepath.Join("testdata", tc.fixture)
+				want, err := os.ReadFile(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				read, write := tc.load(impl)
+				if err := read(src); err != nil {
+					t.Fatalf("committed fixture no longer decodes: %v", err)
+				}
+				dst := filepath.Join(t.TempDir(), "roundtrip.ck")
+				if err := write(dst); err != nil {
+					t.Fatal(err)
+				}
+				got, err := os.ReadFile(dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("round trip not bit-identical: %d bytes in, %d bytes out", len(want), len(got))
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,68 @@
+package analytics
+
+import (
+	"testing"
+
+	"github.com/scipioneer/smart/internal/core"
+)
+
+// BenchmarkMapPhase measures the reduction-store ablation of the map phase:
+// the same iterative in-situ workload (one Run per simulation step, the
+// combination map carried across steps) under the gomap baseline and the
+// arena store. allocs/op is the headline number — the arena recycles its
+// segment stores across steps and slab-allocates the FixedSizeObj reduction
+// objects, so its steady-state step should allocate far less than the
+// per-key map-entry churn of the baseline. The committed BENCH_mapphase.json
+// records both (scripts/bench.sh mapphase).
+func BenchmarkMapPhase(b *testing.B) {
+	const n = 20000
+	vals := synth(n, func(i int) float64 { return float64((i*37)%200)/10 - 10 })
+	cellvals := synth(n, func(i int) float64 { return float64((i*13)%900)/100 - 4.5 })
+
+	cases := []struct {
+		name string
+		run  func(b *testing.B, impl string)
+	}{
+		{"histogram", func(b *testing.B, impl string) {
+			s := core.MustNewScheduler[float64, int64](NewHistogram(-10, 10, 256),
+				core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
+			out := make([]int64, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Run(vals, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"moments", func(b *testing.B, impl string) {
+			s := core.MustNewScheduler[float64, float64](NewMoments(50, 0),
+				core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
+			out := make([]float64, n/50)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Run(vals, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"movingavg", func(b *testing.B, impl string) {
+			s := core.MustNewScheduler[float64, float64](NewMovingAverage(25, n, 0, false),
+				core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
+			out := make([]float64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Run2(cellvals, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, tc := range cases {
+		for _, impl := range []string{core.MapGo, core.MapArena} {
+			b.Run(tc.name+"/"+impl, func(b *testing.B) { tc.run(b, impl) })
+		}
+	}
+}

@@ -102,6 +102,19 @@ func (c *CountObj) UnmarshalBinary(b []byte) error {
 // SizeBytes implements core.Sized.
 func (c *CountObj) SizeBytes() int { return 16 }
 
+// NewSlab implements core.FixedSizeObj: n counters in one backing array.
+func (c *CountObj) NewSlab(n int) []core.RedObj {
+	backing := make([]CountObj, n)
+	objs := make([]core.RedObj, n)
+	for i := range backing {
+		objs[i] = &backing[i]
+	}
+	return objs
+}
+
+// Assign implements core.FixedSizeObj.
+func (c *CountObj) Assign(src core.RedObj) { *c = *src.(*CountObj) }
+
 // SumCountObj accumulates a sum and a count; it backs grid aggregation and
 // moving average (average = Sum/Count) and carries the early-emission
 // trigger of paper Listing 5: a full window has Expected contributions.
@@ -149,6 +162,19 @@ func (o *SumCountObj) Trigger() bool { return o.Expected > 0 && o.Count == o.Exp
 
 // SizeBytes implements core.Sized.
 func (o *SumCountObj) SizeBytes() int { return 32 }
+
+// NewSlab implements core.FixedSizeObj.
+func (o *SumCountObj) NewSlab(n int) []core.RedObj {
+	backing := make([]SumCountObj, n)
+	objs := make([]core.RedObj, n)
+	for i := range backing {
+		objs[i] = &backing[i]
+	}
+	return objs
+}
+
+// Assign implements core.FixedSizeObj.
+func (o *SumCountObj) Assign(src core.RedObj) { *o = *src.(*SumCountObj) }
 
 // WeightedObj accumulates a weighted sum and the total weight — the object
 // behind the position-weighted window convolutions (Savitzky–Golay,
@@ -200,6 +226,19 @@ func (o *WeightedObj) Trigger() bool { return o.Expected > 0 && o.Count == o.Exp
 
 // SizeBytes implements core.Sized.
 func (o *WeightedObj) SizeBytes() int { return 48 }
+
+// NewSlab implements core.FixedSizeObj.
+func (o *WeightedObj) NewSlab(n int) []core.RedObj {
+	backing := make([]WeightedObj, n)
+	objs := make([]core.RedObj, n)
+	for i := range backing {
+		objs[i] = &backing[i]
+	}
+	return objs
+}
+
+// Assign implements core.FixedSizeObj.
+func (o *WeightedObj) Assign(src core.RedObj) { *o = *src.(*WeightedObj) }
 
 // ValuesObj preserves every contribution — the Θ(W) holistic object of
 // moving median (paper Section 4.1).

@@ -1,0 +1,232 @@
+package analytics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/core"
+)
+
+// TestStoreByteIdentical is the cross-application equivalence test for the
+// reduction-store implementations: for each of the paper's nine applications,
+// under each execution engine, the gomap baseline and the arena store must
+// produce byte-identical EncodeCombinationMap output.
+//
+// The same grouping argument as TestEngineByteIdentical applies — the store
+// never changes which partial results merge or in what order, only how they
+// are laid out — but the stealing engine's steal pattern is timing-dependent,
+// so two independent runs may group differently. Every case therefore uses
+// the exact-arithmetic configurations of the engine test (any grouping yields
+// the same bits); kde and savgol, which cannot be made exact, run their
+// stealing side in Sequential mode exactly as the engine test does.
+func TestStoreByteIdentical(t *testing.T) {
+	const n = 6000
+	vals := synth(n, func(i int) float64 { return float64((i*37)%200)/10 - 10 })
+	ivals := synth(n, func(i int) float64 { return float64((i*37)%200 - 100) })
+	cellvals := synth(n, func(i int) float64 { return float64((i/100)%7 - 3) })
+	recs := synth(n, func(i int) float64 {
+		if i%5 == 4 {
+			return float64(i % 2)
+		}
+		return float64((i*13)%16)/8 - 1
+	})
+
+	cases := []struct {
+		name        string
+		seqStealing bool
+		encode      func(t *testing.T, a core.SchedArgs) []byte
+	}{
+		{"histogram", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[int64](t, NewHistogram(-10, 10, 64), a, vals, 64, false)
+		}},
+		{"gridagg", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewGridAgg(100, 0), a, ivals, 60, false)
+		}},
+		{"moments", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewMoments(100, 0), a, cellvals, 60, false)
+		}},
+		{"mutualinfo", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 2
+			return runAndEncode[int64](t, NewMutualInfo(-10, 10, 16, -10, 10, 16), a, vals, 0, false)
+		}},
+		{"logreg", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize, a.NumIters = 5, 1
+			return runAndEncode[float64](t, NewLogReg(4, 0.1), a, recs, 0, false)
+		}},
+		{"kmeans", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize, a.NumIters, a.Extra = 4, 3, initCentroidsTest(4, 4)
+			return runAndEncode[[]float64](t, NewKMeans(4, 4), a, ivals, 0, false)
+		}},
+		{"movingavg", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewMovingAverage(25, n, 0, false), a, ivals, n, true)
+		}},
+		{"movingmedian", false, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewMovingMedian(25, n, 0, false), a, vals, n, true)
+		}},
+		{"kde", true, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewKernelDensity(25, n, 0, false, 1.5), a, vals, n, true)
+		}},
+		{"savgol", true, func(t *testing.T, a core.SchedArgs) []byte {
+			a.ChunkSize = 1
+			return runAndEncode[float64](t, NewSavitzkyGolay(25, 2, n, 0, false), a, vals, n, true)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, engine := range []string{core.EngineStatic, core.EngineStealing} {
+				args := core.SchedArgs{NumThreads: 4, Engine: engine,
+					Sequential: tc.seqStealing && engine == core.EngineStealing}
+				args.MapImpl = core.MapGo
+				ref := tc.encode(t, args)
+				if len(ref) <= 4 {
+					t.Fatal("reference combination map is empty — the case tests nothing")
+				}
+				args.MapImpl = core.MapArena
+				if got := tc.encode(t, args); !bytes.Equal(got, ref) {
+					t.Errorf("engine %s: arena encoding differs from gomap (%d vs %d bytes)",
+						engine, len(got), len(ref))
+				}
+			}
+		})
+	}
+}
+
+// TestArenaForcedStealMedianByteIdentical repeats the guaranteed-steal
+// determinism test with the arena store: stolen segments then clone-seed
+// through arena slabs and recycle across iterations, and the holistic median
+// must still encode byte-for-byte like the static gomap schedule.
+func TestArenaForcedStealMedianByteIdentical(t *testing.T) {
+	const n = 6000
+	vals := synth(n, func(i int) float64 { return float64((i*37)%200)/10 - 10 })
+	app := &gateMedian{
+		MovingMedian: NewMovingMedian(25, n, 0, false),
+		gate:         make(chan struct{}),
+		guard:        3 * (n / 2) / 4,
+		limit:        n / 2,
+	}
+	s := core.MustNewScheduler[float64, float64](app, core.SchedArgs{
+		NumThreads: 2, ChunkSize: 1, Engine: core.EngineStealing, MapImpl: core.MapArena,
+	})
+	out := make([]float64, n)
+	if err := s.Run2(vals, out); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats().Snapshot(); st.Steals == 0 {
+		t.Fatal("no steal recorded despite a parked straggler")
+	}
+	got, err := s.EncodeCombinationMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runAndEncode[float64](t, NewMovingMedian(25, n, 0, false),
+		core.SchedArgs{NumThreads: 2, ChunkSize: 1}, vals, n, true)
+	if !bytes.Equal(got, ref) {
+		t.Errorf("arena stolen-segment encoding differs from static gomap (%d vs %d bytes)", len(got), len(ref))
+	}
+}
+
+// TestCheckpointStoreEncodePath pins the store-backed checkpoint encode: a
+// scheduler checkpointing right after a Run (store in sync — the encode reads
+// the sharded store) and one checkpointing after a restore (store stale — the
+// encode reads the flat map) must write byte-identical files, under both
+// store implementations.
+func TestCheckpointStoreEncodePath(t *testing.T) {
+	const n = 4000
+	vals := synth(n, func(i int) float64 { return float64((i*37)%200)/10 - 10 })
+	var ref []byte
+	for _, impl := range []string{core.MapGo, core.MapArena} {
+		s := core.MustNewScheduler[float64, int64](NewHistogram(-10, 10, 64),
+			core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
+		out := make([]int64, 64)
+		if err := s.Run(vals, out); err != nil {
+			t.Fatal(err)
+		}
+		fresh := filepath.Join(t.TempDir(), "fresh.ck")
+		if err := s.WriteCheckpoint(fresh); err != nil {
+			t.Fatal(err)
+		}
+		fb, err := os.ReadFile(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = fb
+		} else if !bytes.Equal(fb, ref) {
+			t.Fatalf("%s: store-backed checkpoint differs from gomap's", impl)
+		}
+		// Restore marks the store stale; the next write must read the flat
+		// map and still produce the same bytes.
+		r := core.MustNewScheduler[float64, int64](NewHistogram(-10, 10, 64),
+			core.SchedArgs{NumThreads: 4, ChunkSize: 1, MapImpl: impl})
+		if err := r.ReadCheckpoint(fresh); err != nil {
+			t.Fatal(err)
+		}
+		stale := filepath.Join(t.TempDir(), "stale.ck")
+		if err := r.WriteCheckpoint(stale); err != nil {
+			t.Fatal(err)
+		}
+		sb, err := os.ReadFile(stale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb, ref) {
+			t.Fatalf("%s: flat-map checkpoint differs from store-backed one", impl)
+		}
+	}
+}
+
+// TestFixedSizeObjContracts pins the core.FixedSizeObj contract for every
+// shipped opt-in: NewSlab objects must be indistinguishable from zero-valued
+// objects, and Assign must reproduce exactly what Clone would.
+func TestFixedSizeObjContracts(t *testing.T) {
+	protos := map[string]core.FixedSizeObj{
+		"CountObj":    &CountObj{Count: 7},
+		"SumCountObj": &SumCountObj{Sum: 1.5, Count: 3, Expected: 25},
+		"WeightedObj": &WeightedObj{WSum: 2.25, Weight: 0.5, Count: 2, Expected: 9},
+		"MomentsObj":  &MomentsObj{N: 4, Mean: 1.25, M2: 2, M3: -1, M4: 0.5},
+	}
+	for name, proto := range protos {
+		t.Run(name, func(t *testing.T) {
+			slab := proto.NewSlab(8)
+			if len(slab) != 8 {
+				t.Fatalf("NewSlab returned %d objects", len(slab))
+			}
+			zero := proto.Clone().(core.FixedSizeObj)
+			zero.Assign(slab[0]) // slab objects must themselves be assignable
+			for i, obj := range slab {
+				zb, err := obj.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := proto.Clone().(core.FixedSizeObj).NewSlab(1)[0].MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(zb, want) {
+					t.Fatalf("slab object %d not zero-valued", i)
+				}
+				fo := obj.(core.FixedSizeObj)
+				fo.Assign(proto)
+				ab, err := fo.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb, err := proto.Clone().MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ab, cb) {
+					t.Fatalf("slab object %d: Assign differs from Clone", i)
+				}
+			}
+		})
+	}
+}

@@ -54,7 +54,18 @@ func (s *Scheduler[In, Out]) WriteCheckpointEnc(path string, enc codec.Encoding)
 		s.met.encBufReuse.Add(1)
 	}
 	defer putEncBuf(bufp)
-	raw, err := appendMap((*bufp)[:0], s.comMap)
+	// Encode from the sharded store when it is in sync with the flat map —
+	// the common steady state between Runs — and from the flat map otherwise.
+	// Both produce identical bytes (canonical ascending-key framing); reading
+	// whichever view is current keeps this path strictly read-only, which
+	// concurrent checkpoint writers to different paths rely on.
+	var raw []byte
+	var err error
+	if s.storeFresh {
+		raw, err = appendStore((*bufp)[:0], s.store)
+	} else {
+		raw, err = appendMap((*bufp)[:0], s.comMap)
+	}
 	*bufp = raw
 	if err != nil {
 		return fmt.Errorf("core: checkpoint encode: %w", err)
@@ -150,7 +161,7 @@ func (s *Scheduler[In, Out]) ReadCheckpoint(path string) error {
 		return fmt.Errorf("core: checkpoint decode: %w", err)
 	}
 	s.comMap = m
-	s.shardsFresh = false
+	s.storeFresh = false
 	s.stats = Stats{}
 	return nil
 }

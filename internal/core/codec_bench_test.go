@@ -146,7 +146,7 @@ func BenchmarkCombineCodec(b *testing.B) {
 				func() {
 					for _, s := range scheds {
 						s.comMap = cloneMap(histTemplate)
-						s.shardsFresh = false
+						s.storeFresh = false
 					}
 				})
 		})
@@ -166,7 +166,7 @@ func BenchmarkCombineCodec(b *testing.B) {
 				func() {
 					for _, s := range scheds {
 						s.comMap = cloneMap(kmTemplate)
-						s.shardsFresh = false
+						s.storeFresh = false
 					}
 				})
 		})

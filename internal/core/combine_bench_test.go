@@ -63,7 +63,7 @@ func BenchmarkLocalCombine(b *testing.B) {
 					com.shards[si] = make(CombMap, keys/threads+1)
 				}
 				b.StartTimer()
-				com.forEachShard(threads, func(si int) {
+				forShards(threads, threads, func(si int) {
 					shard := com.shards[si]
 					for t := range redMaps {
 						for k, obj := range redMaps[t].shards[si] {
@@ -104,7 +104,7 @@ func legacyGlobalCombine(s *Scheduler[int, int64]) error {
 		return err
 	}
 	s.comMap, err = decodeMap(global, s.app.NewRedObj)
-	s.shardsFresh = false
+	s.storeFresh = false
 	return err
 }
 
@@ -135,7 +135,7 @@ func BenchmarkGlobalCombine(b *testing.B) {
 						m[k] = obj.Clone()
 					}
 					s.comMap = m
-					s.shardsFresh = false
+					s.storeFresh = false
 				}
 			}
 			b.ReportAllocs()

@@ -187,6 +187,17 @@ type SchedArgs struct {
 	// identical under both; see docs/ARCHITECTURE.md ("Execution engine")
 	// for the exact determinism guarantees.
 	Engine string
+	// MapImpl selects the reduction-store implementation behind the engine:
+	// the storage every reduction and combination map lives in. MapGo (the
+	// default) keeps state in Go's built-in map — the pre-store behavior,
+	// kept as the ablation baseline. MapArena keys state with a
+	// Fibonacci-hashed open-addressing index over contiguous per-shard
+	// arenas: no per-key map allocation, storage recycled across iterations,
+	// and slab-allocated objects for FixedSizeObj applications. Results,
+	// wire bytes, and checkpoint bytes are byte-identical under both (the
+	// store equivalence tests pin this across all nine applications and
+	// both engines); see docs/ARCHITECTURE.md ("Reduction stores").
+	MapImpl string
 	// PinThreads dedicates an OS thread to every reduction worker for the
 	// duration of its split (runtime.LockOSThread), the Go analogue of the
 	// paper's per-core thread binding; the OS scheduler then keeps each
@@ -236,6 +247,12 @@ func (a *SchedArgs) validate() error {
 		return fmt.Errorf("core: unknown engine %q (want %q or %q)",
 			a.Engine, EngineStatic, EngineStealing)
 	}
+	switch a.MapImpl {
+	case MapGo, MapArena:
+	default:
+		return fmt.Errorf("core: unknown map implementation %q (want %q or %q)",
+			a.MapImpl, MapGo, MapArena)
+	}
 	return nil
 }
 
@@ -259,6 +276,9 @@ func (a *SchedArgs) withDefaults() SchedArgs {
 	if out.Engine == "" {
 		out.Engine = EngineStatic
 	}
+	if out.MapImpl == "" {
+		out.MapImpl = MapGo
+	}
 	return out
 }
 
@@ -277,14 +297,18 @@ type Scheduler[In, Out any] struct {
 	args       SchedArgs
 	comMap     CombMap
 	globalComb bool
-	// shards is the sharded view of comMap driving the parallel combination
-	// pipeline. It aliases comMap's objects; shardsFresh records whether the
-	// two views are currently in sync (application code — ProcessExtraData,
-	// PostCombine, arbitrary callers of CombinationMap between Runs — only
-	// ever mutates the flat view, so the scheduler reshards lazily at the
-	// phase boundaries that need the sharded form).
-	shards      *shardedMap
-	shardsFresh bool
+	// store is the sharded working view of comMap driving the parallel
+	// combination pipeline — the redStore selected by args.MapImpl. It
+	// aliases comMap's objects; storeFresh records whether the two views are
+	// currently in sync (application code — ProcessExtraData, PostCombine,
+	// arbitrary callers of CombinationMap between Runs — only ever mutates
+	// the flat view, so the scheduler reseeds lazily at the phase boundaries
+	// that need the sharded form).
+	store      redStore
+	storeFresh bool
+	// newObj is app.NewRedObj bound once, so store factories and decode
+	// paths never rebuild the method value.
+	newObj func() RedObj
 	// gcScratch is the reusable per-shard serialization buffer of the global
 	// combination phase: both transports copy payloads out during Send, so
 	// one buffer serves every segment of every round.
@@ -345,11 +369,12 @@ func NewScheduler[In, Out any](app Analytics[In, Out], args SchedArgs) (*Schedul
 		app:        app,
 		args:       a,
 		comMap:     make(CombMap),
-		shards:     newShardedMap(a.CombineShards),
+		newObj:     app.NewRedObj,
 		globalComb: true,
 		buf:        ringbuf.New[feedItem[In]](a.BufferCells),
 		obs:        a.Obs,
 	}
+	s.store = newRedStore(a.MapImpl, a.CombineShards, s.newObj)
 	if s.obs == nil {
 		s.obs = obs.Default()
 	}
@@ -405,7 +430,7 @@ func (s *Scheduler[In, Out]) CombinationMap() CombMap { return s.comMap }
 // per time-step without reallocating the runtime.
 func (s *Scheduler[In, Out]) ResetCombinationMap() {
 	s.comMap = make(CombMap)
-	s.shardsFresh = false
+	s.storeFresh = false
 }
 
 // Stats returns counters describing the most recent Run.
@@ -447,6 +472,10 @@ func (s *Scheduler[In, Out]) SetPprofLabels(on bool) { s.pprofLabels = on }
 // Engine reports the effective execution engine name (EngineStatic or
 // EngineStealing) this scheduler runs its reduction phase on.
 func (s *Scheduler[In, Out]) Engine() string { return s.eng.name() }
+
+// MapImpl reports the effective reduction-store implementation (MapGo or
+// MapArena) this scheduler keeps its reduction and combination state in.
+func (s *Scheduler[In, Out]) MapImpl() string { return s.args.MapImpl }
 
 // SubscribeSpans registers fn to receive every phase span this scheduler
 // emits ("reduction", "local combine", "global combine", "post combine",

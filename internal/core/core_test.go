@@ -32,6 +32,18 @@ func (c *countObj) UnmarshalBinary(b []byte) error {
 	return nil
 }
 
+// countObj opts into the arena's fixed-width layout so the core tests
+// exercise the slab path end to end.
+func (c *countObj) NewSlab(n int) []RedObj {
+	backing := make([]countObj, n)
+	objs := make([]RedObj, n)
+	for i := range backing {
+		objs[i] = &backing[i]
+	}
+	return objs
+}
+func (c *countObj) Assign(src RedObj) { *c = *src.(*countObj) }
+
 // bucketApp is an equi-width histogram over int inputs: key = value / width.
 type bucketApp struct{ width int }
 

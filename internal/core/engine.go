@@ -45,12 +45,14 @@ type engine[In, Out any] interface {
 	// reduceBlock consumes one block of the input, accumulating into the
 	// engine's segments. Called serially, once per block.
 	reduceBlock(block chunk.Split, env *runEnv[In, Out]) error
-	// segments surrenders every reduction map populated since distribute,
+	// segments surrenders every reduction store populated since distribute,
 	// ordered by the input offset of the range that fed it — local
 	// combination merges them in this order, so each key's partial results
 	// merge in ascending input order regardless of which thread produced
-	// them. The engine drops its own references; the caller owns the maps.
-	segments() []*shardedMap
+	// them. The caller owns the stores until the next distribute; the engine
+	// may retain references to its per-thread slots so a recyclable store
+	// implementation (arena) can reuse their storage next iteration.
+	segments() []redStore
 }
 
 // newEngine constructs the engine selected by the (defaulted, validated)
@@ -67,18 +69,45 @@ func newEngine[In, Out any](s *Scheduler[In, Out]) engine[In, Out] {
 }
 
 // distributeInto deep-clones the combination map into every target reduction
-// map, shard-parallel: each worker clones its shard for every target, so the
-// per-iteration clone cost scales with cores instead of riding the
+// store, shard-parallel: each worker clones its shard for every target, so
+// the per-iteration clone cost scales with cores instead of riding the
 // coordinating goroutine. Shared by both engines for their primary segments.
-func (s *Scheduler[In, Out]) distributeInto(maps []*shardedMap, env *runEnv[In, Out]) {
-	s.shards.forEachShard(s.phaseWorkers(), func(si int) {
-		for k, obj := range s.shards.shards[si] {
-			for t := range maps {
-				c := obj.Clone()
-				maps[t].shards[si][k] = c
+// insertClone is the store's clone-seed: gomap clones through RedObj.Clone,
+// arena assigns into slab slots for FixedSizeObj applications.
+func (s *Scheduler[In, Out]) distributeInto(stores []redStore, env *runEnv[In, Out]) {
+	forShards(s.store.numShards(), s.phaseWorkers(), func(si int) {
+		s.store.forEachIn(si, func(k int, obj RedObj) {
+			for t := range stores {
+				c := stores[t].insertClone(k, obj)
 				env.live.add(1)
 				env.tracker.add(int64(s.sizeOfRedObj(c)))
 			}
-		}
+		})
 	})
+}
+
+// newSegStore builds one engine segment store, recycling prev where the
+// implementation supports it. The gomap baseline keeps allocating fresh maps
+// every distribute — the pre-store behavior the ablation benchmarks compare
+// against — though each shard is now pre-sized to the combination shard it
+// is about to receive a clone of. The arena implementation instead clears
+// prev in place, reusing its index, arena, and slab storage.
+func (s *Scheduler[In, Out]) newSegStore(prev redStore) redStore {
+	if s.args.MapImpl == MapArena {
+		if a, ok := prev.(*arenaStore); ok {
+			a.clear()
+			return a
+		}
+		return newArenaStore(s.store.numShards(), s.newObj)
+	}
+	m := newShardedMap(s.store.numShards())
+	m.create = s.newObj
+	if s.storeFresh {
+		for si := range m.shards {
+			if l := s.store.shardLen(si); l > 0 {
+				m.shards[si] = make(CombMap, l)
+			}
+		}
+	}
+	return m
 }

@@ -17,10 +17,11 @@ import (
 // results are preserved bit for bit.
 type staticEngine[In, Out any] struct {
 	s *Scheduler[In, Out]
-	// redMaps holds one segment per thread; thread t's splits of every block
-	// of the iteration accumulate into redMaps[t], exactly the pre-engine
-	// behavior.
-	redMaps []*shardedMap
+	// redMaps holds one segment store per thread; thread t's splits of every
+	// block of the iteration accumulate into redMaps[t], exactly the
+	// pre-engine behavior. The slots persist across iterations so recyclable
+	// store implementations reuse their storage (see newSegStore).
+	redMaps []redStore
 }
 
 func (e *staticEngine[In, Out]) name() string { return EngineStatic }
@@ -28,10 +29,10 @@ func (e *staticEngine[In, Out]) name() string { return EngineStatic }
 func (e *staticEngine[In, Out]) distribute(env *runEnv[In, Out]) {
 	s := e.s
 	if e.redMaps == nil {
-		e.redMaps = make([]*shardedMap, s.args.NumThreads)
+		e.redMaps = make([]redStore, s.args.NumThreads)
 	}
 	for t := range e.redMaps {
-		e.redMaps[t] = newShardedMap(s.shards.n())
+		e.redMaps[t] = s.newSegStore(e.redMaps[t])
 	}
 	s.distributeInto(e.redMaps, env)
 }
@@ -86,11 +87,8 @@ func (e *staticEngine[In, Out]) reduceBlock(block chunk.Split, env *runEnv[In, O
 	return errors.Join(errs...)
 }
 
-func (e *staticEngine[In, Out]) segments() []*shardedMap {
-	segs := make([]*shardedMap, len(e.redMaps))
+func (e *staticEngine[In, Out]) segments() []redStore {
+	segs := make([]redStore, len(e.redMaps))
 	copy(segs, e.redMaps)
-	for t := range e.redMaps {
-		e.redMaps[t] = nil
-	}
 	return segs
 }

@@ -48,10 +48,10 @@ type stealingEngine[In, Out any] struct {
 	stolen []stealSeg
 }
 
-// stealSeg is one reduction-map segment plus the element offset of the first
-// unit it owned, which orders segments for local combination.
+// stealSeg is one reduction-store segment plus the element offset of the
+// first unit it owned, which orders segments for local combination.
 type stealSeg struct {
-	m        *shardedMap
+	m        redStore
 	startKey int
 }
 
@@ -63,14 +63,14 @@ func (e *stealingEngine[In, Out]) distribute(env *runEnv[In, Out]) {
 	if e.primary == nil {
 		e.primary = make([]stealSeg, nt)
 	}
-	maps := make([]*shardedMap, nt)
-	for t := range maps {
-		maps[t] = newShardedMap(s.shards.n())
-		e.primary[t] = stealSeg{m: maps[t]}
+	stores := make([]redStore, nt)
+	for t := range stores {
+		stores[t] = s.newSegStore(e.primary[t].m)
+		e.primary[t] = stealSeg{m: stores[t]}
 	}
 	e.stolen = nil
 	e.primed = false
-	s.distributeInto(maps, env)
+	s.distributeInto(stores, env)
 }
 
 func (e *stealingEngine[In, Out]) reduceBlock(block chunk.Split, env *runEnv[In, Out]) error {
@@ -148,7 +148,7 @@ func (e *stealingEngine[In, Out]) reduceBlock(block chunk.Split, env *runEnv[In,
 // only shrink, so an empty scan is a stable exit condition. On error the
 // worker raises abort, which stops every worker within one batch.
 func (e *stealingEngine[In, Out]) runWorker(t int, block chunk.Split, d *chunk.BatchDeque,
-	seg *shardedMap, reg *stealRegistry, abort *atomic.Bool, env *runEnv[In, Out]) error {
+	seg redStore, reg *stealRegistry, abort *atomic.Bool, env *runEnv[In, Out]) error {
 
 	s := e.s
 	nt := s.args.NumThreads
@@ -220,7 +220,7 @@ steal:
 	return err
 }
 
-func (e *stealingEngine[In, Out]) segments() []*shardedMap {
+func (e *stealingEngine[In, Out]) segments() []redStore {
 	segs := make([]stealSeg, 0, len(e.primary)+len(e.stolen))
 	segs = append(segs, e.primary...)
 	segs = append(segs, e.stolen...)
@@ -229,29 +229,29 @@ func (e *stealingEngine[In, Out]) segments() []*shardedMap {
 	// primaries are keyed by their first block's range, so cross-block order
 	// is per-segment, not global — merge semantics do not depend on it.
 	sort.SliceStable(segs, func(i, j int) bool { return segs[i].startKey < segs[j].startKey })
-	out := make([]*shardedMap, len(segs))
+	out := make([]redStore, len(segs))
 	for i := range segs {
 		out[i] = segs[i].m
 	}
-	for i := range e.primary {
-		e.primary[i] = stealSeg{}
-	}
+	// Primary stores stay in their slots for recycling at the next
+	// distribute; stolen segments are one-iteration objects.
 	e.stolen = nil
 	return out
 }
 
-// cloneComSegment builds a fresh segment reduction map seeded with a deep
+// cloneComSegment builds a fresh segment reduction store seeded with a deep
 // clone of the combination map, charging the clones to the live-object and
-// memory accounting exactly as the distribute step does.
-func (s *Scheduler[In, Out]) cloneComSegment(env *runEnv[In, Out]) *shardedMap {
-	m := newShardedMap(s.shards.n())
-	for si, sh := range s.shards.shards {
-		for k, obj := range sh {
-			c := obj.Clone()
-			m.shards[si][k] = c
+// memory accounting exactly as the distribute step does. It runs on a
+// stealing worker concurrently with reduction, which is safe: forEachIn only
+// reads the combination store, and reduction never mutates it.
+func (s *Scheduler[In, Out]) cloneComSegment(env *runEnv[In, Out]) redStore {
+	m := s.newSegStore(nil)
+	for si := 0; si < s.store.numShards(); si++ {
+		s.store.forEachIn(si, func(k int, obj RedObj) {
+			c := m.insertClone(k, obj)
 			env.live.add(1)
 			env.tracker.add(int64(s.sizeOfRedObj(c)))
-		}
+		})
 	}
 	return m
 }

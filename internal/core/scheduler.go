@@ -101,7 +101,7 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 	env := &runEnv[In, Out]{in: in, out: out, multi: multi, live: live, tracker: tracker}
 	// Application code may have mutated the combination map since the last
 	// sync point (between Runs, anything holding CombinationMap may write).
-	s.shardsFresh = false
+	s.storeFresh = false
 
 	for iter := 0; iter < s.args.NumIters; iter++ {
 		if s.cancelled.Load() || ctx.Err() != nil {
@@ -109,8 +109,8 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 		}
 		// Distribute the (local or, after the first iteration's global
 		// combination, global) combination map into the engine's segment
-		// reduction maps (shard-parallel deep clones; see distributeInto).
-		s.syncShards()
+		// reduction stores (shard-parallel deep clones; see distributeInto).
+		s.syncStore()
 		s.eng.distribute(env)
 		if err := tracker.sync(); err != nil {
 			return err
@@ -145,20 +145,20 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 		// order no matter which thread produced them. Objects for unseen
 		// keys are moved; objects for existing keys are merged and die.
 		start := time.Now()
-		durs := s.shards.forEachShard(s.phaseWorkers(), func(si int) {
-			com := s.shards.shards[si]
+		durs := forShards(s.store.numShards(), s.phaseWorkers(), func(si int) {
 			for _, seg := range segs {
-				for k, obj := range seg.shards[si] {
-					if dst, ok := com[k]; ok {
+				seg.forEachIn(si, func(k int, obj RedObj) {
+					if dst, ok := s.store.lookup(k); ok {
 						s.app.Merge(obj, dst)
 						tracker.add(-int64(s.sizeOfRedObj(obj)))
 					} else {
-						com[k] = obj
+						s.store.insert(k, obj)
 					}
 					live.add(-1)
-				}
+				})
 			}
 		})
+		s.flushStoreStats(segs)
 		for i := range segs {
 			segs[i] = nil
 		}
@@ -193,8 +193,8 @@ func (s *Scheduler[In, Out]) run(ctx context.Context, in []In, out []Out, multi 
 			pcStart := time.Now()
 			s.postComb.PostCombine(s.comMap)
 			// PostCombine may have inserted, erased, or replaced entries in
-			// the flat map; reshard before the next phase that needs shards.
-			s.shardsFresh = false
+			// the flat map; reseed before the next phase that needs the store.
+			s.storeFresh = false
 			s.phaseEvent("post combine", pcStart)
 		}
 	}
@@ -298,30 +298,50 @@ func (s *Scheduler[In, Out]) phaseWorkers() int {
 	return s.args.NumThreads
 }
 
-// syncShards rebuilds the sharded view from the flat combination map if
-// application code may have mutated the flat view since the last sync.
-func (s *Scheduler[In, Out]) syncShards() {
-	if s.shardsFresh {
+// syncStore reseeds the store (the sharded working view) from the flat
+// combination map if application code may have mutated the flat view since
+// the last sync.
+func (s *Scheduler[In, Out]) syncStore() {
+	if s.storeFresh {
 		return
 	}
-	s.shards.clearShards()
-	s.shards.insertFlat(s.comMap)
-	s.shardsFresh = true
+	s.store.reseed(s.comMap)
+	s.storeFresh = true
 }
 
-// syncFlat rebuilds the flat combination map from the shards after a
-// shard-parallel phase mutated them. The flat map's identity is preserved —
+// syncFlat rebuilds the flat combination map from the store after a
+// shard-parallel phase mutated it. The flat map's identity is preserved —
 // holders of CombinationMap keep seeing the current state.
 func (s *Scheduler[In, Out]) syncFlat() {
-	s.shards.flattenInto(s.comMap)
-	s.shardsFresh = true
+	s.store.flattenInto(s.comMap)
+	s.storeFresh = true
+}
+
+// flushStoreStats drains the probe/footprint counters the stores accumulated
+// during the iteration into the registry — one flush per phase boundary, so
+// the per-chunk hot path never touches an atomic. Called from the
+// coordinating goroutine after the phase workers have joined.
+func (s *Scheduler[In, Out]) flushStoreStats(segs []redStore) {
+	st := s.store.takeStats()
+	for _, seg := range segs {
+		t := seg.takeStats()
+		st.probes += t.probes
+		st.lookups += t.lookups
+		st.arenaBytes += t.arenaBytes
+	}
+	if st.lookups > 0 {
+		s.met.storeProbeLen.Observe(float64(st.probes) / float64(st.lookups))
+	}
+	if st.arenaBytes > 0 {
+		s.met.arenaBytes.Set(st.arenaBytes)
+	}
 }
 
 // processSplit consumes one split chunk by chunk: generate key(s), locate or
 // create the reduction object, accumulate, and — when the object's trigger
 // fires — emit it early (Algorithm 2).
 func (s *Scheduler[In, Out]) processSplit(sp chunk.Split, in []In, out []Out,
-	redMap *shardedMap, multi bool, live *liveCounter, tracker *memTracker) error {
+	redMap redStore, multi bool, live *liveCounter, tracker *memTracker) error {
 
 	var keys []int
 	var chunks, touched int64
@@ -380,17 +400,13 @@ type chunkCache struct {
 // creating the reduction object on first touch and emitting it early when
 // its trigger fires (Algorithm 2).
 func (s *Scheduler[In, Out]) consumeChunk(k int, c chunk.Chunk, in []In, out []Out,
-	redMap *shardedMap, live *liveCounter, tracker *memTracker, cache *chunkCache) {
+	redMap redStore, live *liveCounter, tracker *memTracker, cache *chunkCache) {
 
 	obj := cache.obj
-	var sh CombMap
 	if cache.key != k || obj == nil {
-		sh = redMap.shardFor(k)
-		var ok bool
-		obj, ok = sh[k]
-		if !ok {
-			obj = s.app.NewRedObj()
-			sh[k] = obj
+		var created bool
+		obj, created = redMap.lookupOrCreate(k)
+		if created {
 			live.add(1)
 			tracker.add(int64(s.sizeOfRedObj(obj)))
 		}
@@ -421,10 +437,7 @@ func (s *Scheduler[In, Out]) consumeChunk(k int, c chunk.Chunk, in []In, out []O
 		if len(s.emitSubs) > 0 {
 			s.notifyEmit(k, out)
 		}
-		if sh == nil {
-			sh = redMap.shardFor(k)
-		}
-		delete(sh, k)
+		redMap.remove(k)
 		live.add(-1)
 		tracker.add(-int64(s.sizeOfRedObj(obj)))
 		atomic.AddInt64(&s.stats.EmittedEarly, 1)
@@ -471,11 +484,11 @@ func (s *Scheduler[In, Out]) convert(out []Out) error {
 	if out == nil || s.converter == nil {
 		return nil
 	}
-	s.syncShards()
-	s.shards.forEachShard(s.phaseWorkers(), func(si int) {
-		for k, obj := range s.shards.shards[si] {
+	s.syncStore()
+	forShards(s.store.numShards(), s.phaseWorkers(), func(si int) {
+		s.store.forEachIn(si, func(k int, obj RedObj) {
 			s.emit(k, obj, out)
-		}
+		})
 	})
 	return nil
 }
@@ -491,12 +504,12 @@ func (s *Scheduler[In, Out]) EncodeCombinationMap() ([]byte, error) {
 // DecodeCombinationMap replaces the combination map with one decoded from
 // EncodeCombinationMap's format.
 func (s *Scheduler[In, Out]) DecodeCombinationMap(buf []byte) error {
-	m, err := decodeMap(buf, s.app.NewRedObj)
+	m, err := decodeMap(buf, s.newObj)
 	if err != nil {
 		return err
 	}
 	s.comMap = m
-	s.shardsFresh = false
+	s.storeFresh = false
 	return nil
 }
 
@@ -513,13 +526,13 @@ func (s *Scheduler[In, Out]) MergeCombinationMap(m CombMap) {
 			s.comMap[k] = obj
 		}
 	}
-	s.shardsFresh = false
+	s.storeFresh = false
 }
 
 // MergeEncodedCombinationMap decodes a map serialized with
 // EncodeCombinationMap and folds it in.
 func (s *Scheduler[In, Out]) MergeEncodedCombinationMap(buf []byte) error {
-	m, err := decodeMap(buf, s.app.NewRedObj)
+	m, err := decodeMap(buf, s.newObj)
 	if err != nil {
 		return err
 	}
@@ -585,22 +598,22 @@ func (s *Scheduler[In, Out]) globalCombine() error {
 		if err != nil {
 			return fmt.Errorf("core: global combination bcast: %w", err)
 		}
-		s.comMap, err = decodeMap(global, s.app.NewRedObj)
+		s.comMap, err = decodeMap(global, s.newObj)
 		if err != nil {
 			return fmt.Errorf("core: global combination decode: %w", err)
 		}
-		s.shardsFresh = false
+		s.storeFresh = false
 		s.stats.GlobalCombineTime += time.Since(start)
 		return nil
 	}
 
-	s.syncShards()
+	s.syncStore()
 	var sent int64
 	enc := func(seg int) ([]byte, error) {
 		if cap(s.gcScratch) > 0 {
 			s.met.encBufReuse.Add(1)
 		}
-		buf, err := appendMap(s.gcScratch[:0], s.shards.shards[seg])
+		buf, err := appendShardOf(s.gcScratch[:0], s.store, seg)
 		if err != nil {
 			return nil, fmt.Errorf("core: global combination encode: %w", err)
 		}
@@ -618,18 +631,17 @@ func (s *Scheduler[In, Out]) globalCombine() error {
 	merge := func(_ int, payload []byte) error {
 		s.met.gcDecodeAvoided.Inc()
 		return walkEntries(payload, func(k int, body []byte) error {
-			sh := s.shards.shardFor(k)
-			dst, ok := sh[k]
+			dst, ok := s.store.lookup(k)
 			if !ok {
-				obj := s.app.NewRedObj()
+				obj := s.newObj()
 				if err := obj.UnmarshalBinary(body); err != nil {
 					return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
 				}
-				sh[k] = obj
+				s.store.insert(k, obj)
 				return nil
 			}
 			if scratch == nil {
-				scratch = s.app.NewRedObj()
+				scratch = s.newObj()
 			}
 			if err := scratch.UnmarshalBinary(body); err != nil {
 				return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
@@ -638,21 +650,21 @@ func (s *Scheduler[In, Out]) globalCombine() error {
 			return nil
 		})
 	}
-	isRoot, err := comm.ReduceStream(0, s.shards.n(), enc, merge)
+	isRoot, err := comm.ReduceStream(0, s.store.numShards(), enc, merge)
 	if err != nil {
 		return fmt.Errorf("core: global combination reduce: %w", err)
 	}
 
 	// Broadcast the global map. The root holds it decoded already — it
 	// serializes once into a pooled buffer (canonical sorted whole-map
-	// framing) and keeps its in-place merged shards; the other ranks decode
-	// the broadcast straight into their shards.
+	// framing) and keeps its in-place merged store; the other ranks decode
+	// the broadcast straight into their stores.
 	if isRoot {
 		buf, reused := getEncBuf()
 		if reused {
 			s.met.encBufReuse.Add(1)
 		}
-		b, err := appendSharded(*buf, s.shards)
+		b, err := appendStore(*buf, s.store)
 		if err != nil {
 			return fmt.Errorf("core: global combination encode: %w", err)
 		}
@@ -667,24 +679,23 @@ func (s *Scheduler[In, Out]) globalCombine() error {
 		if err != nil {
 			return fmt.Errorf("core: global combination bcast: %w", err)
 		}
-		// Decode the global map over the local shards in place. The global
+		// Decode the global map over the local store in place. The global
 		// key set is a superset of every rank's local one (merging never
 		// drops a key), so overwriting present objects and inserting the
-		// rest yields exactly the global state — without clearing the shards
+		// rest yields exactly the global state — without clearing the store
 		// or allocating an object per already-known key.
 		err = walkEntries(global, func(k int, body []byte) error {
-			sh := s.shards.shardFor(k)
-			if dst, ok := sh[k]; ok {
+			if dst, ok := s.store.lookup(k); ok {
 				if err := dst.UnmarshalBinary(body); err != nil {
 					return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
 				}
 				return nil
 			}
-			obj := s.app.NewRedObj()
+			obj := s.newObj()
 			if err := obj.UnmarshalBinary(body); err != nil {
 				return fmt.Errorf("core: unmarshal reduction object for key %d: %w", k, err)
 			}
-			sh[k] = obj
+			s.store.insert(k, obj)
 			return nil
 		})
 		if err != nil {

@@ -102,33 +102,69 @@ func encodeMap(m CombMap) ([]byte, error) {
 	return appendMap(make([]byte, 0, 16+32*len(m)), m)
 }
 
-// appendSharded serializes a sharded map in the exact encodeMap format: the
-// shards' keys are concatenated, re-sorted into one ascending sequence, and
-// framed identically — so the wire and checkpoint byte format is unchanged
-// by the sharded pipeline.
-func appendSharded(buf []byte, m *shardedMap) ([]byte, error) {
-	keys := make([]int, 0, m.size())
-	at := make(map[int]RedObj, m.size())
-	for _, sh := range m.shards {
-		for k, obj := range sh {
-			keys = append(keys, k)
-			at[k] = obj
-		}
-	}
-	sort.Ints(keys)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+// storeEntry pairs a key with its live object while an encode re-sorts a
+// store's contents into canonical ascending-key order.
+type storeEntry struct {
+	k   int
+	obj RedObj
+}
+
+// appendEntriesSorted sorts the collected entries by key and appends the
+// count | (key, len, payload)* frame.
+func appendEntriesSorted(buf []byte, ents []storeEntry) ([]byte, error) {
+	sort.Slice(ents, func(i, j int) bool { return ents[i].k < ents[j].k })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ents)))
 	var err error
-	for _, k := range keys {
-		if buf, err = appendObj(buf, k, at[k]); err != nil {
+	for _, e := range ents {
+		if buf, err = appendObj(buf, e.k, e.obj); err != nil {
 			return nil, err
 		}
 	}
 	return buf, nil
 }
 
-// decodeMap reverses encodeMap, materializing objects with the factory.
+// appendStore serializes a reduction store in the exact encodeMap format:
+// every live key across every shard, re-sorted into one ascending sequence
+// and framed identically — so the wire and checkpoint byte format is
+// independent of the store implementation behind the engine. It only reads
+// the store through forEachIn (no lookups, no counter writes), so it is safe
+// to run concurrently with other readers — the checkpoint writer depends on
+// this.
+func appendStore(buf []byte, st redStore) ([]byte, error) {
+	ents := make([]storeEntry, 0, st.size())
+	for si := 0; si < st.numShards(); si++ {
+		st.forEachIn(si, func(k int, obj RedObj) {
+			ents = append(ents, storeEntry{k, obj})
+		})
+	}
+	return appendEntriesSorted(buf, ents)
+}
+
+// appendShardOf serializes one shard of a reduction store as a standalone
+// encodeMap frame (the global-combination streamed segments). Keys within a
+// shard are written in ascending order, so the per-shard payload bytes are
+// implementation-independent too.
+func appendShardOf(buf []byte, st redStore, si int) ([]byte, error) {
+	ents := make([]storeEntry, 0, st.shardLen(si))
+	st.forEachIn(si, func(k int, obj RedObj) {
+		ents = append(ents, storeEntry{k, obj})
+	})
+	return appendEntriesSorted(buf, ents)
+}
+
+// decodeMap reverses encodeMap, materializing objects with the factory. The
+// destination map is pre-sized from the frame's count header (bounded by what
+// the payload could plausibly hold, mirroring walkEntries' corruption guard)
+// so decoding a large checkpoint or broadcast does not grow the map
+// incrementally.
 func decodeMap(buf []byte, factory func() RedObj) (CombMap, error) {
-	m := make(CombMap)
+	hint := 0
+	if len(buf) >= 4 {
+		if n := int(binary.LittleEndian.Uint32(buf)); n >= 0 && n <= len(buf[4:])/12 {
+			hint = n
+		}
+	}
+	m := make(CombMap, hint)
 	if err := decodeEntries(buf, factory, func(k int, obj RedObj) { m[k] = obj }); err != nil {
 		return nil, err
 	}

@@ -1,18 +1,14 @@
 package core
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-	"time"
-)
+import "sort"
 
-// shardedMap is the combination pipeline's internal representation of a
-// reduction or combination map: the key space is hash-partitioned into S
-// shards so that local combination, the per-iteration distribution step,
-// conversion, and the per-shard global-combination tree all parallelize
-// over shards with no locks — two keys never share a shard across maps, so
-// a worker that owns shard i of every map touches a disjoint key set.
+// shardedMap is the gomap redStore: the key space is hash-partitioned into S
+// shards of Go's built-in map so that local combination, the per-iteration
+// distribution step, conversion, and the per-shard global-combination tree
+// all parallelize over shards with no locks — two keys never share a shard
+// across maps, so a worker that owns shard i of every store touches a
+// disjoint key set. It is the pre-store-layer behavior kept as the ablation
+// baseline for SchedArgs.MapImpl.
 //
 // The sharded form is a runtime detail: the application-facing CombMap
 // (GenKey's argument, CombinationMap's return, PostCombine's argument) stays
@@ -20,6 +16,13 @@ import (
 // boundaries where application code may have mutated the flat map.
 type shardedMap struct {
 	shards []CombMap
+	// create is the application's reduction-object factory for
+	// lookupOrCreate; nil in contexts that never create (benchmarks).
+	create func() RedObj
+	// seeded records whether the shards were ever filled: the first reseed
+	// replaces the zero-capacity maps with right-sized ones, later reseeds
+	// clear in place so steady-state capacity is retained.
+	seeded bool
 }
 
 // shardIndex maps a key to its shard. The multiplicative mix (Fibonacci
@@ -39,8 +42,8 @@ func newShardedMap(nshards int) *shardedMap {
 	return m
 }
 
-// n returns the shard count.
-func (m *shardedMap) n() int { return len(m.shards) }
+func (m *shardedMap) numShards() int      { return len(m.shards) }
+func (m *shardedMap) shardLen(si int) int { return len(m.shards[si]) }
 
 // shardFor returns the shard that owns key.
 func (m *shardedMap) shardFor(key int) CombMap {
@@ -56,6 +59,38 @@ func (m *shardedMap) size() int {
 	return total
 }
 
+func (m *shardedMap) lookup(key int) (RedObj, bool) {
+	obj, ok := m.shardFor(key)[key]
+	return obj, ok
+}
+
+func (m *shardedMap) lookupOrCreate(key int) (RedObj, bool) {
+	sh := m.shardFor(key)
+	if obj, ok := sh[key]; ok {
+		return obj, false
+	}
+	obj := m.create()
+	sh[key] = obj
+	return obj, true
+}
+
+func (m *shardedMap) insert(key int, obj RedObj) { m.shardFor(key)[key] = obj }
+
+func (m *shardedMap) insertClone(key int, src RedObj) RedObj {
+	c := src.Clone()
+	m.shardFor(key)[key] = c
+	return c
+}
+
+func (m *shardedMap) remove(key int) { delete(m.shardFor(key), key) }
+
+// clear empties every shard in place, retaining each map's grown capacity.
+func (m *shardedMap) clear() {
+	for i := range m.shards {
+		clear(m.shards[i])
+	}
+}
+
 // insertFlat reshards a flat map: every entry is inserted into its shard.
 // The objects are shared, not cloned — the sharded view aliases the flat one.
 func (m *shardedMap) insertFlat(flat CombMap) {
@@ -64,16 +99,28 @@ func (m *shardedMap) insertFlat(flat CombMap) {
 	}
 }
 
-// clearShards empties every shard in place.
-func (m *shardedMap) clearShards() {
-	for i := range m.shards {
-		clear(m.shards[i])
+// reseed replaces the contents with flat's entries. The first seeding of a
+// fresh store recreates the shards with a len(flat)-derived size hint, so a
+// large restored or application-built map reshards without incremental map
+// growth; after that, clearing in place retains the capacity the shards have
+// already grown to, which a re-make would discard.
+func (m *shardedMap) reseed(flat CombMap) {
+	if !m.seeded && len(flat) > 0 {
+		hint := len(flat)/len(m.shards) + 1
+		for i := range m.shards {
+			m.shards[i] = make(CombMap, hint)
+		}
+	} else {
+		m.clear()
 	}
+	m.seeded = true
+	m.insertFlat(flat)
 }
 
 // flattenInto rebuilds a flat map from the shards, reusing dst's storage
 // (callers of CombinationMap may hold a reference to it, so identity is
-// preserved).
+// preserved — which also means dst cannot be pre-sized here; clearing keeps
+// whatever capacity it already grew).
 func (m *shardedMap) flattenInto(dst CombMap) {
 	clear(dst)
 	for _, sh := range m.shards {
@@ -83,46 +130,39 @@ func (m *shardedMap) flattenInto(dst CombMap) {
 	}
 }
 
-// forEachShard runs fn(shard index) for every shard on up to workers
-// goroutines and reports each shard's duration. With workers <= 1 the shards
-// run serially on the calling goroutine — the Sequential-mode and
-// single-thread path. The goroutine count is additionally clamped to
-// GOMAXPROCS: the shard work is pure CPU, so goroutines beyond the
-// schedulable parallelism only add handoff overhead (unlike the reduction
-// workers, whose count is part of the configured execution model).
-func (m *shardedMap) forEachShard(workers int, fn func(shard int)) []time.Duration {
-	if p := runtime.GOMAXPROCS(0); workers > p {
-		workers = p
+func (m *shardedMap) forEachIn(si int, fn func(key int, obj RedObj)) {
+	for k, obj := range m.shards[si] {
+		fn(k, obj)
 	}
-	durs := make([]time.Duration, len(m.shards))
-	if workers <= 1 || len(m.shards) == 1 {
-		for i := range m.shards {
-			start := time.Now()
-			fn(i)
-			durs[i] = time.Since(start)
-		}
-		return durs
-	}
-	if workers > len(m.shards) {
-		workers = len(m.shards)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(m.shards) {
-					return
-				}
-				start := time.Now()
-				fn(i)
-				durs[i] = time.Since(start)
-			}
-		}()
-	}
-	wg.Wait()
-	return durs
 }
+
+func (m *shardedMap) orderedKeys(dst []int) []int {
+	dst = dst[:0]
+	if cap(dst) < m.size() {
+		dst = make([]int, 0, m.size())
+	}
+	for _, sh := range m.shards {
+		for k := range sh {
+			dst = append(dst, k)
+		}
+	}
+	sort.Ints(dst)
+	return dst
+}
+
+func (m *shardedMap) orderedShardKeys(si int, dst []int) []int {
+	sh := m.shards[si]
+	dst = dst[:0]
+	if cap(dst) < len(sh) {
+		dst = make([]int, 0, len(sh))
+	}
+	for k := range sh {
+		dst = append(dst, k)
+	}
+	sort.Ints(dst)
+	return dst
+}
+
+// takeStats reports nothing: Go's map hides its probe behavior, and the
+// store has no arena. The zeros are themselves the ablation baseline.
+func (m *shardedMap) takeStats() redStoreStats { return redStoreStats{} }

@@ -59,11 +59,10 @@ func TestShardedMapFlattenPreservesIdentity(t *testing.T) {
 	}
 }
 
-func TestForEachShardCoversEveryShardOnce(t *testing.T) {
+func TestForShardsCoversEveryShardOnce(t *testing.T) {
 	for _, workers := range []int{1, 2, 5, 16} {
-		sm := newShardedMap(5)
 		var visits [5]atomic.Int64
-		durs := sm.forEachShard(workers, func(si int) { visits[si].Add(1) })
+		durs := forShards(5, workers, func(si int) { visits[si].Add(1) })
 		for si := range visits {
 			if v := visits[si].Load(); v != 1 {
 				t.Fatalf("workers=%d: shard %d visited %d times", workers, si, v)
@@ -94,8 +93,8 @@ func TestSchedArgsDefaultingSingleSource(t *testing.T) {
 	if a.args.CombineShards != a.args.NumThreads {
 		t.Errorf("CombineShards defaulted to %d, want NumThreads=%d", a.args.CombineShards, a.args.NumThreads)
 	}
-	if a.shards.n() != a.args.CombineShards {
-		t.Errorf("scheduler built %d shards, want %d", a.shards.n(), a.args.CombineShards)
+	if a.store.numShards() != a.args.CombineShards {
+		t.Errorf("scheduler built %d shards, want %d", a.store.numShards(), a.args.CombineShards)
 	}
 }
 

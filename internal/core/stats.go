@@ -132,6 +132,15 @@ type schedMetrics struct {
 	// claimed from (gauge value = latest sample, gauge peak = deepest queue
 	// observed — the workload size at the start of a block).
 	queueDepth *obs.Gauge
+	// arenaBytes gauges the bytes resident in the combination store's arena
+	// storage (index tables + key/object arrays) under MapImpl "arena";
+	// stays zero under the gomap baseline.
+	arenaBytes *obs.Gauge
+	// storeProbeLen samples the mean open-addressing probe length per store
+	// lookup, flushed once per local-combine phase. A healthy arena table
+	// stays near 1; sustained growth means the load factor or hash is wrong
+	// for the workload. Zero samples under the gomap baseline.
+	storeProbeLen *obs.Histogram
 }
 
 func (m *schedMetrics) init(r *obs.Registry) {
@@ -148,6 +157,8 @@ func (m *schedMetrics) init(r *obs.Registry) {
 	m.steals = r.Counter("smart_core_steals_total")
 	m.batches = r.Counter("smart_core_batches_total")
 	m.queueDepth = r.Gauge("smart_core_queue_depth")
+	m.arenaBytes = r.Gauge("smart_core_arena_bytes")
+	m.storeProbeLen = r.Histogram("smart_core_store_probe_len", obs.SizeBuckets)
 }
 
 // liveCounter tracks the number of live reduction objects across threads and

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// newTestStore builds a store of the given implementation with the countObj
+// factory the core tests share.
+func newTestStore(t testing.TB, impl string, nshards int) redStore {
+	t.Helper()
+	return newRedStore(impl, nshards, func() RedObj { return &countObj{} })
+}
+
+func storeImpls() []string { return []string{MapGo, MapArena} }
+
+func TestStoreBasicOps(t *testing.T) {
+	for _, impl := range storeImpls() {
+		t.Run(impl, func(t *testing.T) {
+			st := newTestStore(t, impl, 4)
+			if st.size() != 0 {
+				t.Fatalf("fresh store size %d", st.size())
+			}
+			if _, ok := st.lookup(7); ok {
+				t.Fatal("lookup on empty store succeeded")
+			}
+			obj, created := st.lookupOrCreate(7)
+			if !created {
+				t.Fatal("first lookupOrCreate did not create")
+			}
+			obj.(*countObj).n = 70
+			if again, created := st.lookupOrCreate(7); created || again != obj {
+				t.Fatal("second lookupOrCreate did not return the same object")
+			}
+			if got, ok := st.lookup(7); !ok || got != obj {
+				t.Fatal("lookup did not return the created object")
+			}
+			st.insert(7, &countObj{n: 1})
+			if got, _ := st.lookup(7); got.(*countObj).n != 1 {
+				t.Fatal("insert did not replace")
+			}
+			src := &countObj{n: 42}
+			c := st.insertClone(9, src)
+			if c == nil || c == RedObj(src) || c.(*countObj).n != 42 {
+				t.Fatalf("insertClone returned %v", c)
+			}
+			src.n = 0
+			if got, _ := st.lookup(9); got.(*countObj).n != 42 {
+				t.Fatal("insertClone aliased its source")
+			}
+			if st.size() != 2 {
+				t.Fatalf("size %d, want 2", st.size())
+			}
+			st.remove(7)
+			if _, ok := st.lookup(7); ok || st.size() != 1 {
+				t.Fatal("remove left the key visible")
+			}
+			st.remove(7) // idempotent
+			st.clear()
+			if st.size() != 0 {
+				t.Fatalf("size %d after clear", st.size())
+			}
+			if _, ok := st.lookup(9); ok {
+				t.Fatal("lookup found a cleared key")
+			}
+		})
+	}
+}
+
+func TestStoreReseedFlattenRoundTrip(t *testing.T) {
+	for _, impl := range storeImpls() {
+		t.Run(impl, func(t *testing.T) {
+			flat := CombMap{}
+			for k := -50; k < 50; k += 3 {
+				flat[k] = &countObj{n: int64(k)}
+			}
+			st := newTestStore(t, impl, 5)
+			st.reseed(flat)
+			if st.size() != len(flat) {
+				t.Fatalf("size %d, want %d", st.size(), len(flat))
+			}
+			// reseed aliases, never clones.
+			for k, obj := range flat {
+				if got, ok := st.lookup(k); !ok || got != obj {
+					t.Fatalf("key %d not aliased", k)
+				}
+			}
+			// flattenInto refills the same map value.
+			dst := flat
+			st.insert(999, &countObj{n: 999})
+			st.flattenInto(dst)
+			if !reflect.DeepEqual(dst, flat) || len(dst) != 35 || dst[999].(*countObj).n != 999 {
+				t.Fatalf("flattenInto result has %d keys", len(dst))
+			}
+		})
+	}
+}
+
+func TestStoreOrderedKeys(t *testing.T) {
+	keys := []int{31, -7, 0, 1024, 2, -900, 77, 78, 79}
+	for _, impl := range storeImpls() {
+		t.Run(impl, func(t *testing.T) {
+			st := newTestStore(t, impl, 3)
+			for _, k := range keys {
+				st.insert(k, &countObj{n: int64(k)})
+			}
+			want := append([]int(nil), keys...)
+			sort.Ints(want)
+			if got := st.orderedKeys(nil); !reflect.DeepEqual(got, want) {
+				t.Fatalf("orderedKeys = %v, want %v", got, want)
+			}
+			// Shard keys partition the full key set and are each sorted.
+			var all []int
+			for si := 0; si < st.numShards(); si++ {
+				sk := st.orderedShardKeys(si, nil)
+				if !sort.IntsAreSorted(sk) {
+					t.Fatalf("shard %d keys not sorted: %v", si, sk)
+				}
+				if len(sk) != st.shardLen(si) {
+					t.Fatalf("shard %d: %d keys, shardLen %d", si, len(sk), st.shardLen(si))
+				}
+				all = append(all, sk...)
+			}
+			sort.Ints(all)
+			if !reflect.DeepEqual(all, want) {
+				t.Fatalf("shard keys union = %v, want %v", all, want)
+			}
+			// Capacity reuse: a big scratch comes back re-filled, not re-allocated.
+			scratch := make([]int, 0, 1024)
+			got := st.orderedKeys(scratch)
+			if !reflect.DeepEqual(got, want) || cap(got) != cap(scratch) {
+				t.Fatal("orderedKeys did not reuse the scratch capacity")
+			}
+		})
+	}
+}
+
+// TestArenaCompaction drives one shard through enough churn to force
+// tombstone accumulation, rebuilds, and dead-entry compaction, checking the
+// live view after every phase.
+func TestArenaCompaction(t *testing.T) {
+	a := newArenaStore(1, func() RedObj { return &countObj{} })
+	const n = 1000
+	for k := 0; k < n; k++ {
+		obj, _ := a.lookupOrCreate(k)
+		obj.(*countObj).n = int64(k)
+	}
+	// Hold pointers across rebuilds: the arena must never move objects.
+	held := make(map[int]*countObj)
+	for k := 0; k < n; k += 97 {
+		obj, _ := a.lookup(k)
+		held[k] = obj.(*countObj)
+	}
+	for k := 0; k < n; k++ {
+		if k%3 != 0 {
+			a.remove(k)
+		}
+	}
+	if got, want := a.size(), (n+2)/3; got != want {
+		t.Fatalf("size %d after removes, want %d", got, want)
+	}
+	// Re-insert into the churned table; this crosses the load factor with
+	// tombstones present and must trigger compacting rebuilds.
+	for k := n; k < 2*n; k++ {
+		obj, created := a.lookupOrCreate(k)
+		if !created {
+			t.Fatalf("key %d already present", k)
+		}
+		obj.(*countObj).n = int64(k)
+	}
+	for k := 0; k < 2*n; k++ {
+		obj, ok := a.lookup(k)
+		switch {
+		case k < n && k%3 == 0, k >= n:
+			if !ok || obj.(*countObj).n != int64(k) {
+				t.Fatalf("key %d: ok=%v obj=%v", k, ok, obj)
+			}
+		default:
+			if ok {
+				t.Fatalf("removed key %d still present", k)
+			}
+		}
+	}
+	for k, p := range held {
+		if k%3 == 0 {
+			if obj, _ := a.lookup(k); obj.(*countObj) != p {
+				t.Fatalf("key %d moved across rebuilds", k)
+			}
+		}
+	}
+	st := a.takeStats()
+	if st.lookups <= 0 || st.probes < st.lookups || st.arenaBytes <= 0 {
+		t.Fatalf("implausible stats %+v", st)
+	}
+	if again := a.takeStats(); again.lookups != 0 || again.probes != 0 {
+		t.Fatalf("takeStats did not drain: %+v", again)
+	}
+}
+
+// TestArenaSlab pins the FixedSizeObj fast path: created objects come from
+// contiguous slabs in factory-fresh state, and clear retains the unused
+// remainder without resurrecting handed-out objects.
+func TestArenaSlab(t *testing.T) {
+	a := newArenaStore(1, func() RedObj { return &countObj{n: -5} })
+	if a.proto == nil {
+		t.Fatal("countObj did not register as FixedSizeObj")
+	}
+	obj, _ := a.lookupOrCreate(1)
+	if obj.(*countObj).n != -5 {
+		t.Fatalf("slab object not factory-fresh: %+v", obj)
+	}
+	obj.(*countObj).n = 11
+	// A second create must come from the same slab block while it lasts.
+	obj2, _ := a.lookupOrCreate(2)
+	if obj2.(*countObj).n != -5 {
+		t.Fatalf("second slab object not factory-fresh: %+v", obj2)
+	}
+	// insertClone through the slab path copies state without allocating a
+	// standalone object.
+	c := a.insertClone(3, &countObj{n: 33})
+	if c.(*countObj).n != 33 {
+		t.Fatalf("insertClone state %+v", c)
+	}
+	a.clear()
+	// Recycled slab objects must come back factory-fresh, and must not be
+	// the objects previously handed out (those escaped to the caller).
+	seen := map[RedObj]bool{obj: true, obj2: true, c: true}
+	for k := 10; k < 10+2*arenaSlabObjs; k++ {
+		o, created := a.lookupOrCreate(k)
+		if !created || o.(*countObj).n != -5 {
+			t.Fatalf("post-clear object for %d: created=%v %+v", k, created, o)
+		}
+		if seen[o] {
+			t.Fatalf("key %d resurrected a handed-out object", k)
+		}
+		seen[o] = true
+	}
+}
+
+// storeOps applies a deterministic pseudo-random operation sequence to a
+// store; the differential tests run the same sequence against both
+// implementations and compare every observable.
+func storeOps(st redStore, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		k := rng.Intn(200) - 100
+		switch rng.Intn(10) {
+		case 0:
+			st.remove(k)
+		case 1:
+			st.insert(k, &countObj{n: int64(i)})
+		case 2:
+			st.insertClone(k, &countObj{n: int64(-i)})
+		case 3:
+			st.clear()
+		default:
+			obj, _ := st.lookupOrCreate(k)
+			obj.(*countObj).n += int64(k)
+		}
+	}
+}
+
+func encodeStore(t testing.TB, st redStore) []byte {
+	t.Helper()
+	buf, err := appendStore(nil, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestStoreDifferentialRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		g := newTestStore(t, MapGo, 7)
+		a := newTestStore(t, MapArena, 7)
+		storeOps(g, seed, 500)
+		storeOps(a, seed, 500)
+		if g.size() != a.size() {
+			t.Fatalf("seed %d: sizes %d vs %d", seed, g.size(), a.size())
+		}
+		for si := 0; si < 7; si++ {
+			if g.shardLen(si) != a.shardLen(si) {
+				t.Fatalf("seed %d: shard %d lens %d vs %d", seed, si, g.shardLen(si), a.shardLen(si))
+			}
+			gb, err := appendShardOf(nil, g, si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ab, err := appendShardOf(nil, a, si)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gb, ab) {
+				t.Fatalf("seed %d: shard %d encodes differ", seed, si)
+			}
+		}
+		if !bytes.Equal(encodeStore(t, g), encodeStore(t, a)) {
+			t.Fatalf("seed %d: whole-store encodes differ", seed)
+		}
+	}
+}
+
+// TestSchedulerArenaByteIdentical runs the same workload under both map
+// implementations and both engines; the encoded combination maps must match
+// byte for byte — the store is invisible to results and wire format.
+func TestSchedulerArenaByteIdentical(t *testing.T) {
+	in := histInput(4000)
+	encode := func(impl, engine string) []byte {
+		s := MustNewScheduler[int, int64](bucketApp{width: 3},
+			SchedArgs{NumThreads: 4, ChunkSize: 1, NumIters: 2, CombineShards: 4,
+				Engine: engine, MapImpl: impl})
+		out := make([]int64, 34)
+		if err := s.Run(in, out); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := s.EncodeCombinationMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	for _, engine := range []string{EngineStatic, EngineStealing} {
+		ref := encode(MapGo, engine)
+		if got := encode(MapArena, engine); !bytes.Equal(got, ref) {
+			t.Errorf("engine %s: arena encoding differs from gomap", engine)
+		}
+	}
+}
+
+// FuzzStoreRoundTrip drives both store implementations through a fuzzed
+// operation sequence and requires identical observable state, then checks the
+// canonical encoding survives a decode/re-encode round trip.
+func FuzzStoreRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(3))
+	f.Add([]byte{0xff, 0x00, 0x41, 0x41, 0x10, 0x80, 7, 7, 7}, uint8(1))
+	f.Add(bytes.Repeat([]byte{5, 250, 17}, 40), uint8(8))
+	f.Fuzz(func(t *testing.T, ops []byte, nsh uint8) {
+		nshards := int(nsh%8) + 1
+		g := newRedStore(MapGo, nshards, func() RedObj { return &countObj{} })
+		a := newRedStore(MapArena, nshards, func() RedObj { return &countObj{} })
+		apply := func(st redStore) {
+			for i := 0; i+1 < len(ops); i += 2 {
+				k := int(int8(ops[i+1])) * 3
+				switch ops[i] % 8 {
+				case 0:
+					st.remove(k)
+				case 1:
+					st.insert(k, &countObj{n: int64(i)})
+				case 2:
+					st.insertClone(k, &countObj{n: int64(i) * 7})
+				case 3:
+					st.clear()
+				default:
+					obj, _ := st.lookupOrCreate(k)
+					obj.(*countObj).n += int64(k + i)
+				}
+			}
+		}
+		apply(g)
+		apply(a)
+		if g.size() != a.size() {
+			t.Fatalf("sizes %d vs %d", g.size(), a.size())
+		}
+		gb, err := appendStore(nil, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := appendStore(nil, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gb, ab) {
+			t.Fatal("store encodes differ")
+		}
+		m, err := decodeMap(gb, func() RedObj { return &countObj{} })
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := encodeMap(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rt, gb) {
+			t.Fatal("decode/re-encode round trip changed bytes")
+		}
+	})
+}

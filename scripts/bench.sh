@@ -12,7 +12,10 @@
 # materialize with more cores than one. Finally run the observability
 # benchmarks (scheduler overhead with tracing off/on/flight-recorded, plus
 # the raw span-record costs) and emit BENCH_obs.json — the "disabled path
-# stays zero-overhead" record for the tracing subsystem.
+# stays zero-overhead" record for the tracing subsystem. Lastly run the
+# reduction-store ablation (the same iterative map phase under the gomap
+# baseline and the arena store) and emit BENCH_mapphase.json with ns/op,
+# allocs/op, and bytes/op — the allocation record for SchedArgs.MapImpl.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh   # longer, more stable timings
@@ -122,3 +125,34 @@ END {
 }' "$raw" > "$obs_out"
 
 echo "wrote $obs_out"
+
+map_out="BENCH_mapphase.json"
+go test ./internal/analytics/ -run '^$' -bench 'BenchmarkMapPhase' -benchmem \
+  -benchtime "$benchtime" | tee "$raw"
+
+awk -v cores="$(nproc 2>/dev/null || echo 1)" -v benchtime="$benchtime" '
+/^BenchmarkMapPhase/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip the -GOMAXPROCS suffix
+    ns = ""; allocs = ""; bytes = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+    }
+    if (ns != "" && allocs != "") {
+        entries[++n] = sprintf("    \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s}",
+                               name, ns, allocs, bytes == "" ? 0 : bytes)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"cores\": %s,\n", cores
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": {\n"
+    for (i = 1; i <= n; i++) printf "%s%s\n", entries[i], (i < n ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+}' "$raw" > "$map_out"
+
+echo "wrote $map_out"
