@@ -178,6 +178,8 @@ func run(args []string, out io.Writer, ready chan<- string) error {
 	}
 	if cfg.CheckpointDir == "" {
 		cfg.CheckpointDir = os.TempDir()
+	} else if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint dir: %w", err)
 	}
 
 	// Cluster mode: build the rank world, park the dispatcher between the

@@ -433,6 +433,24 @@ func (s *Scheduler[In, Out]) ResetCombinationMap() {
 	s.storeFresh = false
 }
 
+// RecycleCombinationMap clears accumulated state like ResetCombinationMap
+// but keeps every allocation the previous run built up: the flat map's
+// buckets and the sharded store's structures (per-shard maps, or the arena
+// store's index and slabs) are cleared in place rather than dropped. This
+// is the re-entrant per-window entry point the streaming layer
+// (internal/stream) runs on — a standing query fires many windows through
+// one scheduler, and recycling keeps the per-window cost at clear-and-reuse
+// instead of reallocate-and-reseed. Output is identical either way; only
+// the allocation profile differs.
+func (s *Scheduler[In, Out]) RecycleCombinationMap() {
+	clear(s.comMap)
+	s.store.clear()
+	// The two views are both empty, hence in sync; the next run's initial
+	// syncStore is forced regardless (run marks the flat view dirty), but
+	// reseeding an empty map into a cleared store allocates nothing.
+	s.storeFresh = true
+}
+
 // Stats returns counters describing the most recent Run.
 //
 // The returned pointer is the scheduler's live counter block: the run loop

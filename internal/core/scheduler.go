@@ -46,6 +46,25 @@ func (s *Scheduler[In, Out]) Run2Context(ctx context.Context, in []In, out []Out
 	return s.run(ctx, in, out, true)
 }
 
+// RunWindowContext recycles the scheduler's accumulated state in place
+// (RecycleCombinationMap) and runs the analytics over exactly one window's
+// elements. It is the narrow re-entrant entry point the streaming layer
+// compiles each fired window onto: the result is byte-identical to a fresh
+// scheduler run over the same elements, but the combination map's buckets,
+// the sharded store's shards or arena slabs, and the engine stay warm from
+// window to window.
+func (s *Scheduler[In, Out]) RunWindowContext(ctx context.Context, in []In, out []Out) error {
+	s.RecycleCombinationMap()
+	return s.run(ctx, in, out, false)
+}
+
+// RunWindow2Context is RunWindowContext using gen_keys, for window-family
+// (MultiKeyer) analytics.
+func (s *Scheduler[In, Out]) RunWindow2Context(ctx context.Context, in []In, out []Out) error {
+	s.RecycleCombinationMap()
+	return s.run(ctx, in, out, true)
+}
+
 // errCancelled is the internal sentinel the reduction workers return when
 // they observe the cancellation flag; run translates it into an error that
 // wraps the context's cause.

@@ -1,0 +1,39 @@
+package insitu
+
+import (
+	"context"
+
+	"github.com/scipioneer/smart/internal/sim"
+	"github.com/scipioneer/smart/internal/stream"
+)
+
+// StreamSourceConfig configures a time-sharing step loop exposed as a
+// stream source.
+type StreamSourceConfig struct {
+	TimeSharingConfig
+	// StartStep offsets the emitted event times: a resumed driver that
+	// already consumed k steps runs the simulation forward to k elsewhere
+	// and emits its remaining steps as events k, k+1, … so the stream's
+	// event-time axis is continuous across the restart.
+	StartStep int
+}
+
+// StreamSource exposes the time-sharing driver as a stream.Source: every
+// simulation step becomes one event whose Time is the step index and whose
+// Data is a copy of the step's output partition. The copy is mandatory —
+// the simulation's buffer is reused in place each step, while the streaming
+// layer buffers events by reference until their windows fire. Memory
+// charging, the Figure 9 copy baseline, and per-step spans behave exactly
+// as in TimeSharingContext; cancellation stops at the next step boundary
+// and surfaces from Feed, leaving the pipeline's open windows intact.
+func StreamSource(s sim.Simulation, cfg StreamSourceConfig) stream.Source {
+	return stream.SourceFunc(func(ctx context.Context, push func(stream.Event) error) error {
+		step := cfg.StartStep
+		_, err := TimeSharingContext(ctx, s, func(data []float64) error {
+			ev := stream.Event{Time: int64(step), Data: append([]float64(nil), data...)}
+			step++
+			return push(ev)
+		}, cfg.TimeSharingConfig)
+		return err
+	})
+}

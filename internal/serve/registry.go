@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"github.com/scipioneer/smart/internal/analytics"
@@ -23,6 +24,7 @@ import (
 	"github.com/scipioneer/smart/internal/mpi"
 	"github.com/scipioneer/smart/internal/obs"
 	"github.com/scipioneer/smart/internal/sim"
+	"github.com/scipioneer/smart/internal/stream"
 )
 
 // Params are the per-application knobs of a JobSpec. Unused fields are
@@ -51,6 +53,24 @@ type Params struct {
 	Rate float64 `json:"rate,omitempty"`
 	// Bandwidth is the kernel-density bandwidth (0 = triangular default).
 	Bandwidth float64 `json:"bandwidth,omitempty"`
+
+	// WindowKind selects a standing query's event-time window assignment:
+	// "tumbling" (default), "sliding", "session", or "global". Event time is
+	// the simulation step index.
+	WindowKind string `json:"window_kind,omitempty"`
+	// WindowSize is the window width in steps (default 8); it is the
+	// session gap when WindowKind is "session".
+	WindowSize int64 `json:"window_size,omitempty"`
+	// WindowSlide is the sliding-window stride in steps (default half the
+	// size).
+	WindowSlide int64 `json:"window_slide,omitempty"`
+	// Late selects a standing query's late-data policy: "drop" (default)
+	// discards events behind the watermark, "side_output" routes them to
+	// "late" stream records.
+	Late string `json:"late,omitempty"`
+	// AllowedLateness widens the watermark heuristic by this many steps,
+	// keeping windows open for out-of-order arrivals within the bound.
+	AllowedLateness int64 `json:"allowed_lateness,omitempty"`
 }
 
 // JobSpec is a typed analytics job request: which registered application to
@@ -58,6 +78,13 @@ type Params struct {
 type JobSpec struct {
 	// App names a registered application (see Apps).
 	App string `json:"app"`
+	// Kind selects the execution mode: "" or "batch" runs Steps time-steps
+	// and returns one final result; "standing" compiles the application
+	// into a continuous windowed query over the step stream — every fired
+	// window streams out as a "window" record and a drain checkpoints the
+	// open windows instead of a combination map. Standing jobs run on the
+	// serving node only (rejected in cluster mode).
+	Kind string `json:"kind,omitempty"`
 	// Steps is the number of simulation time-steps to analyze (default 1).
 	Steps int `json:"steps,omitempty"`
 	// Elems is the number of float64 elements per time-step (default 65536).
@@ -139,6 +166,11 @@ func (s *JobSpec) normalize() error {
 	if len(s.Tenant) > 128 {
 		return fmt.Errorf("serve: tenant name longer than 128 bytes")
 	}
+	switch s.Kind {
+	case "", KindBatch, KindStanding:
+	default:
+		return fmt.Errorf("serve: unknown job kind %q (have %q, %q)", s.Kind, KindBatch, KindStanding)
+	}
 	return nil
 }
 
@@ -198,6 +230,10 @@ func Apps() []string {
 func buildJob(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (JobSpec, *jobProgram, error) {
 	if err := spec.normalize(); err != nil {
 		return spec, nil, err
+	}
+	if spec.Kind == KindStanding {
+		prog, err := buildStanding(spec, mem, comm)
+		return spec, prog, err
 	}
 	b, ok := builders[spec.App]
 	if !ok {
@@ -686,8 +722,13 @@ func buildWindow(kind string) builder {
 
 // buildGridHistPipeline is the example two-stage Smart pipeline from the
 // registry: stage one grid-aggregates each time-step into cell means, stage
-// two histograms those means over their observed range. Both stages run on
-// the job's context, so cancellation stops either stage within one chunk.
+// two histograms the final step's means over their observed range. It is
+// compiled as a stream operator chain — per-step tumbling windows feed the
+// grid combiner, ThenMap routes each step's means into a global window, and
+// the global combiner learns the bucket range when the stream ends — so the
+// cross-stage plumbing (buffering, ordering, flush) is the streaming
+// layer's, not this builder's. Both stages run on the job's context;
+// cancellation stops either within one chunk.
 func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*jobProgram, error) {
 	p := spec.Params
 	gs := p.GridSize
@@ -705,8 +746,15 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*j
 		return nil, fmt.Errorf("serve: buckets must be in (0, 65536]")
 	}
 	cells := (spec.Elems + gs - 1) / gs
-	stage1, err := core.NewScheduler[float64, float64](analytics.NewGridAgg(gs, 0), core.SchedArgs{
-		NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine, MapImpl: spec.MapImpl, Comm: comm,
+	stage1, err := stream.NewSchedCombiner(stream.SchedOptions[float64]{
+		Build: func(int) (core.Analytics[float64, float64], error) {
+			return analytics.NewGridAgg(gs, 0), nil
+		},
+		Args: core.SchedArgs{
+			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+			Engine: spec.Engine, MapImpl: spec.MapImpl, Comm: comm,
+		},
+		OutLen: func(int) int { return cells },
 	})
 	if err != nil {
 		return nil, err
@@ -715,79 +763,158 @@ func buildGridHistPipeline(spec JobSpec, mem *memmodel.Node, comm *mpi.Comm) (*j
 	if err != nil {
 		return nil, err
 	}
-	var skip int
+	var (
+		mu    sync.Mutex
+		skip  int
+		snap  *stream.Snapshot
+		pipe  *stream.Pipeline
+		trace obs.TraceContext
+	)
 	var done atomic.Int64
-	var trace obs.TraceContext
 	prog := &jobProgram{
-		checkpoint: stage1.WriteCheckpoint,
-		restore:    stage1.ReadCheckpoint,
-		setSkip:    func(n int) { skip = n },
-		stepsDone:  func() int { return int(done.Load()) },
+		setSkip:   func(n int) { mu.Lock(); skip = n; mu.Unlock() },
+		stepsDone: func() int { return int(done.Load()) },
 		setTrace: func(tc obs.TraceContext) {
+			mu.Lock()
 			trace = tc
+			mu.Unlock()
 			stage1.SetTraceContext(tc)
 		},
 	}
+	prog.checkpoint = func(path string) error {
+		mu.Lock()
+		pp := pipe
+		mu.Unlock()
+		return writeSnapshotCheckpoint(path, pp)
+	}
+	prog.restore = func(path string) error {
+		s, err := readSnapshotCheckpoint(path)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		snap = s
+		mu.Unlock()
+		return nil
+	}
 	prog.run = func(ctx context.Context, emit func(StreamRecord)) (any, error) {
-		means := make([]float64, cells)
+		mu.Lock()
+		startStep := skip
+		restored := snap
+		tc := trace
+		mu.Unlock()
+		done.Store(int64(startStep))
 		stepCtx, stop := drainShield(ctx)
 		defer stop()
-		step := 0
-		done.Store(int64(skip))
-		analyze := func(data []float64) error {
-			if err := drainRequested(ctx); err != nil {
-				return err
+
+		// A resumed run steps the emulator past the consumed prefix without
+		// analyzing it, keeping the deterministic stream aligned; the
+		// restored snapshot already holds those steps' contributions.
+		for i := 0; i < startStep; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			if step < skip {
-				step++
+			if err := em.Step(); err != nil {
+				return nil, err
+			}
+		}
+		src := insitu.StreamSource(em, insitu.StreamSourceConfig{
+			TimeSharingConfig: insitu.TimeSharingConfig{Steps: spec.Steps - startStep, Mem: mem},
+			StartStep:         startStep,
+		})
+		stepSrc := stream.SourceFunc(func(fctx context.Context, push func(stream.Event) error) error {
+			return src.Feed(fctx, func(ev stream.Event) error {
+				if err := drainRequested(ctx); err != nil {
+					return err
+				}
+				if err := push(ev); err != nil {
+					return err
+				}
+				step := int(done.Add(1))
+				emit(StreamRecord{Type: "step", Step: step - 1})
 				return nil
-			}
-			stage1.ResetCombinationMap()
-			if err := stage1.RunContext(stepCtx, data, means); err != nil {
-				return err
-			}
-			step++
-			done.Store(int64(step))
-			emit(StreamRecord{Type: "step", Step: step - 1})
-			return nil
-		}
-		if _, err := insitu.TimeSharingContext(ctx, em, analyze, insitu.TimeSharingConfig{Steps: spec.Steps, Mem: mem}); err != nil {
-			return nil, err
-		}
+			})
+		})
 
 		// Stage two learns its bucket range from stage one's output — the
 		// cross-stage dependency that makes this a pipeline rather than two
-		// independent jobs.
-		lo, hi := means[0], means[0]
-		for _, v := range means {
-			if v < lo {
-				lo = v
+		// independent jobs. The global window delivers every step's means in
+		// step order; the histogram covers the final step's grid.
+		stage2 := stream.CombinerFunc(func(cctx context.Context, _ stream.Window, elems []float64) (any, error) {
+			means := elems
+			if len(means) > cells {
+				means = means[len(means)-cells:]
 			}
-			if v > hi {
-				hi = v
+			lo, hi := means[0], means[0]
+			for _, v := range means {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
 			}
-		}
-		if hi <= lo {
-			hi = lo + 1
-		}
-		stage2, err := core.NewScheduler[float64, int64](analytics.NewHistogram(lo, hi, buckets), core.SchedArgs{
-			NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem, Engine: spec.Engine, MapImpl: spec.MapImpl,
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sched, err := core.NewScheduler[float64, int64](analytics.NewHistogram(lo, hi, buckets), core.SchedArgs{
+				NumThreads: spec.Threads, ChunkSize: 1, NumIters: 1, Mem: mem,
+				Engine: spec.Engine, MapImpl: spec.MapImpl,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			sched.SetTraceContext(trace)
+			mu.Unlock()
+			hist := make([]int64, buckets)
+			if err := sched.RunContext(cctx, means, hist); err != nil {
+				return nil, err
+			}
+			result := map[string]any{
+				"cell_means": cells, "lo": lo, "hi": hi, "buckets": hist,
+				"stats": map[string]any{
+					"stage2": statsView(sched.Stats().Snapshot()),
+				},
+			}
+			return result, nil
 		})
-		if err != nil {
+
+		var result map[string]any
+		pl := stream.New().
+			From(stepSrc).
+			Window(stream.Tumbling(1)).
+			Combine(stage1).
+			ThenMap(func(res stream.WindowResult) (stream.Event, bool) {
+				return stream.Event{Time: res.Window.Start, Data: res.Value.([]float64)}, true
+			}).
+			Window(stream.Global()).
+			Combine(stage2).
+			To(stream.CallbackSink(func(res stream.WindowResult) error {
+				result = res.Value.(map[string]any)
+				return nil
+			}))
+		if tc.Valid() {
+			stage1.SetTraceContext(tc)
+		}
+		mu.Lock()
+		pipe = pl
+		mu.Unlock()
+		if restored != nil {
+			if err := pl.Restore(restored); err != nil {
+				return nil, err
+			}
+		}
+		if err := pl.Run(stepCtx); err != nil {
 			return nil, err
 		}
-		stage2.SetTraceContext(trace)
-		hist := make([]int64, buckets)
-		if err := stage2.RunContext(ctx, means, hist); err != nil {
-			return nil, err
+		if result == nil {
+			return nil, fmt.Errorf("serve: pipeline finished without firing its global window")
 		}
-		return map[string]any{
-			"cell_means": cells, "lo": lo, "hi": hi, "buckets": hist,
-			"stats": map[string]any{
-				"stage1": statsView(stage1.Stats().Snapshot()),
-				"stage2": statsView(stage2.Stats().Snapshot()),
-			},
-		}, nil
+		if st := stage1.Stats(); st != nil {
+			result["stats"].(map[string]any)["stage1"] = statsView(st.Snapshot())
+		}
+		return result, nil
 	}
 	return prog, nil
 }

@@ -280,6 +280,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	if s.cfg.Executor != nil {
+		// Standing queries hold per-window state on the node that feeds
+		// them; dispatching one to a remote rank would strand that state.
+		if norm.Kind == KindStanding {
+			return nil, fmt.Errorf("serve: standing queries run on the serving node only, not in cluster mode")
+		}
 		prog = nil
 	}
 	return s.admit(norm, prog, "", 0, "")

@@ -12,9 +12,10 @@ import (
 type StreamRecord struct {
 	// Type discriminates the record: "emit" (an early-emitted output value,
 	// core.Triggered), "span" (a completed runtime phase), "step" (one
-	// simulation time-step analyzed), "result" (the job's final output,
-	// last record of a successful stream), "error", "cancelled",
-	// "checkpointed", or "rejected".
+	// simulation time-step analyzed), "window" (a standing query's fired
+	// pane), "late" (a standing query's late event), "result" (the job's
+	// final output, last record of a successful stream), "error",
+	// "cancelled", "checkpointed", or "rejected".
 	Type string `json:"type"`
 	// Job is the emitting job's id.
 	Job string `json:"job"`
@@ -27,8 +28,16 @@ type StreamRecord struct {
 	// Phase and DurNS carry a phase span ("reduction", "local combine", ...).
 	Phase string `json:"phase,omitempty"`
 	DurNS int64  `json:"dur_ns,omitempty"`
-	// Step is the completed time-step index for "step" records.
+	// Step is the completed time-step index for "step" records and the late
+	// event's step for "late" records.
 	Step int `json:"step,omitempty"`
+	// WinStart and WinEnd bound the event-time window of "window", "late"
+	// and windowed "emit" records; Pane is the window's firing index and
+	// Final marks its closing on-watermark pane ("window" records only).
+	WinStart int64 `json:"win_start,omitempty"`
+	WinEnd   int64 `json:"win_end,omitempty"`
+	Pane     int   `json:"pane,omitempty"`
+	Final    bool  `json:"final,omitempty"`
 	// Error carries the failure message for "error"/"cancelled" records.
 	Error string `json:"error,omitempty"`
 	// Checkpoint is the checkpoint path for "checkpointed" records.

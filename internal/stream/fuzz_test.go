@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"testing"
+)
+
+// FuzzWindowAssign checks Assign's invariants for arbitrary specs and
+// ticks: every returned window contains t, widths match the spec, starts
+// ascend by the slide, the count matches the closed-form number of slide
+// multiples in (t−size, t], and tumbling assignment is consistent with
+// sliding at slide == size.
+func FuzzWindowAssign(f *testing.F) {
+	f.Add(uint8(0), int64(10), int64(10), int64(0))
+	f.Add(uint8(1), int64(10), int64(3), int64(-7))
+	f.Add(uint8(2), int64(0), int64(0), int64(42))
+	f.Add(uint8(1), int64(1), int64(1), int64(-1))
+	f.Add(uint8(0), int64(7), int64(7), int64(-1000000007))
+	f.Fuzz(func(t *testing.T, kindRaw uint8, sizeRaw, slideRaw, tick int64) {
+		// Clamp raw inputs into valid spec space; keep tick far from the
+		// int64 edges so Start/End arithmetic cannot overflow.
+		size := sizeRaw%1000 + 1
+		if size < 1 {
+			size += 1000
+		}
+		slide := slideRaw%size + 1
+		if slide < 1 {
+			slide += size
+		}
+		const lim = int64(1) << 40
+		if tick > lim || tick < -lim {
+			tick %= lim
+		}
+
+		var spec WindowSpec
+		switch kindRaw % 3 {
+		case 0:
+			spec = Tumbling(size)
+		case 1:
+			spec = Sliding(size, slide)
+		case 2:
+			spec = Session(size)
+		}
+
+		got := spec.Assign(tick, nil)
+		if len(got) == 0 {
+			t.Fatalf("%v: no window for t=%d", spec, tick)
+		}
+		width := size
+		if spec.Kind == KindSession {
+			width = spec.Gap
+		}
+		for i, w := range got {
+			if tick < w.Start || tick >= w.End {
+				t.Fatalf("%v: t=%d outside window %+v", spec, tick, w)
+			}
+			if w.End-w.Start != width {
+				t.Fatalf("%v: window %+v has width %d, want %d", spec, w, w.End-w.Start, width)
+			}
+			if i > 0 && w.Start != got[i-1].Start+spec.Slide {
+				t.Fatalf("%v: starts not ascending by slide: %+v", spec, got)
+			}
+		}
+
+		switch spec.Kind {
+		case KindTumbling, KindSession:
+			if len(got) != 1 {
+				t.Fatalf("%v: %d windows for one tick", spec, len(got))
+			}
+			if spec.Kind == KindTumbling {
+				if got[0].Start != floorDiv(tick, size)*size {
+					t.Fatalf("tumbling start %d, want floor-aligned %d", got[0].Start, floorDiv(tick, size)*size)
+				}
+				// Tumbling must agree with sliding at slide == size.
+				slid := Sliding(size, size).Assign(tick, nil)
+				if len(slid) != 1 || slid[0] != got[0] {
+					t.Fatalf("tumbling %+v != sliding(size,size) %+v", got, slid)
+				}
+			} else if got[0].Start != tick {
+				t.Fatalf("session seed starts at %d, want t=%d", got[0].Start, tick)
+			}
+		case KindSliding:
+			// Closed form: multiples of slide in (t-size, t].
+			want := int(floorDiv(tick, spec.Slide) - floorDiv(tick-size, spec.Slide))
+			if len(got) != want {
+				t.Fatalf("%v: %d windows for t=%d, want %d", spec, len(got), tick, want)
+			}
+		}
+
+		// Reuse path: assigning into a dirty scratch slice yields the same
+		// windows.
+		scratch := make([]Window, 3, 8)
+		reused := spec.Assign(tick, scratch[:0])
+		if len(reused) != len(got) {
+			t.Fatalf("%v: reuse path returned %d windows, want %d", spec, len(reused), len(got))
+		}
+		for i := range got {
+			if reused[i] != got[i] {
+				t.Fatalf("%v: reuse path diverged at %d: %+v vs %+v", spec, i, reused[i], got[i])
+			}
+		}
+	})
+}

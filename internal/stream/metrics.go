@@ -1,0 +1,31 @@
+package stream
+
+import "github.com/scipioneer/smart/internal/obs"
+
+// metrics is the smart_stream_* instrument block one pipeline reports into.
+// Handles are resolved once per Run against the pipeline's observer
+// registry (instrument lookups are interned by name, so concurrent
+// pipelines share the process-wide series).
+type metrics struct {
+	opened   *obs.Counter   // windows opened (first event buffered)
+	fired    *obs.Counter   // final on-watermark panes fired
+	merged   *obs.Counter   // session windows fused into a neighbor
+	early    *obs.Counter   // early (count-trigger) panes fired
+	lateDrop *obs.Counter   // late events dropped
+	lateSide *obs.Counter   // late events routed to the side output
+	wmLag    *obs.Gauge     // max event time seen minus current watermark
+	latency  *obs.Histogram // per-window firing latency (combine + handoff)
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		opened:   reg.Counter("smart_stream_windows_opened_total"),
+		fired:    reg.Counter("smart_stream_windows_fired_total"),
+		merged:   reg.Counter("smart_stream_windows_merged_total"),
+		early:    reg.Counter("smart_stream_panes_early_total"),
+		lateDrop: reg.Counter(`smart_stream_events_late_total{policy="drop"}`),
+		lateSide: reg.Counter(`smart_stream_events_late_total{policy="side_output"}`),
+		wmLag:    reg.Gauge("smart_stream_watermark_lag"),
+		latency:  reg.Histogram("smart_stream_window_seconds", obs.DurationBuckets),
+	}
+}

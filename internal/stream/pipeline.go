@@ -1,0 +1,652 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// Pipeline is the operator chain builder. Methods chain; the first error
+// latches and surfaces from Run. A pipeline runs at most once.
+//
+//	err := stream.New().
+//		From(src).
+//		Window(stream.Tumbling(4)).
+//		Combine(comb).
+//		To(stream.NDJSONSink(w)).
+//		Run(ctx)
+type Pipeline struct {
+	sources  []Source
+	mapFn    func(Event) Event
+	stages   []*stageSpec
+	sink     Sink
+	onEmit   func(w Window, key int, value any)
+	onLate   func(ev Event, w Window)
+	lateness int64
+	observer *obs.Observer
+	err      error
+	state    *runnerState
+	ran      bool
+}
+
+// stageSpec is one Window→Combine operator pair plus its policies.
+type stageSpec struct {
+	spec  WindowSpec
+	trig  Trigger
+	late  LatePolicy
+	comb  Combiner
+	remap func(WindowResult) (Event, bool) // nil on the last stage
+}
+
+// New returns an empty pipeline.
+func New() *Pipeline { return &Pipeline{} }
+
+func (p *Pipeline) fail(err error) *Pipeline {
+	if p.err == nil {
+		p.err = err
+	}
+	return p
+}
+
+// From appends sources. Sources are drained sequentially in the given
+// order; each keeps its own watermark and the pipeline's watermark is their
+// minimum, so windows stay open until every source has passed them. In-situ
+// pipelines have exactly one source.
+func (p *Pipeline) From(srcs ...Source) *Pipeline {
+	for _, s := range srcs {
+		if s == nil {
+			return p.fail(errors.New("stream: nil source"))
+		}
+	}
+	p.sources = append(p.sources, srcs...)
+	return p
+}
+
+// Map transforms every event before windowing (at most one per pipeline,
+// applied ahead of the first stage).
+func (p *Pipeline) Map(fn func(Event) Event) *Pipeline {
+	if p.mapFn != nil {
+		return p.fail(errors.New("stream: Map set twice"))
+	}
+	p.mapFn = fn
+	return p
+}
+
+// Window opens a new operator stage with the given window assignment.
+func (p *Pipeline) Window(ws WindowSpec) *Pipeline {
+	if err := ws.validate(); err != nil {
+		return p.fail(err)
+	}
+	if n := len(p.stages); n > 0 && p.stages[n-1].remap == nil {
+		return p.fail(errors.New("stream: Window after an unterminated stage — chain stages with ThenMap"))
+	}
+	p.stages = append(p.stages, &stageSpec{spec: ws})
+	return p
+}
+
+func (p *Pipeline) cur() *stageSpec {
+	if len(p.stages) == 0 {
+		return nil
+	}
+	return p.stages[len(p.stages)-1]
+}
+
+// Trigger sets the current stage's trigger policy.
+func (p *Pipeline) Trigger(tr Trigger) *Pipeline {
+	st := p.cur()
+	if st == nil {
+		return p.fail(errors.New("stream: Trigger before Window"))
+	}
+	if tr.EveryCount < 0 {
+		return p.fail(fmt.Errorf("stream: trigger count %d", tr.EveryCount))
+	}
+	st.trig = tr
+	return p
+}
+
+// OnLate sets the current stage's late-data policy (default LateDrop).
+func (p *Pipeline) OnLate(pol LatePolicy) *Pipeline {
+	st := p.cur()
+	if st == nil {
+		return p.fail(errors.New("stream: OnLate before Window"))
+	}
+	st.late = pol
+	return p
+}
+
+// AllowedLateness widens the watermark heuristic: a source's watermark
+// trails its maximum seen event time by l ticks, keeping windows open for
+// out-of-order arrivals within that bound.
+func (p *Pipeline) AllowedLateness(l int64) *Pipeline {
+	if l < 0 {
+		return p.fail(fmt.Errorf("stream: allowed lateness %d", l))
+	}
+	p.lateness = l
+	return p
+}
+
+// Combine attaches the current stage's combiner.
+func (p *Pipeline) Combine(c Combiner) *Pipeline {
+	st := p.cur()
+	if st == nil {
+		return p.fail(errors.New("stream: Combine before Window"))
+	}
+	if st.comb != nil {
+		return p.fail(errors.New("stream: Combine set twice for one Window"))
+	}
+	if c == nil {
+		return p.fail(errors.New("stream: nil combiner"))
+	}
+	st.comb = c
+	return p
+}
+
+// ThenMap terminates the current stage and routes its fired panes into the
+// next one: each WindowResult is remapped to an event (return false to
+// drop). The remapped Time must lie inside the fired window — that bound is
+// what lets the downstream watermark advance before end of stream.
+func (p *Pipeline) ThenMap(fn func(WindowResult) (Event, bool)) *Pipeline {
+	st := p.cur()
+	if st == nil || st.comb == nil {
+		return p.fail(errors.New("stream: ThenMap before a completed Window/Combine stage"))
+	}
+	if st.remap != nil {
+		return p.fail(errors.New("stream: ThenMap set twice for one stage"))
+	}
+	if fn == nil {
+		return p.fail(errors.New("stream: nil ThenMap"))
+	}
+	st.remap = fn
+	return p
+}
+
+// OnEmit receives forwarded per-key early emissions from stages with
+// Trigger.EarlyEmits. Like core.Scheduler.SubscribeEarlyEmits it fires from
+// reduction worker goroutines — the callback must be safe for concurrent
+// use.
+func (p *Pipeline) OnEmit(fn func(w Window, key int, value any)) *Pipeline {
+	p.onEmit = fn
+	return p
+}
+
+// SideOutput receives late events from stages with the LateSideOutput
+// policy, along with the already-closed window each would have joined.
+func (p *Pipeline) SideOutput(fn func(ev Event, w Window)) *Pipeline {
+	p.onLate = fn
+	return p
+}
+
+// To sets the terminal sink consuming the last stage's fired panes.
+func (p *Pipeline) To(s Sink) *Pipeline {
+	if p.sink != nil {
+		return p.fail(errors.New("stream: To set twice"))
+	}
+	p.sink = s
+	return p
+}
+
+// WithObserver routes the pipeline's smart_stream_* metrics to the given
+// observer (default: the process-wide one).
+func (p *Pipeline) WithObserver(o *obs.Observer) *Pipeline {
+	p.observer = o
+	return p
+}
+
+func (p *Pipeline) validate() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.ran {
+		return errors.New("stream: pipeline already ran")
+	}
+	if len(p.sources) == 0 {
+		return errors.New("stream: no sources (From)")
+	}
+	if len(p.stages) == 0 {
+		return errors.New("stream: no stages (Window/Combine)")
+	}
+	for i, st := range p.stages {
+		if st.comb == nil {
+			return fmt.Errorf("stream: stage %d has no combiner", i)
+		}
+		if i < len(p.stages)-1 && st.remap == nil {
+			return fmt.Errorf("stream: stage %d is not last but has no ThenMap", i)
+		}
+		if i == len(p.stages)-1 && st.remap != nil {
+			return errors.New("stream: last stage has a ThenMap but no following Window")
+		}
+		if i < len(p.stages)-1 && st.trig.EveryCount > 0 {
+			return fmt.Errorf("stream: stage %d: count triggers are only supported on the last stage — early panes of an inner stage would duplicate downstream input", i)
+		}
+		if st.trig.EarlyEmits {
+			if _, ok := st.comb.(emitSubscriber); !ok {
+				return fmt.Errorf("stream: stage %d: EarlyEmits needs a combiner that exposes early emissions (SchedCombiner)", i)
+			}
+		}
+	}
+	if p.sink == nil {
+		return errors.New("stream: no sink (To)")
+	}
+	return nil
+}
+
+// openWin is one buffered, not-yet-fired window.
+type openWin struct {
+	win       Window
+	times     []int64
+	seqs      []int64
+	data      [][]float64
+	elems     int
+	sincePane int // elements since the last early pane
+	panes     int // early panes fired so far
+}
+
+func (ow *openWin) add(ev Event, seq int64) {
+	ow.times = append(ow.times, ev.Time)
+	ow.seqs = append(ow.seqs, seq)
+	ow.data = append(ow.data, ev.Data)
+	ow.elems += len(ev.Data)
+	ow.sincePane += len(ev.Data)
+}
+
+// stageState is one stage's runtime state.
+type stageState struct {
+	spec    *stageSpec
+	open    []*openWin
+	wm      int64
+	seq     int64
+	scratch []float64
+}
+
+// runnerState is the executor state, kept on the pipeline so standing
+// queries can Snapshot it after a drained Run.
+type runnerState struct {
+	stages    []*stageState
+	maxSeen   []int64 // per-source maximum event time
+	started   []bool  // per-source: has it produced at least one event
+	done      []bool  // per-source: Feed returned nil
+	globalMax int64   // max event time across sources, for the lag gauge
+}
+
+type runner struct {
+	p      *Pipeline
+	st     *runnerState
+	met    *metrics
+	ctx    context.Context
+	curWin Window // window whose combine is in flight (OnEmit forwarding)
+}
+
+func (p *Pipeline) newState() *runnerState {
+	st := &runnerState{
+		maxSeen:   make([]int64, len(p.sources)),
+		started:   make([]bool, len(p.sources)),
+		done:      make([]bool, len(p.sources)),
+		globalMax: math.MinInt64,
+	}
+	for i := range st.maxSeen {
+		st.maxSeen[i] = math.MinInt64
+	}
+	for _, spec := range p.stages {
+		st.stages = append(st.stages, &stageState{spec: spec, wm: math.MinInt64})
+	}
+	return st
+}
+
+// Run drains the sources through the operator chain. On success every
+// remaining window has fired (the end-of-stream watermark flushes all
+// stages in order) and the sink is closed. On error — including a source
+// aborting for a drain checkpoint — open windows are preserved and
+// Snapshot captures them.
+func (p *Pipeline) Run(ctx context.Context) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	p.ran = true
+	if p.state == nil {
+		p.state = p.newState()
+	} else if len(p.state.stages) != len(p.stages) {
+		return fmt.Errorf("stream: restored snapshot has %d stages, pipeline %d", len(p.state.stages), len(p.stages))
+	}
+	var o *obs.Observer
+	if o = p.observer; o == nil {
+		o = obs.Default()
+	}
+	r := &runner{p: p, st: p.state, met: newMetrics(o.Registry()), ctx: ctx}
+
+	// Wire early-emit forwarding once, before any combine runs.
+	for si, spec := range p.stages {
+		if spec.trig.EarlyEmits && p.onEmit != nil {
+			sub := spec.comb.(emitSubscriber)
+			fn := p.onEmit
+			_ = si
+			sub.subscribeEmits(func(key int, value any) { fn(r.curWin, key, value) })
+		}
+	}
+
+	for i, src := range p.sources {
+		if r.st.done[i] {
+			continue // restored snapshot already drained this source
+		}
+		i := i
+		err := src.Feed(ctx, func(ev Event) error { return r.onEvent(i, ev) })
+		if err != nil {
+			return err
+		}
+		r.st.done[i] = true
+		// A finished source no longer holds the merged watermark back.
+		if err := r.advance(0, r.mergedWM()); err != nil {
+			return err
+		}
+	}
+
+	// End of stream: flush every stage in order, then close the sink.
+	for si := range r.st.stages {
+		if err := r.advanceStage(si, math.MaxInt64); err != nil {
+			return err
+		}
+	}
+	return p.sink.Close()
+}
+
+// onEvent ingests one source event: advance the source watermark, fire
+// anything now due, then assign and buffer the event.
+func (r *runner) onEvent(srcIdx int, ev Event) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	if r.p.mapFn != nil {
+		ev = r.p.mapFn(ev)
+	}
+	st := r.st
+	st.started[srcIdx] = true
+	if ev.Time > st.maxSeen[srcIdx] {
+		st.maxSeen[srcIdx] = ev.Time
+	}
+	if ev.Time > st.globalMax {
+		st.globalMax = ev.Time
+	}
+	if err := r.advance(0, r.mergedWM()); err != nil {
+		return err
+	}
+	return r.ingest(0, ev)
+}
+
+// mergedWM is the pipeline watermark: the minimum per-source watermark,
+// where a source's watermark trails its max seen time by the allowed
+// lateness and a finished source no longer participates.
+func (r *runner) mergedWM() int64 {
+	wm := int64(math.MaxInt64)
+	for i := range r.st.maxSeen {
+		if r.st.done[i] {
+			continue
+		}
+		srcWM := int64(math.MinInt64)
+		if r.st.started[i] {
+			srcWM = r.st.maxSeen[i] - r.p.lateness
+		}
+		if srcWM < wm {
+			wm = srcWM
+		}
+	}
+	return wm
+}
+
+// advance moves stage 0's watermark and cascades bounded advances
+// downstream.
+func (r *runner) advance(si int, wm int64) error {
+	for ; si < len(r.st.stages); si++ {
+		st := r.st.stages[si]
+		if wm <= st.wm {
+			return nil
+		}
+		if err := r.advanceStage(si, wm); err != nil {
+			return err
+		}
+		if wm == math.MaxInt64 {
+			// End of stream propagates exactly; per-stage flushing is
+			// driven by Run's final loop instead.
+			return nil
+		}
+		bound, ok := st.spec.spec.cascadeBound()
+		if !ok {
+			return nil
+		}
+		// Future fired windows end after wm, so their remapped events —
+		// constrained to lie inside the window — are newer than wm-bound.
+		wm = wm - bound + 1
+	}
+	return nil
+}
+
+// advanceStage raises one stage's watermark and fires every window now past
+// it, in deterministic (End, Start) order.
+func (r *runner) advanceStage(si int, wm int64) error {
+	st := r.st.stages[si]
+	if wm <= st.wm {
+		return nil
+	}
+	st.wm = wm
+	if si == 0 && st.wm > math.MinInt64 && r.st.globalMax > math.MinInt64 {
+		lag := r.st.globalMax - st.wm
+		if lag < 0 {
+			lag = 0
+		}
+		r.met.wmLag.Set(lag)
+	}
+	var due []*openWin
+	rest := st.open[:0]
+	for _, ow := range st.open {
+		if ow.win.End <= wm {
+			due = append(due, ow)
+		} else {
+			rest = append(rest, ow)
+		}
+	}
+	st.open = rest
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].win.End != due[j].win.End {
+			return due[i].win.End < due[j].win.End
+		}
+		return due[i].win.Start < due[j].win.Start
+	})
+	for _, ow := range due {
+		if err := r.fire(si, ow, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingest assigns one event to a stage's windows, buffering it in each open
+// one, applying the late policy for already-closed ones, and firing any
+// count-trigger panes that the new elements complete.
+func (r *runner) ingest(si int, ev Event) error {
+	st := r.st.stages[si]
+	spec := st.spec
+	st.seq++
+	seq := st.seq
+
+	if spec.spec.Kind == KindSession {
+		return r.ingestSession(si, ev, seq)
+	}
+	wins := spec.spec.Assign(ev.Time, nil)
+	for _, w := range wins {
+		if w.End <= st.wm {
+			r.late(si, ev, w)
+			continue
+		}
+		ow := findOpen(st.open, w)
+		if ow == nil {
+			ow = &openWin{win: w}
+			st.open = append(st.open, ow)
+			r.met.opened.Inc()
+		}
+		ow.add(ev, seq)
+		if err := r.maybeCountPane(si, ow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ingestSession merges the event's seed interval [t, t+gap) into the
+// overlapping open sessions (fusing them if it bridges several) or opens a
+// new one; an expired seed with nothing to merge into is late.
+func (r *runner) ingestSession(si int, ev Event, seq int64) error {
+	st := r.st.stages[si]
+	seed := Window{Start: ev.Time, End: ev.Time + st.spec.spec.Gap}
+	var merged *openWin
+	rest := st.open[:0]
+	for _, ow := range st.open {
+		if !ow.win.overlaps(seed) {
+			rest = append(rest, ow)
+			continue
+		}
+		if merged == nil {
+			merged = ow
+			if seed.Start < ow.win.Start {
+				ow.win.Start = seed.Start
+			}
+			if seed.End > ow.win.End {
+				ow.win.End = seed.End
+			}
+			rest = append(rest, ow)
+			continue
+		}
+		// The seed bridges two sessions: fuse ow into merged.
+		if ow.win.Start < merged.win.Start {
+			merged.win.Start = ow.win.Start
+		}
+		if ow.win.End > merged.win.End {
+			merged.win.End = ow.win.End
+		}
+		merged.times = append(merged.times, ow.times...)
+		merged.seqs = append(merged.seqs, ow.seqs...)
+		merged.data = append(merged.data, ow.data...)
+		merged.elems += ow.elems
+		merged.sincePane += ow.sincePane
+		merged.panes += ow.panes
+		r.met.merged.Inc()
+	}
+	st.open = rest
+	if merged == nil {
+		if seed.End <= st.wm {
+			r.late(si, ev, seed)
+			return nil
+		}
+		merged = &openWin{win: seed}
+		st.open = append(st.open, merged)
+		r.met.opened.Inc()
+	}
+	merged.add(ev, seq)
+	return r.maybeCountPane(si, merged)
+}
+
+func findOpen(open []*openWin, w Window) *openWin {
+	for _, ow := range open {
+		if ow.win == w {
+			return ow
+		}
+	}
+	return nil
+}
+
+// late applies the stage's late-data policy to one (event, window) pair.
+func (r *runner) late(si int, ev Event, w Window) {
+	if r.st.stages[si].spec.late == LateSideOutput {
+		r.met.lateSide.Inc()
+		if r.p.onLate != nil {
+			r.p.onLate(ev, w)
+		}
+		return
+	}
+	r.met.lateDrop.Inc()
+}
+
+// maybeCountPane fires early panes for every count-trigger threshold the
+// window's buffer has crossed.
+func (r *runner) maybeCountPane(si int, ow *openWin) error {
+	n := r.st.stages[si].spec.trig.EveryCount
+	if n <= 0 {
+		return nil
+	}
+	for ow.sincePane >= n {
+		ow.sincePane -= n
+		if err := r.fire(si, ow, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fire runs one pane: order the window's events canonically, concatenate
+// their elements, combine, and hand the result to the sink (last stage) or
+// the next stage (ThenMap).
+func (r *runner) fire(si int, ow *openWin, final bool) error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	st := r.st.stages[si]
+	start := time.Now()
+
+	// Canonical element order: (event time, ingest sequence). Buffers are
+	// appended in sequence order, so only session fusions and allowed-late
+	// arrivals actually move anything.
+	order := make([]int, len(ow.times))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if ow.times[i] != ow.times[j] {
+			return ow.times[i] < ow.times[j]
+		}
+		return ow.seqs[i] < ow.seqs[j]
+	})
+	st.scratch = st.scratch[:0]
+	for _, i := range order {
+		st.scratch = append(st.scratch, ow.data[i]...)
+	}
+
+	r.curWin = ow.win
+	value, err := st.spec.comb.Combine(r.ctx, ow.win, st.scratch)
+	if err != nil {
+		return err
+	}
+	res := WindowResult{
+		Window: ow.win,
+		Pane:   ow.panes,
+		Final:  final,
+		Events: len(ow.times),
+		Elems:  len(st.scratch),
+		Value:  value,
+	}
+	ow.panes++
+	if final {
+		r.met.fired.Inc()
+	} else {
+		r.met.early.Inc()
+	}
+
+	if si == len(r.st.stages)-1 {
+		res.Latency = time.Since(start)
+		r.met.latency.Observe(res.Latency.Seconds())
+		return r.p.sink.Emit(res)
+	}
+	res.Latency = time.Since(start)
+	r.met.latency.Observe(res.Latency.Seconds())
+	ev, ok := st.spec.remap(res)
+	if !ok {
+		return nil
+	}
+	if ev.Time < ow.win.Start || ev.Time >= ow.win.End {
+		return fmt.Errorf("stream: stage %d remapped time %d outside fired window [%d,%d)",
+			si, ev.Time, ow.win.Start, ow.win.End)
+	}
+	return r.ingest(si+1, ev)
+}

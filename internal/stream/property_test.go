@@ -1,0 +1,347 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+func countComb() Combiner {
+	return CombinerFunc(func(_ context.Context, _ Window, elems []float64) (any, error) {
+		return len(elems), nil
+	})
+}
+
+// TestWatermarkMonotonic: the first stage's watermark never regresses and
+// never overtakes maxSeen−lateness, and windows fire in non-decreasing
+// end-time order — even when event times arrive out of order.
+func TestWatermarkMonotonic(t *testing.T) {
+	times := []int64{3, 1, 7, 5, 12, 9, 20, 14, 33, 21, 40}
+	const lateness = 4
+	evs := stepEvents(times, 4)
+
+	p := New()
+	var wms []int64
+	var maxSeen int64 = math.MinInt64
+	probe := SourceFunc(func(ctx context.Context, push func(Event) error) error {
+		for _, ev := range evs {
+			if err := push(ev); err != nil {
+				return err
+			}
+			if ev.Time > maxSeen {
+				maxSeen = ev.Time
+			}
+			wm := p.state.stages[0].wm
+			if wm != math.MinInt64 && wm > maxSeen-lateness {
+				t.Errorf("watermark %d overtook maxSeen-lateness %d", wm, maxSeen-lateness)
+			}
+			wms = append(wms, wm)
+		}
+		return nil
+	})
+
+	var ends []int64
+	err := p.
+		From(probe).
+		Window(Tumbling(5)).
+		AllowedLateness(lateness).
+		Combine(countComb()).
+		To(CallbackSink(func(res WindowResult) error { ends = append(ends, res.Window.End); return nil })).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(wms); i++ {
+		if wms[i] < wms[i-1] {
+			t.Fatalf("watermark regressed: %v", wms)
+		}
+	}
+	for i := 1; i < len(ends); i++ {
+		if ends[i] < ends[i-1] {
+			t.Fatalf("windows fired out of end-time order: %v", ends)
+		}
+	}
+	if len(ends) == 0 {
+		t.Fatal("no windows fired")
+	}
+}
+
+// TestMultiSourceWatermark: the merged watermark is the minimum across
+// unfinished sources, so a slow source holds every window open until it
+// catches up — no element from the fast source is ever marked late.
+func TestMultiSourceWatermark(t *testing.T) {
+	fast := stepEvents([]int64{0, 1, 2, 3, 4, 5, 6, 7}, 4)
+	slow := stepEvents([]int64{0, 1, 2, 3}, 4)
+	reg := obs.NewRegistry()
+	var got []WindowResult
+	err := New().
+		From(SliceSource(fast), SliceSource(slow)).
+		Window(Tumbling(2)).
+		Combine(countComb()).
+		To(CallbackSink(func(res WindowResult) error { got = append(got, res); return nil })).
+		WithObserver(obs.NewWithRegistry(reg)).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter(`smart_stream_events_late_total{policy="drop"}`).Value(); n != 0 {
+		t.Fatalf("%d events dropped as late despite min-merged watermark", n)
+	}
+	want := map[Window]int{
+		{0, 2}: 16, {2, 4}: 16, // both sources contribute
+		{4, 6}: 8, {6, 8}: 8, // fast source only
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d windows, want %d", len(got), len(want))
+	}
+	for _, res := range got {
+		if res.Value.(int) != want[res.Window] {
+			t.Fatalf("window %+v combined %d elems, want %d", res.Window, res.Value, want[res.Window])
+		}
+	}
+}
+
+// TestLateDataPolicies: an event behind the watermark is dropped under
+// LateDrop and routed (with its missed window) under LateSideOutput; on-time
+// results are identical either way and match the no-late-events oracle.
+func TestLateDataPolicies(t *testing.T) {
+	// Time 12 advances the watermark past the ends of [0,4), [4,8), and
+	// [8,12): the stragglers at t=2 and t=9 behind it are both late.
+	times := []int64{0, 1, 5, 12, 2, 9, 13}
+	evs := stepEvents(times, 4)
+	run := func(pol LatePolicy, onLate func(Event, Window)) (map[Window]int, *obs.Registry) {
+		reg := obs.NewRegistry()
+		got := map[Window]int{}
+		p := New().
+			From(SliceSource(evs)).
+			Window(Tumbling(4)).
+			OnLate(pol).
+			Combine(countComb()).
+			To(CallbackSink(func(res WindowResult) error { got[res.Window] = res.Value.(int); return nil })).
+			WithObserver(obs.NewWithRegistry(reg))
+		if onLate != nil {
+			p.SideOutput(onLate)
+		}
+		if err := p.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return got, reg
+	}
+
+	dropped, dreg := run(LateDrop, nil)
+	var side []struct {
+		ev Event
+		w  Window
+	}
+	routed, sreg := run(LateSideOutput, func(ev Event, w Window) {
+		side = append(side, struct {
+			ev Event
+			w  Window
+		}{ev, w})
+	})
+
+	want := map[Window]int{{0, 4}: 8, {4, 8}: 4, {12, 16}: 8}
+	if !reflect.DeepEqual(dropped, want) {
+		t.Fatalf("drop-policy windows %v, want %v", dropped, want)
+	}
+	if !reflect.DeepEqual(routed, want) {
+		t.Fatalf("side-output windows %v, want %v (policies must not change on-time output)", routed, want)
+	}
+	if n := dreg.Counter(`smart_stream_events_late_total{policy="drop"}`).Value(); n != 2 {
+		t.Fatalf("drop counter = %d, want 2", n)
+	}
+	if n := sreg.Counter(`smart_stream_events_late_total{policy="side_output"}`).Value(); n != 2 {
+		t.Fatalf("side-output counter = %d, want 2", n)
+	}
+	if len(side) != 2 ||
+		side[0].ev.Time != 2 || side[0].w != (Window{0, 4}) ||
+		side[1].ev.Time != 9 || side[1].w != (Window{8, 12}) {
+		t.Fatalf("side output got %+v, want the t=2 and t=9 stragglers", side)
+	}
+}
+
+// TestSessionMergeMetrics: an out-of-order event bridging two open sessions
+// fuses them (counted once) and the fused window fires with every element.
+func TestSessionMergeMetrics(t *testing.T) {
+	// 0 and 6 open two sessions (gap 4); the out-of-order 3 seeds [3,7),
+	// which overlaps both and fuses them into [0,10); 30 closes it. The
+	// allowed lateness keeps the watermark behind so both stay open.
+	evs := stepEvents([]int64{0, 6, 3, 30}, 4)
+	reg := obs.NewRegistry()
+	var got []WindowResult
+	err := New().
+		From(SliceSource(evs)).
+		Window(Session(4)).
+		AllowedLateness(10).
+		Combine(countComb()).
+		To(CallbackSink(func(res WindowResult) error { got = append(got, res); return nil })).
+		WithObserver(obs.NewWithRegistry(reg)).
+		Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("smart_stream_windows_merged_total").Value(); n != 1 {
+		t.Fatalf("merged counter = %d, want 1", n)
+	}
+	if len(got) != 2 {
+		t.Fatalf("fired %d sessions, want 2: %+v", len(got), got)
+	}
+	if got[0].Window != (Window{0, 10}) || got[0].Value.(int) != 12 {
+		t.Fatalf("fused session %+v, want [0,10) with 12 elems", got[0])
+	}
+	if got[1].Window != (Window{30, 34}) || got[1].Value.(int) != 4 {
+		t.Fatalf("tail session %+v", got[1])
+	}
+}
+
+// TestSnapshotResume: cancel a pipeline mid-stream, snapshot it, restore
+// into a fresh pipeline whose source resumes past the consumed prefix, and
+// check the union of fired windows is exactly the uninterrupted run's — no
+// duplicates, no gaps, same per-window values. This is the property smartd
+// standing-query drain/restart is built on.
+func TestSnapshotResume(t *testing.T) {
+	cfg := GeneratorConfig{Steps: 10, StepElems: 32, Seed: 11}
+	build := func(src Source, collect *[]WindowResult) *Pipeline {
+		return New().
+			From(src).
+			Window(Sliding(4, 2)).
+			Combine(CombinerFunc(func(_ context.Context, _ Window, elems []float64) (any, error) {
+				var sum float64
+				for _, v := range elems {
+					sum += v
+				}
+				return sum, nil
+			})).
+			To(CallbackSink(func(res WindowResult) error { *collect = append(*collect, res); return nil }))
+	}
+
+	// Uninterrupted reference run.
+	var ref []WindowResult
+	if err := build(Generator(cfg), &ref).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cut the generator off after 6 steps (a drain).
+	const cut = 6
+	var first []WindowResult
+	pushed := 0
+	cutSrc := SourceFunc(func(ctx context.Context, push func(Event) error) error {
+		return Generator(GeneratorConfig{Steps: cut, StepElems: cfg.StepElems, Seed: cfg.Seed}).
+			Feed(ctx, func(ev Event) error {
+				pushed++
+				return push(ev)
+			})
+	})
+	p1 := build(cutSrc, &first)
+	if err := p1.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A finished source flushes everything, which a drain must not do —
+	// snapshot state after the windows still open at the cut would have
+	// fired. Re-run with a source that errors out instead.
+	first = first[:0]
+	pushed = 0
+	sentinel := context.Canceled
+	drainSrc := SourceFunc(func(ctx context.Context, push func(Event) error) error {
+		err := Generator(GeneratorConfig{Steps: cut, StepElems: cfg.StepElems, Seed: cfg.Seed}).
+			Feed(ctx, func(ev Event) error {
+				pushed++
+				return push(ev)
+			})
+		if err != nil {
+			return err
+		}
+		return sentinel
+	})
+	p1 = build(drainSrc, &first)
+	if err := p1.Run(context.Background()); err == nil {
+		t.Fatal("drained run reported success")
+	}
+	snap, err := p1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pushed != cut {
+		t.Fatalf("consumed %d steps before drain, want %d", pushed, cut)
+	}
+
+	// Round-trip the snapshot through JSON like the smartd checkpoint does.
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded Snapshot
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	var second []WindowResult
+	p2 := build(Generator(GeneratorConfig{
+		Steps: cfg.Steps - cut, StepElems: cfg.StepElems, Seed: cfg.Seed, StartStep: cut,
+	}), &second)
+	if err := p2.Restore(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	combined := map[Window]float64{}
+	for _, res := range append(append([]WindowResult(nil), first...), second...) {
+		if _, dup := combined[res.Window]; dup {
+			t.Fatalf("window %+v fired in both halves", res.Window)
+		}
+		combined[res.Window] = res.Value.(float64)
+	}
+	if len(combined) != len(ref) {
+		t.Fatalf("resumed run fired %d windows, reference fired %d", len(combined), len(ref))
+	}
+	for _, res := range ref {
+		got, ok := combined[res.Window]
+		if !ok {
+			t.Fatalf("window %+v missing after resume", res.Window)
+		}
+		if got != res.Value.(float64) {
+			t.Fatalf("window %+v = %v after resume, want %v", res.Window, got, res.Value)
+		}
+	}
+}
+
+// TestRunContextCancel: cancellation mid-stream surfaces promptly as the
+// context error without firing a final flush.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	n := 0
+	src := SourceFunc(func(ctx context.Context, push func(Event) error) error {
+		for i := int64(0); i < 100; i++ {
+			if err := push(Event{Time: i, Data: []float64{1}}); err != nil {
+				return err
+			}
+			n++
+			if i == 10 {
+				cancel()
+			}
+		}
+		return nil
+	})
+	err := New().
+		From(src).
+		Window(Tumbling(1000)).
+		Combine(countComb()).
+		To(CallbackSink(func(WindowResult) error { fired++; return nil })).
+		Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if fired != 0 {
+		t.Fatalf("cancelled run flushed %d windows", fired)
+	}
+	if n > 12 {
+		t.Fatalf("source pushed %d events after cancel", n)
+	}
+}

@@ -1,0 +1,134 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/scipioneer/smart/internal/obs"
+)
+
+// WindowResult is one fired pane of one window: the combiner's output over
+// the window's elements as buffered at firing time.
+type WindowResult struct {
+	// Window is the event-time interval the pane covers.
+	Window Window
+	// Pane numbers the firings of this window: early panes count from 0,
+	// the final on-watermark pane is the last.
+	Pane int
+	// Final marks the on-watermark pane — the window's complete contents.
+	Final bool
+	// Events and Elems count the buffered events and their total elements
+	// at firing time.
+	Events int
+	Elems  int
+	// Value is the combiner's result; NDJSONSink marshals it as-is.
+	Value any
+	// Latency is the firing cost: combine plus downstream handoff.
+	Latency time.Duration
+}
+
+// Sink consumes fired window panes at the end of a pipeline. Emit is called
+// from the pipeline's driving goroutine, in deterministic firing order;
+// Close is called once after the final flush.
+type Sink interface {
+	Emit(res WindowResult) error
+	Close() error
+}
+
+// CallbackSink adapts a function to the Sink interface.
+func CallbackSink(fn func(WindowResult) error) Sink { return callbackSink(fn) }
+
+type callbackSink func(WindowResult) error
+
+func (f callbackSink) Emit(res WindowResult) error { return f(res) }
+func (callbackSink) Close() error                  { return nil }
+
+// NDJSONSink writes one JSON line per fired pane:
+//
+//	{"type":"window","start":0,"end":4,"pane":0,"final":true,"events":4,"elems":4096,"value":...}
+//
+// matching the NDJSON framing smartd's job stream uses.
+func NDJSONSink(w io.Writer) Sink { return &ndjsonSink{w: w} }
+
+type ndjsonSink struct{ w io.Writer }
+
+type ndjsonWindow struct {
+	Type   string `json:"type"`
+	Start  int64  `json:"start"`
+	End    int64  `json:"end"`
+	Pane   int    `json:"pane"`
+	Final  bool   `json:"final"`
+	Events int    `json:"events"`
+	Elems  int    `json:"elems"`
+	Value  any    `json:"value,omitempty"`
+}
+
+func (s *ndjsonSink) Emit(res WindowResult) error {
+	line, err := json.Marshal(ndjsonWindow{
+		Type:  "window",
+		Start: res.Window.Start, End: res.Window.End,
+		Pane: res.Pane, Final: res.Final,
+		Events: res.Events, Elems: res.Elems,
+		Value: res.Value,
+	})
+	if err != nil {
+		return fmt.Errorf("stream: marshal window result: %w", err)
+	}
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("stream: write window result: %w", err)
+	}
+	return nil
+}
+
+func (s *ndjsonSink) Close() error { return nil }
+
+// CounterSink counts panes into the observability registry — a fire-and-
+// forget sink for queries whose only consumer is a metrics dashboard. It
+// bumps smart_stream_sink_panes_total{sink="<name>"} per pane and
+// smart_stream_sink_elems_total{sink="<name>"} per combined element.
+func CounterSink(reg *obs.Registry, name string) Sink {
+	if reg == nil {
+		reg = obs.DefaultRegistry()
+	}
+	return &counterSink{
+		panes: reg.Counter(fmt.Sprintf("smart_stream_sink_panes_total{sink=%q}", name)),
+		elems: reg.Counter(fmt.Sprintf("smart_stream_sink_elems_total{sink=%q}", name)),
+	}
+}
+
+type counterSink struct{ panes, elems *obs.Counter }
+
+func (s *counterSink) Emit(res WindowResult) error {
+	s.panes.Inc()
+	s.elems.Add(int64(res.Elems))
+	return nil
+}
+
+func (s *counterSink) Close() error { return nil }
+
+// Tee fans each pane out to every sink in order, stopping on the first
+// error; Close closes all of them, returning the first error.
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) Emit(res WindowResult) error {
+	for _, s := range t {
+		if err := s.Emit(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t teeSink) Close() error {
+	var first error
+	for _, s := range t {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

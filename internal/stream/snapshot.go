@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshot is the serializable state of a paused pipeline: per-source
+// watermark marks and every stage's open (buffered, unfired) windows. A
+// standing smartd query checkpoints one at a drain boundary and restores it
+// into a fresh pipeline on resume — fired windows are gone from the
+// snapshot and the resumed source skips consumed steps, so no window is
+// duplicated or lost across the restart.
+type Snapshot struct {
+	// Sources holds one mark per pipeline source, in From order.
+	Sources []SourceMark `json:"sources"`
+	// Stages holds one entry per Window/Combine stage, in chain order.
+	Stages []StageSnapshot `json:"stages"`
+}
+
+// SourceMark is one source's watermark bookkeeping.
+type SourceMark struct {
+	Started bool  `json:"started"`
+	Done    bool  `json:"done"`
+	MaxSeen int64 `json:"max_seen"`
+}
+
+// StageSnapshot is one stage's watermark, ingest sequence, and open
+// windows.
+type StageSnapshot struct {
+	WM   int64            `json:"wm"`
+	Seq  int64            `json:"seq"`
+	Open []WindowSnapshot `json:"open,omitempty"`
+}
+
+// WindowSnapshot is one open window's buffered events.
+type WindowSnapshot struct {
+	Window    Window          `json:"window"`
+	SincePane int             `json:"since_pane"`
+	Panes     int             `json:"panes"`
+	Events    []EventSnapshot `json:"events,omitempty"`
+}
+
+// EventSnapshot is one buffered event with its canonical-order sequence.
+type EventSnapshot struct {
+	Time int64     `json:"t"`
+	Seq  int64     `json:"seq"`
+	Data []float64 `json:"data"`
+}
+
+// Snapshot captures the pipeline's current state. Call it only after Run
+// has returned (a drain surfaces as a source error, leaving open windows
+// intact); calling it before any Run yields an error.
+func (p *Pipeline) Snapshot() (*Snapshot, error) {
+	if p.state == nil {
+		return nil, errors.New("stream: nothing to snapshot — pipeline never ran")
+	}
+	st := p.state
+	snap := &Snapshot{}
+	for i := range st.maxSeen {
+		snap.Sources = append(snap.Sources, SourceMark{
+			Started: st.started[i], Done: st.done[i], MaxSeen: st.maxSeen[i],
+		})
+	}
+	for _, ss := range st.stages {
+		s := StageSnapshot{WM: ss.wm, Seq: ss.seq}
+		for _, ow := range ss.open {
+			w := WindowSnapshot{Window: ow.win, SincePane: ow.sincePane, Panes: ow.panes}
+			for i := range ow.times {
+				w.Events = append(w.Events, EventSnapshot{
+					Time: ow.times[i], Seq: ow.seqs[i],
+					Data: append([]float64(nil), ow.data[i]...),
+				})
+			}
+			s.Open = append(s.Open, w)
+		}
+		snap.Stages = append(snap.Stages, s)
+	}
+	return snap, nil
+}
+
+// Restore seeds a not-yet-run pipeline with a snapshot. The pipeline must
+// have the same shape (source and stage counts) as the one that produced
+// it.
+func (p *Pipeline) Restore(snap *Snapshot) error {
+	if p.ran || p.state != nil {
+		return errors.New("stream: Restore after the pipeline ran")
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if len(snap.Sources) != len(p.sources) {
+		return fmt.Errorf("stream: snapshot has %d sources, pipeline %d", len(snap.Sources), len(p.sources))
+	}
+	if len(snap.Stages) != len(p.stages) {
+		return fmt.Errorf("stream: snapshot has %d stages, pipeline %d", len(snap.Stages), len(p.stages))
+	}
+	st := p.newState()
+	for i, m := range snap.Sources {
+		st.started[i], st.done[i], st.maxSeen[i] = m.Started, m.Done, m.MaxSeen
+		if m.Started && m.MaxSeen > st.globalMax {
+			st.globalMax = m.MaxSeen
+		}
+	}
+	for si, s := range snap.Stages {
+		ss := st.stages[si]
+		ss.wm, ss.seq = s.WM, s.Seq
+		for _, w := range s.Open {
+			ow := &openWin{win: w.Window, sincePane: w.SincePane, panes: w.Panes}
+			for _, ev := range w.Events {
+				ow.times = append(ow.times, ev.Time)
+				ow.seqs = append(ow.seqs, ev.Seq)
+				ow.data = append(ow.data, ev.Data)
+				ow.elems += len(ev.Data)
+			}
+			ss.open = append(ss.open, ow)
+		}
+	}
+	p.state = st
+	return nil
+}

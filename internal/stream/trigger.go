@@ -1,0 +1,38 @@
+package stream
+
+// Trigger is a stage's trigger policy. The zero value is the default
+// policy: fire each window exactly once, when the watermark passes its end
+// (the final pane). The optional knobs add early panes on top — the final
+// on-watermark pane always fires.
+type Trigger struct {
+	// EveryCount, when positive, fires an early pane each time a window
+	// has buffered this many more elements since its previous pane. Early
+	// panes run the combiner over the elements seen so far and emit
+	// WindowResults with Final=false.
+	EveryCount int
+	// EarlyEmits forwards the runtime's per-key early emissions — the
+	// paper's Triggered reduction objects — from every window combine to
+	// the pipeline's OnEmit callback. It requires a combiner that exposes
+	// the scheduler's SubscribeEarlyEmits (SchedCombiner does).
+	EarlyEmits bool
+}
+
+// LatePolicy says what a stage does with an event that arrives after the
+// watermark has closed every window that would contain it.
+type LatePolicy int
+
+const (
+	// LateDrop discards late events (counted in
+	// smart_stream_events_late_total{policy="drop"}).
+	LateDrop LatePolicy = iota
+	// LateSideOutput routes late events to the pipeline's SideOutput
+	// callback instead of silently dropping them.
+	LateSideOutput
+)
+
+func (p LatePolicy) String() string {
+	if p == LateSideOutput {
+		return "side_output"
+	}
+	return "drop"
+}

@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is one event-time interval [Start, End) in ticks.
+type Window struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// span returns the window's width.
+func (w Window) span() int64 { return w.End - w.Start }
+
+// overlaps reports whether two half-open intervals intersect.
+func (w Window) overlaps(o Window) bool { return w.Start < o.End && o.Start < w.End }
+
+// WindowKind enumerates the supported window families.
+type WindowKind int
+
+const (
+	// KindTumbling partitions time into fixed, non-overlapping intervals.
+	KindTumbling WindowKind = iota
+	// KindSliding assigns each tick to every window of width Size whose
+	// start is a multiple of Slide.
+	KindSliding
+	// KindSession grows data-driven windows: an event opens [t, t+Gap),
+	// and overlapping sessions merge.
+	KindSession
+	// KindGlobal is one all-time window that fires at end of stream.
+	KindGlobal
+)
+
+func (k WindowKind) String() string {
+	switch k {
+	case KindTumbling:
+		return "tumbling"
+	case KindSliding:
+		return "sliding"
+	case KindSession:
+		return "session"
+	case KindGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("WindowKind(%d)", int(k))
+}
+
+// WindowSpec describes how a stage assigns events to event-time windows.
+// Construct with Tumbling, Sliding, Session, or Global.
+type WindowSpec struct {
+	Kind  WindowKind
+	Size  int64 // tumbling/sliding width
+	Slide int64 // sliding step
+	Gap   int64 // session inactivity gap
+}
+
+// Tumbling returns non-overlapping windows of the given width.
+func Tumbling(size int64) WindowSpec { return WindowSpec{Kind: KindTumbling, Size: size} }
+
+// Sliding returns overlapping windows of the given width, one starting
+// every slide ticks.
+func Sliding(size, slide int64) WindowSpec {
+	return WindowSpec{Kind: KindSliding, Size: size, Slide: slide}
+}
+
+// Session returns data-driven windows separated by at least gap ticks of
+// inactivity.
+func Session(gap int64) WindowSpec { return WindowSpec{Kind: KindSession, Gap: gap} }
+
+// Global returns the single all-time window, fired at end of stream — the
+// batch special case.
+func Global() WindowSpec { return WindowSpec{Kind: KindGlobal} }
+
+func (ws WindowSpec) validate() error {
+	switch ws.Kind {
+	case KindTumbling:
+		if ws.Size <= 0 {
+			return fmt.Errorf("stream: tumbling window size %d", ws.Size)
+		}
+	case KindSliding:
+		if ws.Size <= 0 || ws.Slide <= 0 {
+			return fmt.Errorf("stream: sliding window size %d slide %d", ws.Size, ws.Slide)
+		}
+		if ws.Slide > ws.Size {
+			return fmt.Errorf("stream: sliding slide %d exceeds size %d (gaps would drop events)", ws.Slide, ws.Size)
+		}
+	case KindSession:
+		if ws.Gap <= 0 {
+			return fmt.Errorf("stream: session gap %d", ws.Gap)
+		}
+	case KindGlobal:
+	default:
+		return fmt.Errorf("stream: unknown window kind %d", int(ws.Kind))
+	}
+	return nil
+}
+
+// floorDiv is integer division rounding toward negative infinity, so window
+// arithmetic stays correct for negative ticks.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Assign appends to dst every window of the spec that contains tick t, in
+// ascending start order. Session windows return the seed interval
+// [t, t+Gap) — merging is the windower's job. Exported for the
+// window-assignment fuzzer and the oracle tests.
+func (ws WindowSpec) Assign(t int64, dst []Window) []Window {
+	switch ws.Kind {
+	case KindTumbling:
+		start := floorDiv(t, ws.Size) * ws.Size
+		return append(dst, Window{Start: start, End: start + ws.Size})
+	case KindSliding:
+		// Starts are the multiples of Slide in (t-Size, t].
+		first := (floorDiv(t-ws.Size, ws.Slide) + 1) * ws.Slide
+		for s := first; s <= t; s += ws.Slide {
+			dst = append(dst, Window{Start: s, End: s + ws.Size})
+		}
+		return dst
+	case KindSession:
+		return append(dst, Window{Start: t, End: t + ws.Gap})
+	case KindGlobal:
+		return append(dst, globalWindow)
+	}
+	return dst
+}
+
+// globalWindow is the single window of KindGlobal; its End is MaxInt64 so
+// it only ever fires at the end-of-stream watermark.
+var globalWindow = Window{Start: math.MinInt64, End: math.MaxInt64}
+
+// cascadeBound returns how far behind a stage's watermark its downstream
+// stage's watermark may safely advance: a future fired window has
+// End > wm, so a result remapped anywhere inside its window has
+// Time > wm - span. Session and global windows are unbounded — downstream
+// only advances at end of stream.
+func (ws WindowSpec) cascadeBound() (int64, bool) {
+	switch ws.Kind {
+	case KindTumbling, KindSliding:
+		return ws.Size, true
+	}
+	return 0, false
+}

@@ -61,6 +61,85 @@ wait "$pid" || true
 echo "smartd smoke: metrics lint clean, CPU profile captured"
 
 # ---------------------------------------------------------------------------
+# Standing-query phase: a continuous windowed histogram over the synthetic
+# step stream. The job's NDJSON stream must carry one final "window" record
+# per tumbling window; a SIGTERM mid-run must drain the query into a
+# pipeline-snapshot checkpoint which a rebooted daemon resumes to
+# completion.
+saddr="${SMARTD_STANDING_ADDR:-127.0.0.1:18914}"
+ckdir="$workdir/ck"
+
+"$workdir/smartd" -addr "$saddr" -ckdir "$ckdir" -grace 50ms &
+spid=$!
+pids+=("$spid")
+for i in $(seq 1 50); do
+  if curl -fsS "http://$saddr/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$i" = 50 ]; then
+    echo "standing-phase smartd did not become healthy on $saddr" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# 12 steps under tumbling windows of 4 -> exactly 3 final window emissions.
+sjob="$(curl -fsS -X POST "http://$saddr/v1/jobs" \
+  -d '{"app":"histogram","kind":"standing","elems":4096,"steps":12,"params":{"window_size":4,"buckets":16}}')"
+sid="$(grep -o '"id": *"[^"]*"' <<<"$sjob" | head -1 | grep -o 'job-[^"]*')"
+stream="$(curl -fsS "http://$saddr/v1/jobs/$sid/stream")"
+windows="$(grep -c '"type":"window"' <<<"$stream" || true)"
+steps="$(grep -c '"type":"step"' <<<"$stream" || true)"
+if [ "$windows" != 3 ] || [ "$steps" != 12 ]; then
+  echo "standing query streamed $windows window / $steps step records, want 3/12" >&2
+  exit 1
+fi
+
+# A long-running standing query, drained mid-stream by SIGTERM.
+ljob="$(curl -fsS -X POST "http://$saddr/v1/jobs" \
+  -d '{"app":"histogram","kind":"standing","elems":4096,"steps":4000,"params":{"window_size":64}}')"
+lid="$(grep -o '"id": *"[^"]*"' <<<"$ljob" | head -1 | grep -o 'job-[^"]*')"
+for i in $(seq 1 50); do
+  if curl -fsS "http://$saddr/v1/jobs/$lid" | grep -q '"status": *"running"'; then
+    break
+  fi
+  if [ "$i" = 50 ]; then
+    echo "standing query $lid never started running" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+kill -TERM "$spid"
+wait "$spid"
+if ! ls "$ckdir"/*.ck >/dev/null 2>&1 || ! ls "$ckdir"/*.resume.json >/dev/null 2>&1; then
+  echo "drained standing query left no checkpoint in $ckdir" >&2
+  ls -l "$ckdir" >&2 || true
+  exit 1
+fi
+
+# Reboot on the same checkpoint dir: the restored query (readmitted under a
+# fresh id) must resume from its snapshot and finish.
+"$workdir/smartd" -addr "$saddr" -ckdir "$ckdir" &
+spid=$!
+pids+=("$spid")
+for i in $(seq 1 150); do
+  jobs_body="$(curl -fsS "http://$saddr/v1/jobs" 2>/dev/null || true)"
+  if grep -q '"kind": *"standing"' <<<"$jobs_body" \
+    && grep -q '"status": *"done"' <<<"$jobs_body"; then
+    break
+  fi
+  if [ "$i" = 150 ]; then
+    echo "resumed standing query did not finish" >&2
+    echo "$jobs_body" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+kill "$spid"
+wait "$spid" || true
+echo "smartd smoke: standing query streamed windows, drained to snapshot, resumed to done"
+
+# ---------------------------------------------------------------------------
 # Cluster phase: 3 ranks, 3 processes, 2 tenants.
 caddr="${SMARTD_CLUSTER_ADDR:-127.0.0.1:18912}"
 rdv="${SMARTD_RDV_ADDR:-127.0.0.1:18913}"
